@@ -1,0 +1,57 @@
+"""Benchmark-harness plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures and
+registers the rendered rows/series here; a terminal-summary hook prints
+them all at the end of the ``pytest benchmarks/ --benchmark-only`` run
+(so the tables land in the captured output without ``-s``), and each
+table is also written to ``benchmarks/results/<name>.txt``.
+
+Scale control: set ``REPRO_BENCH_SCALE=full`` to sweep every input and
+node count the paper plots; the default ``quick`` mode covers a
+representative subset of each panel (documented per benchmark) so the
+whole harness finishes in minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Tuple
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_registered: List[Tuple[str, str]] = []
+
+
+def bench_scale() -> str:
+    """``quick`` (default) or ``full``."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    if scale not in ("quick", "full"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be quick|full, got {scale!r}")
+    return scale
+
+
+def register_result(name: str, text: str) -> None:
+    """Record a rendered table/series for the end-of-run summary and
+    persist it under ``benchmarks/results/``."""
+    _registered.append((name, text))
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _registered:
+        return
+    terminalreporter.write_sep("=", "paper tables & figures (reproduced)")
+    for name, text in _registered:
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("-", name)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()

@@ -1,0 +1,82 @@
+"""Figure 6a: Circuit — Custom and AM-CCD speedup over the default
+mapper, weak-scaled inputs across 1/2/4/8 Shepard nodes.
+
+Paper shape: AM-CCD up to 2.41x at the smallest 1-node input, declining
+to ~1.0 at large inputs; the custom mapper hovers around 1.0 (above on
+multiple nodes at small inputs, at-or-below at large ones); AM-CCD is
+never materially below 1.0.
+
+Quick mode (default) sweeps 4 of the 8 inputs per panel on 1 and 2
+nodes; ``REPRO_BENCH_SCALE=full`` reproduces the whole grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import register_result
+from benchmarks._common import fig6_inputs, fig6_node_counts, run_panel_point
+from repro.apps import CircuitApp
+from repro.machine import shepard
+from repro.viz import Table
+
+#: The paper's weak-scaled input ladder (1-node panel); multi-node panels
+#: shift the window upward like Figure 6a does.
+INPUT_LADDER = [
+    (50, 200),
+    (100, 400),
+    (200, 800),
+    (400, 1600),
+    (800, 3200),
+    (1600, 6400),
+    (6400, 25600),
+    (12800, 51200),
+    (25600, 102400),
+    (51200, 204800),
+    (102400, 409600),
+]
+
+
+def panel_inputs(nodes: int):
+    shift = {1: 0, 2: 1, 4: 2, 8: 3}[nodes]
+    return INPUT_LADDER[shift : shift + 8]
+
+
+def test_fig6a_circuit(benchmark, scale):
+    table = Table(
+        ["nodes", "input", "custom x", "AM-CCD x"], float_format="{:.2f}"
+    )
+    points = []
+
+    def sweep():
+        for nodes in fig6_node_counts(scale):
+            machine = shepard(nodes)
+            for n, w in fig6_inputs(panel_inputs(nodes), scale):
+                point = run_panel_point(CircuitApp(n, w), machine, scale)
+                points.append((nodes, point))
+                table.add_row(
+                    [
+                        nodes,
+                        point.label,
+                        point.custom_speedup,
+                        point.automap_speedup,
+                    ]
+                )
+        return points
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    register_result(
+        "fig6a_circuit",
+        table.render(
+            title="Figure 6a — Circuit speedup over DefaultMapper (Shepard)"
+        ),
+    )
+
+    one_node = [p for nodes, p in points if nodes == 1]
+    # Shape: AutoMap never materially loses to the default.
+    assert all(p.automap_speedup > 0.95 for _, p in points)
+    # Shape: big win at the smallest input, shrinking at the largest.
+    assert one_node[0].automap_speedup > 1.8
+    assert one_node[-1].automap_speedup < one_node[0].automap_speedup
+    # Shape: the custom mapper stays near 1x on one node.
+    assert all(0.85 < p.custom_speedup < 1.3 for p in one_node)

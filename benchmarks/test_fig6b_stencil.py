@@ -1,0 +1,70 @@
+"""Figure 6b: Stencil — Custom and AM-CCD speedup over the default
+mapper, weak-scaled grids across Shepard node counts.
+
+Paper shape: the custom mapper tracks ~1.0 everywhere (it follows the
+default strategy); AM-CCD wins at small/mid grids (up to 1.85x on one
+node) by moving both kinds to the CPU with mixed System/Zero-Copy
+placements, converging to ~1.0 once the grid is large enough for the
+GPU's frame-buffer bandwidth to dominate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import register_result
+from benchmarks._common import fig6_inputs, fig6_node_counts, run_panel_point
+from repro.apps import StencilApp
+from repro.machine import shepard
+from repro.viz import Table
+
+#: 1-node input ladder (paper: 500x500 .. 5500x5500); multi-node panels
+#: double the total grid per node doubling, as Figure 6b's labels do.
+BASE_SIZES = [500, 1000, 1500, 2000, 2500, 3000, 3500, 4000, 4500, 5000, 5500]
+
+
+def panel_inputs(nodes: int):
+    return [(s * nodes, s) for s in BASE_SIZES][:8] if nodes > 1 else [
+        (s, s) for s in BASE_SIZES[:8]
+    ]
+
+
+def test_fig6b_stencil(benchmark, scale):
+    table = Table(
+        ["nodes", "input", "custom x", "AM-CCD x"], float_format="{:.2f}"
+    )
+    points = []
+
+    def sweep():
+        for nodes in fig6_node_counts(scale):
+            machine = shepard(nodes)
+            for nx, ny in fig6_inputs(panel_inputs(nodes), scale):
+                point = run_panel_point(StencilApp(nx, ny), machine, scale)
+                points.append((nodes, point))
+                table.add_row(
+                    [
+                        nodes,
+                        point.label,
+                        point.custom_speedup,
+                        point.automap_speedup,
+                    ]
+                )
+        return points
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    register_result(
+        "fig6b_stencil",
+        table.render(
+            title="Figure 6b — Stencil speedup over DefaultMapper (Shepard)"
+        ),
+    )
+
+    one_node = [p for nodes, p in points if nodes == 1]
+    # Custom == default strategy -> ~1.0 everywhere.
+    assert all(0.9 < p.custom_speedup < 1.1 for _, p in points)
+    # AM never materially below default; clear win at the smallest grid.
+    assert all(p.automap_speedup > 0.95 for _, p in points)
+    assert one_node[0].automap_speedup > 1.3
+    # Converges: the largest grid's win is much smaller than the peak.
+    peak = max(p.automap_speedup for p in one_node)
+    assert one_node[-1].automap_speedup < 0.75 * peak or peak < 1.4

@@ -1,0 +1,23 @@
+"""AutoMap reproduction.
+
+A from-scratch Python implementation of *Automated Mapping of Task-Based
+Programs onto Distributed and Heterogeneous Machines* (Teixeira,
+Henzinger, Yadav, Aiken — SC '23), including the Legion-like runtime
+substrate it needs to run on a laptop (see DESIGN.md).
+
+Quickstart::
+
+    from repro.machine import shepard
+    from repro.apps import CircuitApp
+    from repro.core import AutoMapSession
+
+    machine = shepard(1)
+    app = CircuitApp(pieces=50, wires_per_piece=200)
+    session = AutoMapSession(app.graph(machine), machine, algorithm="ccd")
+    report = session.tune()
+    print(report.describe())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

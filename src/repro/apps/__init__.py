@@ -1,0 +1,45 @@
+"""The five benchmark applications (paper Figure 5).
+
+Each application is a task-graph generator: given a machine, it emits the
+dependence graph of a few iterations of the real code's main loop, with
+task-kind inventories, collection-argument structure, data sizes, and
+relative task costs modelled on the published applications:
+
+- :class:`~repro.apps.circuit.CircuitApp` — electrical circuit simulation
+  (3 task kinds, 15 collection arguments);
+- :class:`~repro.apps.stencil.StencilApp` — 2D structured stencil (PRK;
+  2 kinds, 12 arguments);
+- :class:`~repro.apps.pennant.PennantApp` — Lagrangian hydrodynamics
+  (31 kinds, 97 arguments);
+- :class:`~repro.apps.htr.HTRApp` — multi-physics hypersonic solver
+  (28 kinds, 72 arguments);
+- :class:`~repro.apps.maestro.MaestroApp` — multi-fidelity ensemble CFD
+  (13 searched LF kinds, 30 arguments; HF mapping fixed).
+
+Every app also provides the two baselines of §5: the runtime's *default
+mapping* (all GPU, all Frame-Buffer, spill on overflow) and the
+application's *custom mapper* (the hand-written strategies the paper
+describes).
+"""
+
+from repro.apps.base import App, KindSpec, RootSpec, SlotSpec
+from repro.apps.circuit import CircuitApp
+from repro.apps.stencil import StencilApp
+from repro.apps.pennant import PennantApp
+from repro.apps.htr import HTRApp
+from repro.apps.maestro import MaestroApp
+from repro.apps.registry import APP_REGISTRY, make_app
+
+__all__ = [
+    "App",
+    "RootSpec",
+    "SlotSpec",
+    "KindSpec",
+    "CircuitApp",
+    "StencilApp",
+    "PennantApp",
+    "HTRApp",
+    "MaestroApp",
+    "APP_REGISTRY",
+    "make_app",
+]

@@ -1,0 +1,264 @@
+"""Application base class and the declarative kind/slot specification.
+
+The five benchmark applications share a structure: a set of *root* data
+arrays sized by the input, a list of task kinds with collection-argument
+slots over those roots, and a main loop launching every kind once per
+iteration.  :class:`App` turns such a declarative spec into a
+:class:`~repro.taskgraph.graph.TaskGraph`, and provides the runtime
+default mapping and a hook for the application's hand-written custom
+mapper.
+
+Cost parameters (``flops_per_elem`` per kind, element counts per root)
+are calibrated against the reference kernels in :mod:`repro.kernels`;
+they express *relative* task weights, which is all the mapping search
+observes.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.machine.kinds import MemKind, ProcKind
+from repro.machine.model import Machine
+from repro.mapping.decision import MappingDecision
+from repro.mapping.mapping import Mapping
+from repro.mapping.space import SearchSpace
+from repro.taskgraph.builder import GraphBuilder
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.task import ArgSlot, Privilege, ShardPattern
+
+__all__ = ["RootSpec", "SlotSpec", "KindSpec", "App"]
+
+#: Bytes per mesh/grid element (double precision).
+ELEM_BYTES = 8
+
+
+@dataclass(frozen=True)
+class RootSpec:
+    """One logical data array: ``elems`` elements of ``elem_bytes``."""
+
+    name: str
+    elems: int
+    elem_bytes: int = ELEM_BYTES
+
+    @property
+    def nbytes(self) -> int:
+        return max(1, self.elems * self.elem_bytes)
+
+
+@dataclass(frozen=True)
+class SlotSpec:
+    """One collection-argument slot of a kind, bound to a root array.
+
+    Halo/strip widths come from ``halo_bytes`` when given (absolute,
+    e.g. a stencil's RADIUS rows) and otherwise from ``halo_frac``, a
+    fraction of the root's per-part share (clamped to at least one
+    element)."""
+
+    name: str
+    root: str
+    privilege: Privilege = Privilege.READ
+    pattern: ShardPattern = ShardPattern.BLOCK
+    halo_frac: float = 0.0
+    halo_bytes: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class KindSpec:
+    """One task kind: slots plus cost parameters.
+
+    ``flops_per_elem`` scales with the kind's *work root* (its first
+    slot's root by default) — the per-element arithmetic intensity
+    calibrated from the reference kernels.  ``gpu_speedup`` < 1 models
+    kernels that vectorise poorly (gather/scatter-heavy unstructured-mesh
+    code), as a multiplier on the machine's GPU throughput.
+    """
+
+    name: str
+    slots: Tuple[SlotSpec, ...]
+    flops_per_elem: float = 10.0
+    work_root: Optional[str] = None
+    gpu_speedup: float = 1.0
+    variants: Tuple[ProcKind, ...] = (ProcKind.CPU, ProcKind.GPU)
+    #: Group-launch sizing: None uses the app's partition count; "gpus"
+    #: groups over the machine's GPU count (e.g. a fixed-decomposition
+    #: component like Maestro's HF sample, independent of ensemble size).
+    group_over: Optional[str] = None
+
+
+class App(abc.ABC):
+    """A benchmark application: a parameterised task-graph generator."""
+
+    #: Application name (Figure 5's first column).
+    name: str = "app"
+    #: Main-loop iterations included in the generated graph.
+    iterations: int = 2
+    #: Group-launch decomposition: point tasks per GPU on the machine.
+    parts_per_gpu: int = 2
+
+    # ------------------------------------------------------------------
+    # Spec hooks (implemented by each application)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def roots(self) -> Sequence[RootSpec]:
+        """The application's root data arrays for the current input."""
+
+    @abc.abstractmethod
+    def kinds(self) -> Sequence[KindSpec]:
+        """The task kinds launched each iteration, in program order."""
+
+    @abc.abstractmethod
+    def input_label(self) -> str:
+        """The paper's input label (e.g. ``"n50w200"``, ``"320x90"``)."""
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    def parts(self, machine: Machine) -> int:
+        """Group-launch size: the blocked decomposition the application
+        was configured with (a few pieces per GPU, as the real codes
+        launch)."""
+        gpus = len(machine.processors_of_kind(ProcKind.GPU))
+        return max(2, self.parts_per_gpu * max(1, gpus))
+
+    def graph(self, machine: Machine) -> TaskGraph:
+        """Build the dependence graph of ``iterations`` main-loop passes
+        on the given machine's decomposition."""
+        roots = list(self.roots())
+        kinds = list(self.kinds())
+        self._validate_spec(roots, kinds)
+        parts = self.parts(machine)
+        builder = GraphBuilder(f"{self.name}-{self.input_label()}")
+
+        collections = {
+            spec.name: builder.collection(spec.name, nbytes=spec.nbytes)
+            for spec in roots
+        }
+        root_bytes = {spec.name: spec.nbytes for spec in roots}
+        root_elems = {spec.name: spec.elems for spec in roots}
+
+        gpus = len(machine.processors_of_kind(ProcKind.GPU))
+        task_kinds = {}
+        for kspec in kinds:
+            kind_size = parts
+            if kspec.group_over == "gpus":
+                kind_size = max(2, gpus)
+            slots = []
+            for sspec in kspec.slots:
+                halo = 0
+                if sspec.pattern not in (
+                    ShardPattern.BLOCK,
+                    ShardPattern.REPLICATED,
+                ):
+                    share = max(1, root_bytes[sspec.root] // kind_size)
+                    if sspec.halo_bytes is not None:
+                        halo = min(share, max(ELEM_BYTES, sspec.halo_bytes))
+                    else:
+                        halo = max(ELEM_BYTES, int(share * sspec.halo_frac))
+                slots.append(
+                    ArgSlot(
+                        name=sspec.name,
+                        privilege=sspec.privilege,
+                        pattern=sspec.pattern,
+                        halo_bytes=halo,
+                    )
+                )
+            task_kinds[kspec.name] = builder.task_kind(
+                kspec.name,
+                slots=slots,
+                variants=kspec.variants,
+                gpu_speedup=kspec.gpu_speedup,
+            )
+
+        for _iteration in range(self.iterations):
+            for kspec in kinds:
+                work_root = kspec.work_root or kspec.slots[0].root
+                flops = kspec.flops_per_elem * root_elems[work_root]
+                size = parts
+                if kspec.group_over == "gpus":
+                    size = max(2, gpus)
+                builder.launch(
+                    task_kinds[kspec.name],
+                    [collections[s.root] for s in kspec.slots],
+                    size=size,
+                    flops=flops,
+                )
+        return builder.build()
+
+    @staticmethod
+    def _validate_spec(
+        roots: Sequence[RootSpec], kinds: Sequence[KindSpec]
+    ) -> None:
+        root_names = {r.name for r in roots}
+        if len(root_names) != len(list(roots)):
+            raise ValueError("duplicate root names in app spec")
+        for kspec in kinds:
+            for sspec in kspec.slots:
+                if sspec.root not in root_names:
+                    raise ValueError(
+                        f"{kspec.name}[{sspec.name}]: unknown root "
+                        f"{sspec.root!r}"
+                    )
+            if kspec.work_root is not None and kspec.work_root not in root_names:
+                raise ValueError(
+                    f"{kspec.name}: unknown work root {kspec.work_root!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Mappings
+    # ------------------------------------------------------------------
+    def space(self, machine: Machine) -> SearchSpace:
+        """The mapping search space (apps with fixed kinds override)."""
+        return SearchSpace(self.graph(machine), machine)
+
+    def default_mapping(self, machine: Machine) -> Mapping:
+        """The runtime default mapper's starting mapping (§4.1/§5)."""
+        return self.space(machine).default_mapping()
+
+    def custom_mapping(self, machine: Machine) -> Mapping:
+        """The application's hand-written custom mapper (§5).  The base
+        implementation returns the default strategy; applications with a
+        published custom mapper override."""
+        return self.default_mapping(machine)
+
+    # ------------------------------------------------------------------
+    # Spec-level summaries (Figure 5 columns)
+    # ------------------------------------------------------------------
+    def num_tasks(self) -> int:
+        return len(list(self.kinds()))
+
+    def num_collection_arguments(self) -> int:
+        return sum(len(k.slots) for k in self.kinds())
+
+    def _decide(
+        self,
+        mapping: Mapping,
+        kind_name: str,
+        proc: Optional[ProcKind] = None,
+        mems: Optional[Dict[str, MemKind]] = None,
+        distribute: Optional[bool] = None,
+    ) -> Mapping:
+        """Helper for custom mappers: tweak one kind's decision.
+
+        ``mems`` maps *slot names* to memory kinds (unnamed slots keep
+        their current kind).
+        """
+        kinds = {k.name: k for k in self.kinds()}
+        kspec = kinds[kind_name]
+        decision = mapping.decision(kind_name)
+        if distribute is not None:
+            decision = decision.with_distribute(distribute)
+        if proc is not None:
+            decision = decision.with_proc(proc)
+        if mems:
+            for slot_index, sspec in enumerate(kspec.slots):
+                if sspec.name in mems:
+                    decision = decision.with_mem(
+                        slot_index, mems[sspec.name]
+                    )
+        return mapping.with_decision(kind_name, decision)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.input_label()!r})"

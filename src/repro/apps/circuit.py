@@ -1,0 +1,158 @@
+"""Circuit: electrical circuit simulation (paper Figure 5 row 1).
+
+The Legion Circuit benchmark [Bauer et al., SC '12] simulates an RLC
+network partitioned into *pieces*; node data is split into private,
+shared, and ghost regions (the ghost regions of a piece overlap the
+shared regions of its neighbours).  Three task kinds per iteration:
+
+* ``calc_new_currents`` — per-wire dense RLC solve (compute-heavy,
+  GPU-friendly);
+* ``distribute_charge`` — scatter charge to endpoint nodes (atomics,
+  poor GPU efficiency);
+* ``update_voltages`` — per-node voltage integration.
+
+Inputs are labelled ``n{nodes}w{wires}`` — total circuit nodes and wires,
+matching the paper's weak-scaled labels (Figure 6a doubles the input
+with the machine-node count).
+
+The custom mapper follows the published strategy: everything on GPUs,
+but the *shared/ghost node data in Zero-Copy memory* so cross-piece
+updates avoid frame-buffer round trips.  That wins on multiple nodes and
+mid sizes and loses at large single-node sizes (Zero-Copy's low GPU
+bandwidth), the behaviour visible in Figure 6a.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.apps.base import App, KindSpec, RootSpec, SlotSpec
+from repro.machine.kinds import MemKind, ProcKind
+from repro.machine.model import Machine
+from repro.mapping.mapping import Mapping
+from repro.taskgraph.task import Privilege, ShardPattern
+
+__all__ = ["CircuitApp"]
+
+# Per-element state sizes (bytes), mirroring the Legion code's fields.
+NODE_FIELDS_BYTES = 8  # voltage
+CHARGE_BYTES = 8
+CAP_BYTES = 8
+WIRE_BYTES = 64  # endpoints, R/L/C, piece ids
+CURRENT_BYTES = 24  # 3 current samples along the wire
+
+#: Fraction of a piece's nodes that are shared with neighbours.
+GHOST_FRAC = 0.05
+
+#: Calibrated relative task costs (flops per element of the work root).
+#: CNC runs an iterative dense RLC solve per wire (many Newton/RK
+#: sub-steps — see repro.kernels.circuit_kernels for the single-step
+#: reference numerics), so its per-wire constant is large; DC is a
+#: scatter pass and UV a cheap per-node integration.
+CNC_FLOPS_PER_WIRE = 2.0e4
+DC_FLOPS_PER_WIRE = 8.0e3
+UV_FLOPS_PER_NODE = 256.0
+
+
+class CircuitApp(App):
+    """Circuit with ``nodes`` circuit nodes and ``wires`` wires total."""
+
+    name = "circuit"
+
+    def __init__(
+        self,
+        nodes: int = 1600,
+        wires: int = 6400,
+        pieces_per_gpu: int = 2,
+        iterations: int = 2,
+    ) -> None:
+        if nodes < 1 or wires < 1:
+            raise ValueError("nodes and wires must be positive")
+        self.nodes = nodes
+        self.wires = wires
+        self.parts_per_gpu = pieces_per_gpu
+        self.iterations = iterations
+
+    def input_label(self) -> str:
+        return f"n{self.nodes}w{self.wires}"
+
+    # ------------------------------------------------------------------
+    def roots(self) -> Sequence[RootSpec]:
+        nodes = self.nodes
+        wires = self.wires
+        return [
+            RootSpec("voltages", nodes, NODE_FIELDS_BYTES),
+            RootSpec("charges", nodes, CHARGE_BYTES),
+            RootSpec("caps", nodes, CAP_BYTES),
+            RootSpec("wires", wires, WIRE_BYTES),
+            RootSpec("currents", wires, CURRENT_BYTES),
+            RootSpec("params", 512, 8),
+        ]
+
+    def kinds(self) -> Sequence[KindSpec]:
+        R, W, RW = Privilege.READ, Privilege.WRITE, Privilege.READ_WRITE
+        B, BH = ShardPattern.BLOCK, ShardPattern.BLOCK_HALO
+        LO, HI = ShardPattern.STRIP_LO_OUT, ShardPattern.STRIP_HI_OUT
+        return [
+            KindSpec(
+                "calc_new_currents",
+                slots=(
+                    SlotSpec("wires", "wires", R, B),
+                    SlotSpec("currents", "currents", RW, B),
+                    SlotSpec("v_pvt", "voltages", R, B),
+                    SlotSpec("v_ghost_lo", "voltages", R, LO, GHOST_FRAC),
+                    SlotSpec("v_ghost_hi", "voltages", R, HI, GHOST_FRAC),
+                ),
+                flops_per_elem=CNC_FLOPS_PER_WIRE,
+                work_root="wires",
+                gpu_speedup=1.0,
+            ),
+            KindSpec(
+                "distribute_charge",
+                slots=(
+                    SlotSpec("wires", "wires", R, B),
+                    SlotSpec("currents", "currents", R, B),
+                    SlotSpec("q_pvt", "charges", RW, B),
+                    SlotSpec("q_ghost_lo", "charges", RW, LO, GHOST_FRAC),
+                    SlotSpec("q_ghost_hi", "charges", RW, HI, GHOST_FRAC),
+                ),
+                flops_per_elem=DC_FLOPS_PER_WIRE,
+                work_root="wires",
+                gpu_speedup=0.5,  # scatter-adds (atomics) on GPU
+            ),
+            KindSpec(
+                "update_voltages",
+                slots=(
+                    SlotSpec("v_pvt", "voltages", RW, B),
+                    SlotSpec("q_pvt", "charges", RW, B),
+                    SlotSpec("caps", "caps", R, B),
+                    SlotSpec("params", "params", R, ShardPattern.REPLICATED),
+                    SlotSpec(
+                        "v_bound", "voltages", W, ShardPattern.STRIP_LO_IN,
+                        GHOST_FRAC,
+                    ),
+                ),
+                flops_per_elem=UV_FLOPS_PER_NODE,
+                work_root="voltages",
+                gpu_speedup=1.0,
+            ),
+        ]
+
+    # ------------------------------------------------------------------
+    def custom_mapping(self, machine: Machine) -> Mapping:
+        """Published strategy: GPUs everywhere, shared/ghost node data in
+        Zero-Copy memory."""
+        mapping = self.default_mapping(machine)
+        zc = MemKind.ZERO_COPY
+        mapping = self._decide(
+            mapping,
+            "calc_new_currents",
+            mems={"v_ghost_lo": zc, "v_ghost_hi": zc},
+        )
+        mapping = self._decide(
+            mapping,
+            "distribute_charge",
+            mems={"q_ghost_lo": zc, "q_ghost_hi": zc},
+        )
+        mapping = self._decide(mapping, "update_voltages", mems={"v_bound": zc})
+        return mapping

@@ -1,0 +1,198 @@
+"""HTR: multi-physics hypersonic solver (paper Figure 5 row 4).
+
+The HTR solver [Di Renzo, Fu, Urzay, CPC '20] integrates the
+multi-species compressible Navier–Stokes equations with chemistry on a
+structured 3D grid: per RK sub-step it computes directional fluxes and
+gradients from the primitive state, assembles the right-hand side,
+applies boundary conditions, and advances the conserved state; transport
+properties and chemical source terms are separate passes.  That main
+loop is the paper's Figure 2 dependence graph.
+
+The mapping-relevant structure: two *large, widely shared* collections —
+the conserved state ``U`` and the primitive state ``Q`` — are read or
+written by most of the 28 task kinds.  Their slots form a heavy cluster
+in the induced collection graph, so CCD's co-location constraints move
+them between Frame-Buffer and Zero-Copy *together*; the paper's §4.2
+multi-physics example (and the Figure 3 mappings that place 9 collection
+arguments in Zero-Copy) is exactly this structure.
+
+Inputs are labelled ``{x}x{y}y{z}z`` — grid cells per direction, matching
+Figures 6d/9.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.apps.base import App, KindSpec, RootSpec, SlotSpec
+from repro.machine.kinds import MemKind, ProcKind
+from repro.machine.model import Machine
+from repro.mapping.mapping import Mapping
+from repro.taskgraph.task import Privilege, ShardPattern
+
+__all__ = ["HTRApp"]
+
+R, W, RW = Privilege.READ, Privilege.WRITE, Privilege.READ_WRITE
+B, BH, REPL = (
+    ShardPattern.BLOCK,
+    ShardPattern.BLOCK_HALO,
+    ShardPattern.REPLICATED,
+)
+LO_OUT, HI_OUT = ShardPattern.STRIP_LO_OUT, ShardPattern.STRIP_HI_OUT
+
+#: Species-resolved state: bytes per cell per field group.
+U_BYTES = 120  # 15 conserved variables
+Q_BYTES = 160  # 20 primitive variables
+FLUX_BYTES = 120
+GRAD_BYTES = 72
+RATES_BYTES = 80
+DIFF_BYTES = 40
+METRICS_BYTES = 48
+
+#: Stencil halo as a fraction of a per-part share (6th-order schemes
+#: need 3 ghost planes; a few percent of a typical tile).
+HALO = 0.05
+
+
+def _slot(name, root, priv=R, pattern=B, halo=0.0) -> SlotSpec:
+    return SlotSpec(name, root, priv, pattern, halo)
+
+
+class HTRApp(App):
+    """HTR on an ``x × y × z`` cell grid."""
+
+    name = "htr"
+
+    def __init__(
+        self, x: int = 32, y: int = 32, z: int = 36, iterations: int = 2
+    ) -> None:
+        if min(x, y, z) < 1:
+            raise ValueError("grid dims must be positive")
+        self.x = x
+        self.y = y
+        self.z = z
+        self.iterations = iterations
+
+    def input_label(self) -> str:
+        return f"{self.x}x{self.y}y{self.z}z"
+
+    @property
+    def cells(self) -> int:
+        return self.x * self.y * self.z
+
+    # ------------------------------------------------------------------
+    def roots(self) -> Sequence[RootSpec]:
+        n = self.cells
+        return [
+            RootSpec("U", n, U_BYTES),
+            RootSpec("Q", n, Q_BYTES),
+            RootSpec("flux_x", n, FLUX_BYTES),
+            RootSpec("flux_y", n, FLUX_BYTES),
+            RootSpec("flux_z", n, FLUX_BYTES),
+            RootSpec("rhs", n, U_BYTES),
+            RootSpec("grad", n, GRAD_BYTES),
+            RootSpec("mu", n, 8),
+            RootSpec("kappa", n, 8),
+            RootSpec("diff", n, DIFF_BYTES),
+            RootSpec("rates", n, RATES_BYTES),
+            RootSpec("metrics", n, METRICS_BYTES),
+            RootSpec("coords", n, 24),
+            RootSpec("sensor", n, 8),
+            RootSpec("sgs", n, 8),
+            RootSpec("dtred", 64, 8),
+            RootSpec("stats", 512, 8),
+            RootSpec("dt", 8, 8),
+            RootSpec("bc_data", 1024, 8),
+        ]
+
+    def kinds(self) -> Sequence[KindSpec]:
+        def kind(name, slots, flops, work, gpu=1.0) -> KindSpec:
+            return KindSpec(
+                name,
+                slots=tuple(slots),
+                flops_per_elem=flops,
+                work_root=work,
+                gpu_speedup=gpu,
+            )
+
+        out = []
+        # Directional fluxes: read primitive state with a stencil halo.
+        for axis in "xyz":
+            out.append(kind(f"flux_{axis}", [
+                _slot("Q", "Q", R, BH, HALO),
+                _slot("metrics", "metrics"),
+                _slot("flux", f"flux_{axis}", RW),
+            ], 160, "Q", gpu=1.0))
+        out.append(kind("rhs_assembly", [
+            _slot("fx", "flux_x"), _slot("fy", "flux_y"),
+            _slot("fz", "flux_z"), _slot("rhs", "rhs", RW),
+        ], 30, "rhs", gpu=1.0))
+        # Three RK sub-steps per iteration.
+        for stage in range(1, 4):
+            out.append(kind(f"rk_update_{stage}", [
+                _slot("U", "U", RW),
+                _slot("rhs", "rhs"),
+                _slot("dt", "dt", R, REPL),
+                _slot("Q_old", "Q"),
+            ], 24, "U", gpu=1.0))
+        out.append(kind("primitive_from_conserved", [
+            _slot("U", "U"), _slot("Q", "Q", RW),
+        ], 60, "U", gpu=0.9))
+        out.append(kind("transport_props", [
+            _slot("Q", "Q"), _slot("mu", "mu", RW),
+            _slot("kappa", "kappa", RW), _slot("diff", "diff", RW),
+        ], 80, "Q", gpu=0.8))
+        out.append(kind("chemistry_source", [
+            _slot("Q", "Q"), _slot("rates", "rates", RW),
+        ], 400, "Q", gpu=1.0))
+        out.append(kind("chemistry_update", [
+            _slot("U", "U", RW), _slot("rates", "rates"),
+        ], 20, "U", gpu=0.9))
+        for axis in "xyz":
+            out.append(kind(f"gradient_{axis}", [
+                _slot("Q", "Q", R, BH, HALO),
+                _slot("grad", "grad", RW),
+            ], 40, "Q", gpu=1.0))
+        # Boundary conditions: thin strips of the primitive state.
+        for axis in "xyz":
+            out.append(kind(f"bc_{axis}_lo", [
+                _slot("Q", "Q", RW, ShardPattern.STRIP_LO_IN, HALO),
+                _slot("bc", "bc_data", R, REPL),
+            ], 2, "Q", gpu=0.3))
+            out.append(kind(f"bc_{axis}_hi", [
+                _slot("Q", "Q", RW, ShardPattern.STRIP_HI_IN, HALO),
+                _slot("bc", "bc_data", R, REPL),
+            ], 2, "Q", gpu=0.3))
+        out.append(kind("metric_calc", [
+            _slot("coords", "coords"), _slot("metrics", "metrics", RW),
+        ], 12, "coords", gpu=0.8))
+        out.append(kind("dt_calc", [
+            _slot("Q", "Q"), _slot("dtred", "dtred", RW),
+        ], 8, "Q", gpu=0.6))
+        out.append(kind("flow_stats", [
+            _slot("Q", "Q"), _slot("stats", "stats", RW),
+        ], 6, "Q", gpu=0.5))
+        out.append(kind("shock_sensor", [
+            _slot("Q", "Q", R, BH, HALO), _slot("sensor", "sensor", RW),
+        ], 16, "Q", gpu=0.9))
+        for axis in "xyz":
+            out.append(kind(f"flux_correction_{axis}", [
+                _slot("sensor", "sensor"),
+                _slot("Q", "Q", R, BH, HALO),
+                _slot("flux", f"flux_{axis}", RW),
+            ], 50, "Q", gpu=0.9))
+        out.append(kind("sgs_model", [
+            _slot("grad", "grad"), _slot("sgs", "sgs", RW),
+        ], 30, "grad", gpu=0.9))
+        return out
+
+    # ------------------------------------------------------------------
+    def custom_mapping(self, machine: Machine) -> Mapping:
+        """Published strategy: GPUs everywhere like the default, but the
+        small reduction outputs (dt, statistics) in Zero-Copy memory so
+        the host consumes them without device synchronisation."""
+        mapping = self.default_mapping(machine)
+        zc = MemKind.ZERO_COPY
+        mapping = self._decide(mapping, "dt_calc", mems={"dtred": zc})
+        mapping = self._decide(mapping, "flow_stats", mems={"stats": zc})
+        return mapping

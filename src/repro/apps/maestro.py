@@ -1,0 +1,289 @@
+"""Maestro: multi-fidelity ensemble CFD (paper Figure 5 row 5, §5.1).
+
+Maestro runs a bi-fidelity ensemble of compressible Navier–Stokes
+simulations: one expensive *high-fidelity* (HF) sample plus many cheap
+*low-fidelity* (LF) samples on coarser grids.  The HF mapping is fixed by
+the developers — GPUs, collection arguments filling the Frame-Buffer —
+and the goal is to place the LF ensemble so it impacts the HF run as
+little as possible.  AutoMap therefore searches only the 13 LF task
+kinds (30 collection arguments), minimising the HF finish time
+(:meth:`MaestroApp.hf_metric`) rather than total makespan.
+
+LF work is grouped across ensemble members: each LF launch has one point
+task per sample, so the distribution flag spreads samples over nodes and
+the processor choice pits "LF on GPUs + Zero-Copy" against "LF on CPUs +
+System memory" — the two standard strategies of Figure 7.  A small
+CPU-only HF statistics kind models the runtime/analysis work every HF
+step performs on the host, which is what LF-on-CPU placements can
+disturb.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.apps.base import App, KindSpec, RootSpec, SlotSpec
+from repro.machine.kinds import MemKind, ProcKind
+from repro.machine.model import Machine
+from repro.mapping.decision import MappingDecision
+from repro.mapping.mapping import Mapping
+from repro.mapping.space import SearchSpace
+from repro.runtime.executor import ExecutionReport
+from repro.taskgraph.task import Privilege, ShardPattern
+
+__all__ = ["MaestroApp"]
+
+R, W, RW = Privilege.READ, Privilege.WRITE, Privilege.READ_WRITE
+B, REPL = ShardPattern.BLOCK, ShardPattern.REPLICATED
+
+#: Single-component compressible NS: bytes per cell per field group.
+U_BYTES = 40  # 5 conserved variables
+Q_BYTES = 48  # 6 primitive variables
+FLUX_BYTES = 40
+
+#: Task kinds belonging to the high-fidelity simulation (mapping fixed).
+HF_KINDS = ("hf_flux", "hf_update", "hf_primitive", "hf_stats")
+
+
+class MaestroApp(App):
+    """Bi-fidelity ensemble: one HF sample plus ``lf_count`` LF samples
+    of resolution ``lf_res``³ (HF at ``hf_res``³)."""
+
+    name = "maestro"
+
+    def __init__(
+        self,
+        lf_count: int = 16,
+        lf_res: int = 32,
+        hf_res: int = 192,
+        iterations: int = 2,
+        include_lf: bool = True,
+    ) -> None:
+        if lf_count < 1:
+            raise ValueError("lf_count must be >= 1")
+        if lf_res < 4 or hf_res < 4:
+            raise ValueError("resolutions must be >= 4")
+        self.lf_count = lf_count
+        self.lf_res = lf_res
+        self.hf_res = hf_res
+        self.iterations = iterations
+        #: False builds the HF-alone graph (Figure 7's 1.0 reference).
+        self.include_lf = include_lf
+
+    def input_label(self) -> str:
+        return f"lf{self.lf_count}x{self.lf_res}c_hf{self.hf_res}c"
+
+    @property
+    def hf_cells(self) -> int:
+        return self.hf_res**3
+
+    @property
+    def lf_cells_total(self) -> int:
+        return self.lf_count * self.lf_res**3
+
+    # ------------------------------------------------------------------
+    def roots(self) -> Sequence[RootSpec]:
+        hf = self.hf_cells
+        lf = self.lf_cells_total
+        return [
+            # High fidelity (fixed mapping).
+            RootSpec("hf_U", hf, U_BYTES),
+            RootSpec("hf_Q", hf, Q_BYTES),
+            RootSpec("hf_flux3", hf, 3 * FLUX_BYTES),
+            # Sampled mid-plane of Q that the host-side analysis consumes.
+            RootSpec("hf_Q_sample", self.hf_res**2, Q_BYTES),
+            RootSpec("hf_stats_buf", 4096, 8),
+            # Low-fidelity ensemble (stacked over samples).
+            RootSpec("lf_U", lf, U_BYTES),
+            RootSpec("lf_Q", lf, Q_BYTES),
+            RootSpec("lf_flux_x", lf, FLUX_BYTES),
+            RootSpec("lf_flux_y", lf, FLUX_BYTES),
+            RootSpec("lf_flux_z", lf, FLUX_BYTES),
+            RootSpec("lf_rhs", lf, U_BYTES),
+            RootSpec("lf_mu", lf, 8),
+            RootSpec("lf_kappa", lf, 8),
+            RootSpec("lf_dtred", 64 * self.lf_count, 8),
+            RootSpec("lf_stats", 512 * self.lf_count, 8),
+            RootSpec("lf_samples", 4096 * self.lf_count, 8),
+            RootSpec("lf_forcing_tab", 4096, 8),
+            RootSpec("dt", 8, 8),
+            RootSpec("bc_data", 1024, 8),
+        ]
+
+    def kinds(self) -> Sequence[KindSpec]:
+        def kind(name, slots, flops, work, gpu=1.0, variants=None):
+            # HF kinds always decompose over the machine's GPUs — the HF
+            # sample's partitioning does not change with the ensemble.
+            return KindSpec(
+                name,
+                slots=tuple(slots),
+                flops_per_elem=flops,
+                work_root=work,
+                gpu_speedup=gpu,
+                variants=variants or (ProcKind.CPU, ProcKind.GPU),
+                group_over="gpus" if name.startswith("hf_") else None,
+            )
+
+        s = SlotSpec
+        out = [
+            # ---- high fidelity (fixed mapping; launched per iteration).
+            kind("hf_flux", [
+                s("Q", "hf_Q", R), s("flux", "hf_flux3", RW),
+            ], 180, "hf_Q", gpu=1.0),
+            kind("hf_update", [
+                s("U", "hf_U", RW), s("flux", "hf_flux3", R),
+                s("dt", "dt", R, REPL),
+            ], 40, "hf_U", gpu=1.0),
+            kind("hf_primitive", [
+                s("U", "hf_U", R), s("Q", "hf_Q", RW),
+                s("Q_sample", "hf_Q_sample", W),
+            ], 40, "hf_U", gpu=1.0),
+            # HF per-step host-side analysis: CPU-only variant reading the
+            # sampled plane.
+            kind("hf_stats", [
+                s("Q_sample", "hf_Q_sample", R),
+                s("buf", "hf_stats_buf", RW),
+            ], 30, "hf_Q_sample", gpu=1.0, variants=(ProcKind.CPU,)),
+            # ---- low-fidelity ensemble (the 13 searched kinds).
+            kind("lf_flux_x", [
+                s("Q", "lf_Q", R), s("flux", "lf_flux_x", RW),
+            ], 60, "lf_Q", gpu=0.8),
+            kind("lf_flux_y", [
+                s("Q", "lf_Q", R), s("flux", "lf_flux_y", RW),
+            ], 60, "lf_Q", gpu=0.8),
+            kind("lf_flux_z", [
+                s("Q", "lf_Q", R), s("flux", "lf_flux_z", RW),
+            ], 60, "lf_Q", gpu=0.8),
+            kind("lf_rhs", [
+                s("fx", "lf_flux_x", R), s("fy", "lf_flux_y", R),
+                s("fz", "lf_flux_z", R), s("rhs", "lf_rhs", RW),
+            ], 24, "lf_rhs", gpu=0.8),
+            kind("lf_update", [
+                s("U", "lf_U", RW), s("rhs", "lf_rhs", R),
+                s("dt", "dt", R, REPL),
+            ], 16, "lf_U", gpu=0.8),
+            kind("lf_primitive", [
+                s("U", "lf_U", R), s("Q", "lf_Q", RW),
+            ], 30, "lf_U", gpu=0.8),
+            kind("lf_transport", [
+                s("Q", "lf_Q", R), s("mu", "lf_mu", RW),
+                s("kappa", "lf_kappa", RW),
+            ], 40, "lf_Q", gpu=0.7),
+            kind("lf_forcing", [
+                s("U", "lf_U", RW),
+                s("tab", "lf_forcing_tab", R, REPL),
+            ], 10, "lf_U", gpu=0.7),
+            kind("lf_bc_lo", [
+                s("Q", "lf_Q", RW, ShardPattern.STRIP_LO_IN, 0.02),
+                s("bc", "bc_data", R, REPL),
+            ], 1, "lf_Q", gpu=0.3),
+            kind("lf_bc_hi", [
+                s("Q", "lf_Q", RW, ShardPattern.STRIP_HI_IN, 0.02),
+                s("bc", "bc_data", R, REPL),
+            ], 1, "lf_Q", gpu=0.3),
+            kind("lf_dt", [
+                s("Q", "lf_Q", R), s("dtred", "lf_dtred", RW),
+            ], 4, "lf_Q", gpu=0.5),
+            kind("lf_stats", [
+                s("Q", "lf_Q", R), s("stats", "lf_stats", RW),
+            ], 4, "lf_Q", gpu=0.5),
+            kind("lf_sample_collect", [
+                s("Q", "lf_Q", R), s("samples", "lf_samples", RW),
+            ], 2, "lf_Q", gpu=0.4),
+        ]
+        if not self.include_lf:
+            out = [k for k in out if k.name.startswith("hf_")]
+        return out
+
+    # ------------------------------------------------------------------
+    # Group sizing: LF launches group over ensemble members.
+    # ------------------------------------------------------------------
+    def graph(self, machine: Machine):
+        graph = super().graph(machine)
+        return graph
+
+    def parts(self, machine: Machine) -> int:
+        # LF launches bundle ensemble members into at most two groups per
+        # GPU (Maestro batches samples per processor rather than paying
+        # per-sample launch overhead); HF kinds decompose over the GPUs
+        # independently (``group_over="gpus"``).
+        gpus = max(1, len(machine.processors_of_kind(ProcKind.GPU)))
+        return max(2, min(self.lf_count, 2 * gpus))
+
+    # ------------------------------------------------------------------
+    # Fixed HF mapping and the HF-latency objective.
+    # ------------------------------------------------------------------
+    def fixed_hf_decisions(self) -> Dict[str, MappingDecision]:
+        fb = MemKind.FRAMEBUFFER
+        zc = MemKind.ZERO_COPY
+        return {
+            "hf_flux": MappingDecision(True, ProcKind.GPU, (fb, fb)),
+            "hf_update": MappingDecision(True, ProcKind.GPU, (fb, fb, zc)),
+            "hf_primitive": MappingDecision(True, ProcKind.GPU, (fb, fb, zc)),
+            "hf_stats": MappingDecision(True, ProcKind.CPU, (zc, zc)),
+        }
+
+    def space(self, machine: Machine) -> SearchSpace:
+        return SearchSpace(
+            self.graph(machine),
+            machine,
+            fixed_decisions=self.fixed_hf_decisions(),
+        )
+
+    def num_tasks(self) -> int:
+        """Figure 5 counts "13 (only LFs)": HF kinds are fixed."""
+        return sum(1 for k in self.kinds() if k.name.startswith("lf_"))
+
+    def num_collection_arguments(self) -> int:
+        return sum(
+            len(k.slots) for k in self.kinds() if k.name.startswith("lf_")
+        )
+
+    @staticmethod
+    def hf_metric(report: ExecutionReport) -> float:
+        """The objective of §5.1: the finish time of the HF simulation."""
+        return max(
+            (report.kind_finish.get(k, 0.0) for k in HF_KINDS), default=0.0
+        )
+
+    def hf_alone(self) -> "MaestroApp":
+        """The same configuration without any LF simulations — the
+        reference whose HF time defines Figure 7's 1.0 line."""
+        return MaestroApp(
+            lf_count=self.lf_count,
+            lf_res=self.lf_res,
+            hf_res=self.hf_res,
+            iterations=self.iterations,
+            include_lf=False,
+        )
+
+    # ------------------------------------------------------------------
+    # The two standard strategies of Figure 7.
+    # ------------------------------------------------------------------
+    def _lf_strategy(
+        self, machine: Machine, proc: ProcKind, mem: MemKind
+    ) -> Mapping:
+        mapping = self.space(machine).default_mapping()
+        for kspec in self.kinds():
+            if not kspec.name.startswith("lf_"):
+                continue
+            decision = MappingDecision(
+                distribute=True,
+                proc_kind=proc,
+                mem_kinds=(mem,) * len(kspec.slots),
+            )
+            mapping = mapping.with_decision(kspec.name, decision)
+        return mapping
+
+    def strategy_cpu_system(self, machine: Machine) -> Mapping:
+        """All LF tasks on CPUs, all LF collections in System memory."""
+        return self._lf_strategy(machine, ProcKind.CPU, MemKind.SYSTEM)
+
+    def strategy_gpu_zero_copy(self, machine: Machine) -> Mapping:
+        """All LF tasks on GPUs, all LF collections in Zero-Copy."""
+        return self._lf_strategy(machine, ProcKind.GPU, MemKind.ZERO_COPY)
+
+    def custom_mapping(self, machine: Machine) -> Mapping:
+        """Maestro ships the GPU+Zero-Copy strategy as its default
+        hand-written choice."""
+        return self.strategy_gpu_zero_copy(machine)

@@ -1,0 +1,301 @@
+"""Pennant: Lagrangian hydrodynamics (paper Figure 5 row 3).
+
+PENNANT [Ferenbaugh, CCPE '14] computes staggered-grid compressible
+hydrodynamics on an unstructured mesh of zones, points, sides, and
+corners, with a predictor-corrector main loop of ~31 small task kinds —
+the paper's most decision-rich application (31 tasks, 97 collection
+arguments, search space ~2^128).
+
+The kind inventory below follows PENNANT's hydro driver: position
+advection, geometry (centers/volumes/surface vectors), state (density,
+EOS, TTS), the QCS artificial-viscosity pipeline, force accumulation,
+acceleration, the corrector pass, work/energy updates, and the dt
+reductions.  Point and corner arrays are shared between neighbouring
+mesh pieces (``BLOCK_HALO`` patterns), producing the overlap structure
+CCD's co-location constraints act on.
+
+Inputs are labelled ``{zx}x{zy}`` (zones in each direction), matching
+Figures 6c/8/9.  All kinds are bandwidth-bound with modest arithmetic
+intensity and gather/scatter-heavy inner loops (``gpu_speedup`` < 1),
+calibrated against :mod:`repro.kernels.hydro` — this is why small
+Pennant inputs run best with many kinds on the CPU (Figure 6c).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.apps.base import App, KindSpec, RootSpec, SlotSpec
+from repro.machine.kinds import MemKind, ProcKind
+from repro.machine.model import Machine
+from repro.mapping.mapping import Mapping
+from repro.taskgraph.task import Privilege, ShardPattern
+
+__all__ = ["PennantApp"]
+
+R, W, RW = Privilege.READ, Privilege.WRITE, Privilege.READ_WRITE
+B, BH, REPL = (
+    ShardPattern.BLOCK,
+    ShardPattern.BLOCK_HALO,
+    ShardPattern.REPLICATED,
+)
+
+#: Point/corner data shared across piece boundaries: halo fraction of a
+#: piece's share (PENNANT meshes have O(sqrt) boundary, a few percent).
+HALO = 0.04
+
+# Per-mesh-entity multiplicities relative to the zone count.
+POINTS_PER_ZONE = 1.05
+SIDES_PER_ZONE = 4.0
+CORNERS_PER_ZONE = 4.0
+
+#: 2D vector fields (positions, velocities, forces) are 16 bytes/elem.
+VEC = 16
+
+
+def _slot(name, root, priv=R, pattern=B, halo=0.0) -> SlotSpec:
+    return SlotSpec(name, root, priv, pattern, halo)
+
+
+class PennantApp(App):
+    """PENNANT on a ``zx × zy`` zone mesh."""
+
+    name = "pennant"
+
+    def __init__(
+        self, zx: int = 320, zy: int = 360, iterations: int = 2
+    ) -> None:
+        if zx < 1 or zy < 1:
+            raise ValueError("zone counts must be positive")
+        self.zx = zx
+        self.zy = zy
+        self.iterations = iterations
+
+    def input_label(self) -> str:
+        return f"{self.zx}x{self.zy}"
+
+    # ------------------------------------------------------------------
+    def roots(self) -> Sequence[RootSpec]:
+        nz = self.zx * self.zy
+        np_ = int(nz * POINTS_PER_ZONE)
+        ns = int(nz * SIDES_PER_ZONE)
+        nc = int(nz * CORNERS_PER_ZONE)
+        zone8 = lambda name: RootSpec(name, nz, 8)  # noqa: E731
+        return [
+            # Point arrays (2D vectors).
+            RootSpec("px0", np_, VEC),
+            RootSpec("pu0", np_, VEC),
+            RootSpec("pxp", np_, VEC),
+            RootSpec("px", np_, VEC),
+            RootSpec("pu", np_, VEC),
+            RootSpec("pap", np_, VEC),
+            RootSpec("pmaswt", np_, 8),
+            # Zone arrays.
+            zone8("zx"),
+            zone8("zxp"),
+            zone8("zvol"),
+            zone8("zvolp"),
+            zone8("zarea"),
+            zone8("zdl"),
+            zone8("zm"),
+            zone8("zr"),
+            zone8("ze"),
+            zone8("zp"),
+            zone8("zss"),
+            zone8("zuc"),
+            zone8("zdu"),
+            zone8("zw"),
+            zone8("zwrate"),
+            # Side / corner arrays.
+            RootSpec("sx", int(nz * SIDES_PER_ZONE), VEC),
+            RootSpec("sxp", ns, VEC),
+            RootSpec("ssurf", ns, VEC),
+            RootSpec("selen", ns, 8),
+            RootSpec("smf", ns, 8),
+            RootSpec("sfp", ns, VEC),
+            RootSpec("sft", ns, VEC),
+            RootSpec("sfq", ns, VEC),
+            RootSpec("cdu", nc, 8),
+            RootSpec("cqe", nc, VEC),
+            RootSpec("cftot", nc, VEC),
+            RootSpec("cmaswt", nc, 8),
+            # Reductions / scalars.
+            RootSpec("dtrec", 64, 8),
+            RootSpec("dt", 8, 8),
+            RootSpec("bcs", 128, 8),
+        ]
+
+    def kinds(self) -> Sequence[KindSpec]:
+        def kind(name, slots, flops, work, gpu=0.6) -> KindSpec:
+            return KindSpec(
+                name,
+                slots=tuple(slots),
+                flops_per_elem=flops,
+                work_root=work,
+                gpu_speedup=gpu,
+            )
+
+        return [
+            # --- predictor: advance positions to the half step --------
+            kind("adv_pos_half", [
+                _slot("px0", "px0"), _slot("pu0", "pu0"),
+                _slot("pxp", "pxp", RW, BH, HALO),
+                _slot("dt", "dt", R, REPL),
+            ], 8, "px0", gpu=0.9),
+            kind("calc_ctrs", [
+                _slot("pxp", "pxp", R, BH, HALO),
+                _slot("zx", "zx", RW), _slot("sx", "sx", RW),
+            ], 14, "zx", gpu=0.5),
+            kind("calc_vols", [
+                _slot("pxp", "pxp", R, BH, HALO),
+                _slot("zvol", "zvol", RW),
+                _slot("zarea", "zarea", RW),
+            ], 16, "zvol", gpu=0.5),
+            kind("calc_surf_vecs", [
+                _slot("zx", "zx"), _slot("pxp", "pxp", R, BH, HALO),
+                _slot("ssurf", "ssurf", RW),
+            ], 8, "ssurf", gpu=0.7),
+            kind("calc_edge_len", [
+                _slot("pxp", "pxp", R, BH, HALO),
+                _slot("selen", "selen", RW),
+            ], 8, "selen", gpu=0.7),
+            kind("calc_char_len", [
+                _slot("zarea", "zarea"), _slot("selen", "selen"),
+                _slot("zdl", "zdl", RW),
+            ], 6, "zdl", gpu=0.6),
+            kind("calc_rho_half", [
+                _slot("zm", "zm"), _slot("zvol", "zvol"),
+                _slot("zr", "zr", RW),
+            ], 3, "zr", gpu=0.9),
+            kind("calc_crnr_mass", [
+                _slot("zr", "zr"), _slot("zarea", "zarea"),
+                _slot("smf", "smf"),
+                _slot("cmaswt", "cmaswt", RW, BH, HALO),
+            ], 10, "cmaswt", gpu=0.4),
+            kind("calc_state_gas", [
+                _slot("zr", "zr"), _slot("ze", "ze"),
+                _slot("zp", "zp", RW), _slot("zss", "zss", RW),
+            ], 20, "zp", gpu=0.9),
+            kind("calc_force_pgas", [
+                _slot("zp", "zp"), _slot("ssurf", "ssurf"),
+                _slot("sfp", "sfp", RW),
+            ], 6, "sfp", gpu=0.8),
+            kind("calc_force_tts", [
+                _slot("zr", "zr"), _slot("zss", "zss"),
+                _slot("ssurf", "ssurf"), _slot("sft", "sft", RW),
+            ], 10, "sft", gpu=0.8),
+            # --- QCS artificial viscosity pipeline --------------------
+            kind("qcs_zone_center_vel", [
+                _slot("pu0", "pu0", R, BH, HALO),
+                _slot("zuc", "zuc", RW),
+            ], 8, "zuc", gpu=0.5),
+            kind("qcs_corner_div", [
+                _slot("pu0", "pu0", R, BH, HALO),
+                _slot("zuc", "zuc"), _slot("cdu", "cdu", RW),
+            ], 22, "cdu", gpu=0.4),
+            kind("qcs_qcn_force", [
+                _slot("cdu", "cdu"), _slot("zss", "zss"),
+                _slot("zr", "zr"), _slot("cqe", "cqe", RW),
+            ], 18, "cqe", gpu=0.5),
+            kind("qcs_force", [
+                _slot("cqe", "cqe"), _slot("selen", "selen"),
+                _slot("sfq", "sfq", RW),
+            ], 8, "sfq", gpu=0.6),
+            kind("qcs_vel_diff", [
+                _slot("pu0", "pu0", R, BH, HALO),
+                _slot("zdu", "zdu", RW),
+            ], 10, "zdu", gpu=0.5),
+            # --- force gather and acceleration ------------------------
+            kind("sum_crnr_force", [
+                _slot("sfp", "sfp"), _slot("sft", "sft"),
+                _slot("sfq", "sfq"),
+                _slot("cftot", "cftot", RW, BH, HALO),
+            ], 8, "cftot", gpu=0.4),
+            kind("calc_accel", [
+                _slot("cftot", "cftot", R, BH, HALO),
+                _slot("pmaswt", "pmaswt", R, BH, HALO),
+                _slot("pap", "pap", RW),
+            ], 4, "pap", gpu=0.6),
+            # --- corrector: full-step advance --------------------------
+            kind("adv_pos_full", [
+                _slot("pu0", "pu0"), _slot("pap", "pap"),
+                _slot("dt", "dt", R, REPL),
+                _slot("px", "px", RW, BH, HALO),
+                _slot("pu", "pu", RW, BH, HALO),
+            ], 10, "px", gpu=0.9),
+            kind("calc_ctrs_full", [
+                _slot("px", "px", R, BH, HALO),
+                _slot("zxp", "zxp", RW), _slot("sxp", "sxp", RW),
+            ], 14, "zxp", gpu=0.5),
+            kind("calc_vols_full", [
+                _slot("px", "px", R, BH, HALO),
+                _slot("zxp", "zxp"), _slot("zvolp", "zvolp", RW),
+            ], 16, "zvolp", gpu=0.5),
+            kind("calc_work", [
+                _slot("sfp", "sfp"), _slot("sfq", "sfq"),
+                _slot("pu", "pu", R, BH, HALO),
+                _slot("zw", "zw", RW),
+            ], 24, "zw", gpu=0.5),
+            kind("calc_work_rate", [
+                _slot("zvol", "zvol"), _slot("zvolp", "zvolp"),
+                _slot("zwrate", "zwrate", RW),
+                _slot("dt", "dt", R, REPL),
+            ], 6, "zwrate", gpu=0.8),
+            kind("calc_energy", [
+                _slot("zw", "zw"), _slot("zm", "zm"),
+                _slot("ze", "ze", RW),
+            ], 4, "ze", gpu=0.9),
+            kind("calc_rho_full", [
+                _slot("zm", "zm"), _slot("zvolp", "zvolp"),
+                _slot("zr", "zr", RW),
+            ], 3, "zr", gpu=0.9),
+            # --- dt reductions -----------------------------------------
+            kind("calc_dt_courant", [
+                _slot("zdl", "zdl"), _slot("zss", "zss"),
+                _slot("dtrec", "dtrec", RW),
+            ], 6, "zdl", gpu=0.6),
+            kind("calc_dt_volume", [
+                _slot("zvol", "zvol"), _slot("zvolp", "zvolp"),
+                _slot("dtrec", "dtrec", RW),
+            ], 4, "zvol", gpu=0.6),
+            kind("calc_dt_hydro", [
+                _slot("dtrec", "dtrec"),
+                _slot("dt", "dt", RW, REPL),
+            ], 2, "dtrec", gpu=0.3),
+            # --- per-iteration housekeeping -----------------------------
+            kind("reset_corners", [
+                _slot("cftot", "cftot", W),
+                _slot("cmaswt", "cmaswt", W),
+            ], 1, "cftot", gpu=0.8),
+            kind("sum_point_mass", [
+                _slot("cmaswt", "cmaswt", R, BH, HALO),
+                _slot("pmaswt", "pmaswt", RW, BH, HALO),
+            ], 6, "pmaswt", gpu=0.4),
+            kind("apply_bcs", [
+                _slot("px", "px", RW, BH, HALO),
+                _slot("pu", "pu", RW, BH, HALO),
+                _slot("bcs", "bcs", R, REPL),
+            ], 2, "px", gpu=0.4),
+        ]
+
+    # ------------------------------------------------------------------
+    def custom_mapping(self, machine: Machine) -> Mapping:
+        """Published strategy: GPUs everywhere like the default, but the
+        dt-reduction data in Zero-Copy memory (the host consumes the
+        reduced timestep every iteration) and the tiny reduction kind on
+        the CPU."""
+        mapping = self.default_mapping(machine)
+        zc = MemKind.ZERO_COPY
+        mapping = self._decide(
+            mapping, "calc_dt_courant", mems={"dtrec": zc}
+        )
+        mapping = self._decide(
+            mapping, "calc_dt_volume", mems={"dtrec": zc}
+        )
+        mapping = self._decide(
+            mapping,
+            "calc_dt_hydro",
+            proc=ProcKind.CPU,
+            mems={"dtrec": zc, "dt": zc},
+        )
+        return mapping

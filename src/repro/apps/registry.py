@@ -1,0 +1,38 @@
+"""Application registry: construct benchmark apps by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.apps.base import App
+from repro.apps.circuit import CircuitApp
+from repro.apps.htr import HTRApp
+from repro.apps.maestro import MaestroApp
+from repro.apps.pennant import PennantApp
+from repro.apps.stencil import StencilApp
+
+__all__ = ["APP_REGISTRY", "make_app"]
+
+#: Name -> constructor for the five benchmark applications.
+APP_REGISTRY: Dict[str, Callable[..., App]] = {
+    "circuit": CircuitApp,
+    "stencil": StencilApp,
+    "pennant": PennantApp,
+    "htr": HTRApp,
+    "maestro": MaestroApp,
+}
+
+
+def make_app(name: str, **kwargs) -> App:
+    """Construct a benchmark application by name.
+
+    >>> make_app("stencil", nx=500, ny=500).input_label()
+    '500x500'
+    """
+    try:
+        factory = APP_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown application {name!r}; choose from {sorted(APP_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)

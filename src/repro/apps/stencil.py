@@ -1,0 +1,106 @@
+"""Stencil: 2D structured star stencil (paper Figure 5 row 2).
+
+The Parallel Research Kernels stencil [Wijngaart & Mattson, HPEC '14]:
+each iteration applies a radius-2 star stencil ``in → out`` and then
+increments every element of ``in``.  Two task kinds; the collection
+arguments split each grid into the interior block plus boundary strips
+exchanged with the four neighbours (the Legion implementation declares
+separate region requirements for interior and ghost regions, giving the
+12 collection arguments of Figure 5).
+
+Inputs are labelled ``{nx}x{ny}`` — the *per-node* grid, weak-scaled in
+Figure 6b.  Both kinds are memory-bandwidth-bound (~2 flops per byte
+read), which is why small and mid sizes favour CPU sockets (no kernel-
+launch latency, System memory close by) while large sizes favour the
+GPU's frame-buffer bandwidth — the crossover AutoMap discovers.
+
+The published custom mapper for Stencil follows the default strategy
+(all GPU, all Frame-Buffer), so ``custom_mapping`` == default — matching
+Figure 6b, where the custom mapper tracks 1.0× everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.apps.base import App, KindSpec, RootSpec, SlotSpec
+from repro.machine.model import Machine
+from repro.taskgraph.task import Privilege, ShardPattern
+
+__all__ = ["StencilApp"]
+
+RADIUS = 2
+
+#: Calibrated arithmetic intensity (see repro.kernels.stencil2d):
+#: 4*radius multiply-adds per interior point; increment is 1 flop/point.
+STENCIL_FLOPS_PER_POINT = 4.0 * RADIUS * 2.0
+INCREMENT_FLOPS_PER_POINT = 1.0
+
+
+class StencilApp(App):
+    """PRK stencil on an ``nx × ny`` per-node grid."""
+
+    name = "stencil"
+
+    def __init__(
+        self, nx: int = 1000, ny: int = 1000, iterations: int = 2
+    ) -> None:
+        if nx < 8 or ny < 8:
+            raise ValueError("grid too small for a radius-2 stencil")
+        self.nx = nx
+        self.ny = ny
+        self.iterations = iterations
+
+    def input_label(self) -> str:
+        return f"{self.nx}x{self.ny}"
+
+    # ------------------------------------------------------------------
+    def roots(self) -> Sequence[RootSpec]:
+        points = self.nx * self.ny
+        return [
+            RootSpec("in_grid", points),
+            RootSpec("out_grid", points),
+            RootSpec("weights", (2 * RADIUS + 1) ** 2),
+        ]
+
+    def kinds(self) -> Sequence[KindSpec]:
+        R, W, RW = Privilege.READ, Privilege.WRITE, Privilege.READ_WRITE
+        B = ShardPattern.BLOCK
+        LO_OUT, HI_OUT = ShardPattern.STRIP_LO_OUT, ShardPattern.STRIP_HI_OUT
+        LO_IN, HI_IN = ShardPattern.STRIP_LO_IN, ShardPattern.STRIP_HI_IN
+        # Halo widths in bytes: the row-direction (north/south) halo is
+        # RADIUS rows; the column-direction halo is RADIUS columns, which
+        # in flattened row-major bytes is a strided strip of equal volume.
+        ns = RADIUS * self.nx * 8
+        ew = RADIUS * self.ny * 8
+        return [
+            KindSpec(
+                "stencil",
+                slots=(
+                    SlotSpec("out_c", "out_grid", W, B),
+                    SlotSpec("out_n", "out_grid", W, LO_IN, halo_bytes=ns),
+                    SlotSpec("out_s", "out_grid", W, HI_IN, halo_bytes=ns),
+                    SlotSpec("out_w", "out_grid", W, LO_IN, halo_bytes=ew),
+                    SlotSpec("out_e", "out_grid", W, HI_IN, halo_bytes=ew),
+                    SlotSpec("in_c", "in_grid", R, B),
+                    SlotSpec("in_n", "in_grid", R, LO_OUT, halo_bytes=ns),
+                    SlotSpec("in_s", "in_grid", R, HI_OUT, halo_bytes=ns),
+                    SlotSpec("in_w", "in_grid", R, LO_OUT, halo_bytes=ew),
+                    SlotSpec("in_e", "in_grid", R, HI_OUT, halo_bytes=ew),
+                    SlotSpec("w", "weights", R, ShardPattern.REPLICATED),
+                ),
+                flops_per_elem=STENCIL_FLOPS_PER_POINT,
+                work_root="in_grid",
+                gpu_speedup=1.0,
+            ),
+            KindSpec(
+                "increment",
+                slots=(SlotSpec("in", "in_grid", RW, B),),
+                flops_per_elem=INCREMENT_FLOPS_PER_POINT,
+                work_root="in_grid",
+                gpu_speedup=1.0,
+            ),
+        ]
+
+    # custom_mapping: inherited default (the published Stencil mapper
+    # follows the default strategy; Figure 6b shows it at ~1.0x).

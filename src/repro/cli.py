@@ -1,0 +1,190 @@
+"""Command-line interface.
+
+Usage (installed as a module)::
+
+    python -m repro tune --app pennant --input 320x720 --nodes 2
+    python -m repro inspect --app htr --input 16x16y18z
+    python -m repro machines
+
+``tune`` runs the full AutoMap pipeline and prints the tuning report
+plus the diff against the default mapping; ``inspect`` prints the
+application's graph summary and Figure 5 row without searching;
+``machines`` lists the bundled machine models.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from typing import Optional
+
+from repro.apps import APP_REGISTRY, make_app
+from repro.core import AutoMapSession, OracleConfig
+from repro.machine import lassen, shepard
+from repro.runtime import SimConfig
+from repro.util.logging import configure as configure_logging
+from repro.viz import render_mapping, render_mapping_diff
+
+__all__ = ["main", "build_parser", "parse_app_input"]
+
+_MACHINES = {"shepard": shepard, "lassen": lassen}
+
+
+def parse_app_input(app_name: str, label: Optional[str]) -> dict:
+    """Translate a paper-style input label into app constructor kwargs.
+
+    ``circuit``: ``n{nodes}w{wires}``; ``stencil``/``pennant``:
+    ``{x}x{y}``; ``htr``: ``{x}x{y}y{z}z``; ``maestro``:
+    ``{count}x{res}`` (LF samples x resolution).  ``None`` keeps the
+    application's defaults.
+    """
+    if label is None:
+        return {}
+    if app_name == "circuit":
+        match = re.fullmatch(r"n(\d+)w(\d+)", label)
+        if match:
+            return {"nodes": int(match.group(1)), "wires": int(match.group(2))}
+    elif app_name == "stencil":
+        match = re.fullmatch(r"(\d+)x(\d+)", label)
+        if match:
+            return {"nx": int(match.group(1)), "ny": int(match.group(2))}
+    elif app_name == "pennant":
+        match = re.fullmatch(r"(\d+)x(\d+)", label)
+        if match:
+            return {"zx": int(match.group(1)), "zy": int(match.group(2))}
+    elif app_name == "htr":
+        match = re.fullmatch(r"(\d+)x(\d+)y(\d+)z", label)
+        if match:
+            return {
+                "x": int(match.group(1)),
+                "y": int(match.group(2)),
+                "z": int(match.group(3)),
+            }
+    elif app_name == "maestro":
+        match = re.fullmatch(r"(\d+)x(\d+)", label)
+        if match:
+            return {
+                "lf_count": int(match.group(1)),
+                "lf_res": int(match.group(2)),
+            }
+    raise SystemExit(
+        f"cannot parse input {label!r} for application {app_name!r} "
+        "(see `python -m repro inspect --help`)"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="AutoMap reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument(
+            "--app", required=True, choices=sorted(APP_REGISTRY)
+        )
+        p.add_argument(
+            "--input", default=None, help="paper-style input label"
+        )
+        p.add_argument(
+            "--machine", default="shepard", choices=sorted(_MACHINES)
+        )
+        p.add_argument("--nodes", type=int, default=1)
+
+    tune = sub.add_parser("tune", help="run the AutoMap search")
+    add_common(tune)
+    tune.add_argument(
+        "--algorithm",
+        default="ccd",
+        choices=["ccd", "cd", "opentuner", "random"],
+    )
+    tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument(
+        "--max-suggestions", type=int, default=20_000
+    )
+    tune.add_argument("--workdir", default=None)
+    tune.add_argument(
+        "--no-spill",
+        action="store_true",
+        help="fail (instead of demoting) mappings that exceed capacity",
+    )
+    tune.add_argument("--verbose", action="store_true")
+
+    inspect = sub.add_parser(
+        "inspect", help="print the application's graph and search space"
+    )
+    add_common(inspect)
+
+    sub.add_parser("machines", help="list bundled machine models")
+    return parser
+
+
+def _cmd_tune(args) -> int:
+    if args.verbose:
+        configure_logging()
+    machine = _MACHINES[args.machine](args.nodes)
+    app = make_app(args.app, **parse_app_input(args.app, args.input))
+    graph = app.graph(machine)
+    session = AutoMapSession(
+        graph,
+        machine,
+        algorithm=args.algorithm,
+        workdir=args.workdir,
+        oracle_config=OracleConfig(max_suggestions=args.max_suggestions),
+        sim_config=SimConfig(
+            noise_sigma=0.04, seed=args.seed, spill=not args.no_spill
+        ),
+        space=app.space(machine),
+    )
+    default = session.default_mapping()
+    t_default = session.measure(default)
+    report = session.tune()
+    print(report.describe())
+    print()
+    print(f"default mapper: {t_default:.6f} s; "
+          f"speedup {t_default / report.best_mean:.2f}x")
+    print()
+    print(render_mapping_diff(graph, default, report.best_mapping))
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    machine = _MACHINES[args.machine](args.nodes)
+    app = make_app(args.app, **parse_app_input(args.app, args.input))
+    graph = app.graph(machine)
+    space = app.space(machine)
+    print(machine.describe())
+    print()
+    print(graph.describe())
+    print()
+    print(
+        f"Figure 5 row: {app.num_tasks()} tasks, "
+        f"{app.num_collection_arguments()} collection arguments, "
+        f"search space ~2^{space.log2_size():.0f}"
+    )
+    print()
+    print(render_mapping(graph, space.default_mapping(), title="default mapping"))
+    return 0
+
+
+def _cmd_machines(_args) -> int:
+    for name, builder in sorted(_MACHINES.items()):
+        print(builder(1).describe())
+        print()
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "tune":
+        return _cmd_tune(args)
+    if args.command == "inspect":
+        return _cmd_inspect(args)
+    if args.command == "machines":
+        return _cmd_machines(args)
+    raise SystemExit(2)  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

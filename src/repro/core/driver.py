@@ -1,0 +1,202 @@
+"""The AutoMap driver (paper Figure 4, right box).
+
+The driver owns the search: it builds the search space, instantiates the
+evaluation oracle with the configured measurement protocol and budget,
+invokes the pluggable search algorithm, and finishes with the final
+re-evaluation protocol of §5: "as a final step of the search, the
+applications were executed with each of the top 5 mappings 30 times; we
+report results for the mapping with the fastest average runtime."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.core.oracle import OracleConfig, SimulationOracle
+from repro.core.profiles import ProfileDatabase
+from repro.machine.model import Machine
+from repro.mapping.mapping import Mapping
+from repro.mapping.space import SearchSpace
+from repro.runtime.simulator import SimConfig, Simulator
+from repro.search.base import SearchAlgorithm, SearchResult
+from repro.search.ccd import ConstrainedCoordinateDescent
+from repro.search.cd import CoordinateDescent
+from repro.search.ensemble import EnsembleTuner
+from repro.search.random_search import RandomSearch
+from repro.taskgraph.graph import TaskGraph
+from repro.util.logging import get_logger, kv
+from repro.util.rng import RngStream
+
+__all__ = ["TuningReport", "AutoMapDriver", "make_algorithm"]
+
+_LOG = get_logger("core.driver")
+
+#: §5 protocol constants.
+FINAL_CANDIDATES = 5
+FINAL_RUNS = 31
+
+
+def make_algorithm(name: str) -> SearchAlgorithm:
+    """Construct a search algorithm by its short name."""
+    factories = {
+        "ccd": ConstrainedCoordinateDescent,
+        "cd": CoordinateDescent,
+        "opentuner": EnsembleTuner,
+        "random": RandomSearch,
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown search algorithm {name!r}; "
+            f"choose from {sorted(factories)}"
+        ) from None
+
+
+@dataclass
+class TuningReport:
+    """Everything one tuning run produced."""
+
+    application: str
+    machine_name: str
+    algorithm: str
+    best_mapping: Optional[Mapping]
+    #: Mean over the final re-evaluation runs of the winning mapping.
+    best_mean: float
+    best_stddev: float
+    search: SearchResult
+    #: The final top candidates: (mapping, mean, stddev, sample count).
+    finalists: List[Tuple[Mapping, float, float, int]] = field(
+        default_factory=list
+    )
+    suggested: int = 0
+    evaluated: int = 0
+    invalid_suggestions: int = 0
+    failed_evaluations: int = 0
+    #: Simulated search-clock seconds and the fraction spent evaluating.
+    search_seconds: float = 0.0
+    evaluation_fraction: float = 0.0
+
+    def describe(self) -> str:
+        lines = [
+            f"AutoMap tuning report — {self.application} on "
+            f"{self.machine_name} via {self.algorithm}",
+            f"  best mean time: {self.best_mean:.6f} s "
+            f"(± {self.best_stddev:.6f})",
+            f"  suggested {self.suggested}, evaluated {self.evaluated} "
+            f"({self.invalid_suggestions} invalid, "
+            f"{self.failed_evaluations} failed)",
+            f"  search time {self.search_seconds:.1f} s simulated, "
+            f"{self.evaluation_fraction:.0%} evaluating",
+        ]
+        if self.best_mapping is not None:
+            lines.append("  best mapping:")
+            for line in self.best_mapping.describe().splitlines():
+                lines.append(f"    {line}")
+        return "\n".join(lines)
+
+
+class AutoMapDriver:
+    """Search orchestration for one (application, machine) pair."""
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        machine: Machine,
+        algorithm: Union[str, SearchAlgorithm] = "ccd",
+        oracle_config: Optional[OracleConfig] = None,
+        sim_config: Optional[SimConfig] = None,
+        seed: int = 0,
+        final_candidates: int = FINAL_CANDIDATES,
+        final_runs: int = FINAL_RUNS,
+        space: Optional[SearchSpace] = None,
+    ) -> None:
+        self.graph = graph
+        self.machine = machine
+        self.algorithm = (
+            make_algorithm(algorithm)
+            if isinstance(algorithm, str)
+            else algorithm
+        )
+        self.oracle_config = oracle_config or OracleConfig()
+        self.sim_config = sim_config or SimConfig()
+        self.seed = seed
+        self.final_candidates = final_candidates
+        self.final_runs = final_runs
+        # A caller-provided space may restrict the searched kinds (fixed
+        # decisions, §3.3) — e.g. Maestro tunes only the LF ensemble.
+        self.space = space or SearchSpace(graph, machine)
+        self.simulator = Simulator(graph, machine, self.sim_config)
+
+    # ------------------------------------------------------------------
+    def tune(self, start: Optional[Mapping] = None) -> TuningReport:
+        """Run the full search + final re-evaluation protocol."""
+        profiles = ProfileDatabase()
+        oracle = SimulationOracle(
+            self.simulator, self.oracle_config, profiles
+        )
+        rng = RngStream(self.seed).fork("search", self.algorithm.name)
+        _LOG.info(
+            kv(
+                "tune-start",
+                app=self.graph.name,
+                machine=self.machine.name,
+                algorithm=self.algorithm.name,
+                space_log2=round(self.space.log2_size(), 1),
+            )
+        )
+        result = self.algorithm.search(self.space, oracle, rng, start=start)
+
+        # Final step (§5): re-measure the top candidates with more runs
+        # and report the fastest average.
+        finalists: List[Tuple[Mapping, float, float, int]] = []
+        for record in profiles.best(self.final_candidates):
+            extra = max(0, self.final_runs - record.count)
+            if extra:
+                oracle.measure_more(record.mapping, extra)
+            finalists.append(
+                (record.mapping, record.mean, record.stddev, record.count)
+            )
+        finalists.sort(key=lambda item: item[1])
+
+        if finalists:
+            best_mapping, best_mean, best_stddev, _ = finalists[0]
+        else:
+            best_mapping = result.best_mapping
+            best_mean = result.best_performance
+            best_stddev = math.nan
+
+        report = TuningReport(
+            application=self.graph.name,
+            machine_name=self.machine.name,
+            algorithm=self.algorithm.name,
+            best_mapping=best_mapping,
+            best_mean=best_mean,
+            best_stddev=best_stddev,
+            search=result,
+            finalists=finalists,
+            suggested=oracle.suggested,
+            evaluated=oracle.evaluated,
+            invalid_suggestions=oracle.invalid_suggestions,
+            failed_evaluations=oracle.failed_evaluations,
+            search_seconds=oracle.sim_elapsed,
+            evaluation_fraction=oracle.evaluation_fraction,
+        )
+        _LOG.info(
+            kv(
+                "tune-done",
+                app=self.graph.name,
+                best=best_mean,
+                evaluated=oracle.evaluated,
+            )
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    def measure(self, mapping: Mapping, runs: int = FINAL_RUNS) -> float:
+        """Mean of ``runs`` noisy measurements of one mapping (used to
+        score baseline mappings outside the search)."""
+        result = self.simulator.run(mapping, runs=runs)
+        return result.mean

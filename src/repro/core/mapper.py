@@ -1,0 +1,59 @@
+"""The runtime-facing mapper (paper Figure 4, left box).
+
+In the real system, AutoMap's mapper implements Legion's mapping
+interface: the runtime calls back for each task and each region
+requirement and the mapper answers from the mapping the driver selected.
+:class:`AutoMapMapper` exposes the same callback shape over this
+repository's runtime substrate — useful for embedding the tuned mapping
+into user code and exercised directly by the examples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.machine.model import Machine, Memory, Processor
+from repro.mapping.mapping import Mapping
+from repro.runtime.placement import Placer, PointPlacement
+from repro.taskgraph.task import TaskLaunch
+
+__all__ = ["AutoMapMapper"]
+
+
+class AutoMapMapper:
+    """Answers mapping callbacks from a selected :class:`Mapping`.
+
+    The callback names mirror Legion's mapper API (``select_task_options``
+    / ``map_task``): given a launch, the mapper decides whether it is
+    distributed, which concrete processor each point runs on, and which
+    concrete memory each collection argument is instantiated in.
+    """
+
+    def __init__(self, machine: Machine, mapping: Mapping) -> None:
+        self.machine = machine
+        self.mapping = mapping
+        self._placer = Placer(machine)
+
+    # ------------------------------------------------------------------
+    def select_task_options(self, launch: TaskLaunch) -> Tuple[bool, str]:
+        """Whether the launch is distributed and on which processor kind
+        it runs (the group-level decisions of §3.1/§3.2)."""
+        decision = self.mapping.decision(launch.kind.name)
+        return decision.distribute, decision.proc_kind.value
+
+    def map_task(self, launch: TaskLaunch) -> List[PointPlacement]:
+        """Concrete processor and per-argument memories for every point
+        task of the launch."""
+        decision = self.mapping.decision(launch.kind.name)
+        return self._placer.place_launch(launch, decision)
+
+    def select_processor(self, launch: TaskLaunch, point: int) -> Processor:
+        """The concrete processor for one point task."""
+        return self.map_task(launch)[point].proc
+
+    def select_memory(
+        self, launch: TaskLaunch, point: int, slot_index: int
+    ) -> Memory:
+        """The concrete memory instance for one collection argument of
+        one point task."""
+        return self.map_task(launch)[point].mems[slot_index]

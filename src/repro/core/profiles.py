@@ -1,0 +1,136 @@
+"""The profiles database (paper Figure 4).
+
+Every mapping the driver evaluates is recorded with its raw measurement
+samples so that (a) re-suggesting a mapping returns the stored result
+without re-execution — the dedup behind §5.3's suggested-vs-evaluated
+gap — and (b) the final report can re-rank the top mappings with more
+samples.  The database persists to JSON for offline inspection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.mapping.mapping import Mapping
+from repro.util.serialization import dump_json, load_json
+
+__all__ = ["ProfileRecord", "ProfileDatabase"]
+
+
+@dataclass
+class ProfileRecord:
+    """All measurements of one mapping."""
+
+    mapping: Mapping
+    samples: List[float] = field(default_factory=list)
+    failed: bool = False
+    reason: Optional[str] = None
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            return math.inf
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0 for fewer than two samples)."""
+        n = len(self.samples)
+        if n < 2:
+            return 0.0
+        mu = self.mean
+        return sum((s - mu) ** 2 for s in self.samples) / (n - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def add_samples(self, samples: List[float]) -> None:
+        self.samples.extend(samples)
+
+
+class ProfileDatabase:
+    """In-memory profiles keyed by canonical mapping identity."""
+
+    def __init__(self) -> None:
+        self._records: Dict[tuple, ProfileRecord] = {}
+
+    # ------------------------------------------------------------------
+    def lookup(self, mapping: Mapping) -> Optional[ProfileRecord]:
+        return self._records.get(mapping.key())
+
+    def record(
+        self,
+        mapping: Mapping,
+        samples: List[float],
+        failed: bool = False,
+        reason: Optional[str] = None,
+    ) -> ProfileRecord:
+        """Add samples for a mapping (creates or extends its record)."""
+        key = mapping.key()
+        record = self._records.get(key)
+        if record is None:
+            record = ProfileRecord(
+                mapping=mapping, failed=failed, reason=reason
+            )
+            self._records[key] = record
+        record.add_samples(samples)
+        record.failed = record.failed or failed
+        if reason and not record.reason:
+            record.reason = reason
+        return record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, mapping: Mapping) -> bool:
+        return mapping.key() in self._records
+
+    # ------------------------------------------------------------------
+    def best(self, n: int = 1) -> List[ProfileRecord]:
+        """The ``n`` fastest non-failed mappings by mean performance."""
+        ranked = sorted(
+            (r for r in self._records.values() if not r.failed and r.samples),
+            key=lambda r: r.mean,
+        )
+        return ranked[:n]
+
+    def all_records(self) -> List[ProfileRecord]:
+        return list(self._records.values())
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist means/samples (not full Mapping objects — mappings are
+        stored via their human-readable description and canonical key)."""
+        doc = {
+            "format": "automap-profiles-v1",
+            "records": [
+                {
+                    "key": [list(map(str, k)) for k in record.mapping.key()],
+                    "mapping": record.mapping.describe(),
+                    "samples": record.samples,
+                    "mean": None if not record.samples else record.mean,
+                    "failed": record.failed,
+                    "reason": record.reason,
+                }
+                for record in self._records.values()
+            ],
+        }
+        dump_json(doc, path)
+
+    @staticmethod
+    def load_summary(path: Union[str, Path]) -> List[dict]:
+        """Load the persisted record summaries (read-only view)."""
+        doc = load_json(path)
+        if doc.get("format") != "automap-profiles-v1":
+            raise ValueError(f"not a profiles file: {path}")
+        return doc["records"]

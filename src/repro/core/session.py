@@ -1,0 +1,112 @@
+"""The one-call user API.
+
+"AutoMap requires no modification to the application" (§3.3): a session
+takes the application's task graph (or an :class:`repro.apps.base.App`)
+and a machine, generates the search-space representation file by
+profiling the application once, runs the offline search, and returns the
+tuning report.  Artifacts (space file, profiles database) are written to
+a working directory when one is given.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.driver import AutoMapDriver, TuningReport
+from repro.core.oracle import OracleConfig
+from repro.core.profiles import ProfileDatabase
+from repro.core.spacefile import generate_space_file
+from repro.machine.model import Machine
+from repro.mapping.mapping import Mapping
+from repro.runtime.simulator import SimConfig
+from repro.taskgraph.graph import TaskGraph
+from repro.util.logging import get_logger
+
+__all__ = ["AutoMapSession"]
+
+_LOG = get_logger("core.session")
+
+
+class AutoMapSession:
+    """End-to-end tuning of one application on one machine.
+
+    Examples
+    --------
+    >>> from repro.machine import shepard
+    >>> from repro.apps import StencilApp
+    >>> app = StencilApp(nx=500, ny=500, nodes=1)
+    >>> session = AutoMapSession(app.graph(shepard(1)), shepard(1))
+    >>> report = session.tune()         # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        machine: Machine,
+        algorithm: str = "ccd",
+        workdir: Optional[Union[str, Path]] = None,
+        oracle_config: Optional[OracleConfig] = None,
+        sim_config: Optional[SimConfig] = None,
+        seed: int = 0,
+        space=None,
+    ) -> None:
+        self.graph = graph
+        self.machine = machine
+        self.workdir = Path(workdir) if workdir is not None else None
+        self.driver = AutoMapDriver(
+            graph,
+            machine,
+            algorithm=algorithm,
+            oracle_config=oracle_config,
+            sim_config=sim_config,
+            seed=seed,
+            space=space,
+        )
+
+    # ------------------------------------------------------------------
+    def tune(self, start: Optional[Mapping] = None) -> TuningReport:
+        """Profile once (space file), search, re-evaluate finalists."""
+        if self.workdir is not None:
+            self.workdir.mkdir(parents=True, exist_ok=True)
+            generate_space_file(
+                self.graph,
+                self.machine,
+                self.workdir / "search_space.json",
+                sim_config=self.driver.sim_config,
+            )
+        report = self.driver.tune(start=start)
+        if self.workdir is not None:
+            self._save_artifacts(report)
+        return report
+
+    def _save_artifacts(self, report: TuningReport) -> None:
+        assert self.workdir is not None
+        if report.best_mapping is not None:
+            from repro.mapping.io import save_mapping
+
+            save_mapping(
+                report.best_mapping,
+                self.workdir / "best_mapping.json",
+                application=self.graph.name,
+            )
+        profiles = ProfileDatabase()
+        for mapping, mean, stddev, count in report.finalists:
+            # Persist the finalists' summary (full sample sets live in the
+            # driver's database during the run).
+            profiles.record(mapping, [mean] * min(count, 1))
+        profiles.save(self.workdir / "finalists.json")
+        (self.workdir / "report.txt").write_text(
+            report.describe() + "\n", encoding="utf-8"
+        )
+        _LOG.info("artifacts written to %s", self.workdir)
+
+    # ------------------------------------------------------------------
+    def measure(self, mapping: Mapping, runs: int = 31) -> float:
+        """Measure an arbitrary mapping (e.g. a hand-written baseline)
+        with the same protocol as the tuner's final step."""
+        return self.driver.measure(mapping, runs=runs)
+
+    def default_mapping(self) -> Mapping:
+        """The runtime's default starting mapping for this pair."""
+        return self.driver.space.default_mapping()

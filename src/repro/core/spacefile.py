@@ -1,0 +1,98 @@
+"""The search-space representation file (paper §3.3).
+
+"The input is a file containing the search space and machine model
+representation ... generated automatically by running and profiling the
+application once."  :func:`generate_space_file` performs that profiling
+run (under the default starting mapping) and writes a JSON document with
+the search dimensions, the machine inventory, and the per-kind runtime
+profile that seeds the search's task ordering.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.machine.model import Machine
+from repro.mapping.space import SearchSpace
+from repro.runtime.simulator import SimConfig, Simulator
+from repro.taskgraph.graph import TaskGraph
+from repro.util.serialization import dump_json, load_json
+
+__all__ = ["generate_space_file", "load_space_file"]
+
+_FORMAT = "automap-space-file-v1"
+
+
+def generate_space_file(
+    graph: TaskGraph,
+    machine: Machine,
+    path: Union[str, Path],
+    sim_config: Optional[SimConfig] = None,
+) -> Dict:
+    """Profile the application once and write the space file.
+
+    The profiling run uses the default starting mapping with the spill
+    fallback enabled so it cannot fail, exactly as a first profiled run
+    of an unmapped application behaves.  Returns the written document.
+    """
+    space = SearchSpace(graph, machine)
+    config = sim_config or SimConfig()
+    if not config.spill:
+        config = SimConfig(
+            noise_sigma=config.noise_sigma, seed=config.seed, spill=True
+        )
+    simulator = Simulator(graph, machine, config)
+    result = simulator.run(space.default_mapping())
+
+    doc = {
+        "format": _FORMAT,
+        "application": graph.name,
+        "machine": {
+            "name": machine.name,
+            "nodes": machine.num_nodes,
+            "proc_kinds": [k.value for k in machine.proc_kinds()],
+            "mem_kinds": [k.value for k in machine.mem_kinds()],
+        },
+        "profile": {
+            "makespan": result.makespan,
+            "kind_busy": dict(result.report.kind_busy),
+            "kind_points": dict(result.report.kind_points),
+        },
+        "kinds": [
+            {
+                "name": dims.kind_name,
+                "slots": list(dims.slot_names),
+                "distribute_options": list(dims.distribute_options),
+                "proc_options": [p.value for p in dims.proc_options],
+                "mem_options": {
+                    p.value: [m.value for m in mems]
+                    for p, mems in dims.mem_options.items()
+                },
+                "slot_bytes": [
+                    max(
+                        (
+                            launch.args[i].nbytes
+                            for launch in graph.launches_of_kind(
+                                dims.kind_name
+                            )
+                        ),
+                        default=0,
+                    )
+                    for i in range(len(dims.slot_names))
+                ],
+            }
+            for dims in (space.dims(name) for name in space.kind_names())
+        ],
+        "size_log2": space.log2_size(),
+    }
+    dump_json(doc, path)
+    return doc
+
+
+def load_space_file(path: Union[str, Path]) -> Dict:
+    """Read a space file back (validated)."""
+    doc = load_json(path)
+    if doc.get("format") != _FORMAT:
+        raise ValueError(f"not an AutoMap space file: {path}")
+    return doc

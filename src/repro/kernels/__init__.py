@@ -1,0 +1,42 @@
+"""NumPy reference kernels for the benchmark applications.
+
+The paper's applications are real Legion codes whose per-task costs the
+real AutoMap observes by profiling.  Our substrate is a simulator, so the
+application models in :mod:`repro.apps` carry analytic cost parameters —
+*flops per element* for each task kind.  This package grounds those
+parameters: each module implements the corresponding numerical kernel in
+vectorised NumPy with an exact flop count, and
+:mod:`repro.kernels.calibrate` measures achieved throughput to sanity-
+check the machine model's sustained-FLOP/s figures.
+
+The kernels are complete, runnable numerics (useful on their own as mini
+versions of the applications), not decorative stubs — the unit tests
+verify their physics invariants (stencil convergence, hydro energy
+conservation, CFD positivity).
+"""
+
+from repro.kernels.stencil2d import star_stencil, stencil_flops
+from repro.kernels.circuit_kernels import (
+    calc_new_currents,
+    distribute_charge,
+    update_voltages,
+    CircuitState,
+)
+from repro.kernels.hydro import HydroState, hydro_step
+from repro.kernels.navier_stokes import NSState, ns_step
+from repro.kernels.calibrate import CalibrationResult, calibrate_host
+
+__all__ = [
+    "star_stencil",
+    "stencil_flops",
+    "CircuitState",
+    "calc_new_currents",
+    "distribute_charge",
+    "update_voltages",
+    "HydroState",
+    "hydro_step",
+    "NSState",
+    "ns_step",
+    "CalibrationResult",
+    "calibrate_host",
+]

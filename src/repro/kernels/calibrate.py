@@ -1,0 +1,122 @@
+"""Host calibration: measure achieved kernel throughput.
+
+The machine models in :mod:`repro.machine.builders` carry *sustained*
+FLOP/s and bandwidth figures.  This module measures what the reference
+kernels actually achieve on the current host, which serves two purposes:
+
+* a sanity check that the cost-model constants in :mod:`repro.apps` are
+  the right order of magnitude for real vectorised numerics;
+* an example of the profiling step real AutoMap performs before a search.
+
+Calibration is never used to seed simulations (results must be
+deterministic across hosts); it is exposed through an example script and
+exercised lightly in tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.kernels.circuit_kernels import (
+    CircuitState,
+    calc_new_currents,
+    circuit_flops_per_iteration,
+    distribute_charge,
+    update_voltages,
+)
+from repro.kernels.hydro import HydroState, hydro_flops_per_step, hydro_step
+from repro.kernels.navier_stokes import NSState, ns_flops_per_step, ns_step
+from repro.kernels.stencil2d import (
+    increment,
+    star_stencil,
+    star_weights,
+    stencil_flops,
+)
+
+__all__ = ["CalibrationResult", "calibrate_host"]
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Achieved throughput of one kernel on this host."""
+
+    kernel: str
+    flops: float
+    seconds: float
+
+    @property
+    def flops_per_second(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.flops / self.seconds
+
+
+def _time(fn: Callable[[], None], repeats: int = 3) -> float:
+    """Best-of-N wall time of ``fn`` (seconds)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def calibrate_host(scale: int = 1) -> Dict[str, CalibrationResult]:
+    """Run each reference kernel once at a small size and report achieved
+    FLOP/s.  ``scale`` multiplies problem sizes (keep small in tests)."""
+    results: Dict[str, CalibrationResult] = {}
+
+    # Stencil.
+    n = 512 * scale
+    grid_in = np.random.default_rng(0).random((n, n))
+    grid_out = np.zeros_like(grid_in)
+    weights = star_weights(radius=2)
+
+    def run_stencil() -> None:
+        star_stencil(grid_in, weights, grid_out)
+        increment(grid_in)
+
+    seconds = _time(run_stencil)
+    flops = sum(stencil_flops(n, radius=2))
+    results["stencil"] = CalibrationResult("stencil", flops, seconds)
+
+    # Circuit.
+    state = CircuitState.random(nodes=20_000 * scale, wires=80_000 * scale)
+
+    def run_circuit() -> None:
+        calc_new_currents(state)
+        distribute_charge(state)
+        update_voltages(state)
+
+    seconds = _time(run_circuit)
+    flops = circuit_flops_per_iteration(state.num_nodes, state.num_wires)
+    results["circuit"] = CalibrationResult("circuit", flops, seconds)
+
+    # Hydro.  CFL-safe dt: cell width is 1/zones and sound speed ~1.3.
+    hydro = HydroState.sod(zones=200_000 * scale)
+    dt = 0.2 / hydro.num_zones
+
+    def run_hydro() -> None:
+        hydro_step(hydro, dt=dt)
+
+    seconds = _time(run_hydro)
+    flops = hydro_flops_per_step(hydro.num_zones)
+    results["hydro"] = CalibrationResult("hydro", flops, seconds)
+
+    # Navier-Stokes.
+    ns = NSState.acoustic_pulse(shape=(24 * scale, 24 * scale, 24 * scale))
+
+    def run_ns() -> None:
+        ns_step(ns, dt=1e-4)
+
+    seconds = _time(run_ns)
+    cells = int(np.prod(ns.shape))
+    flops = ns_flops_per_step(cells)
+    results["navier_stokes"] = CalibrationResult(
+        "navier_stokes", flops, seconds
+    )
+    return results

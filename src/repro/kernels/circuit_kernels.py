@@ -1,0 +1,95 @@
+"""Electrical circuit simulation kernels (the Legion Circuit benchmark).
+
+Circuit simulates an RLC network: each iteration solves the wire currents
+from node voltages (``calc_new_currents``), accumulates charge onto the
+wires' endpoint nodes (``distribute_charge``), and integrates the node
+voltages (``update_voltages``) — the paper's three task kinds.
+
+The state layout mirrors the Legion code: nodes carry voltage, charge,
+and capacitance; wires carry endpoint indices, R/L/C coefficients, and a
+current.  All kernels are vectorised NumPy with scatter-adds for the
+charge distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "CircuitState",
+    "calc_new_currents",
+    "distribute_charge",
+    "update_voltages",
+    "circuit_flops_per_iteration",
+]
+
+
+@dataclass
+class CircuitState:
+    """State of an RLC circuit network."""
+
+    voltage: np.ndarray  # (nodes,)
+    charge: np.ndarray  # (nodes,)
+    capacitance: np.ndarray  # (nodes,)
+    wire_from: np.ndarray  # (wires,) int
+    wire_to: np.ndarray  # (wires,) int
+    resistance: np.ndarray  # (wires,)
+    inductance: np.ndarray  # (wires,)
+    current: np.ndarray  # (wires,)
+
+    @classmethod
+    def random(
+        cls, nodes: int, wires: int, seed: int = 0
+    ) -> "CircuitState":
+        """A random connected-ish network (wires pick endpoints uniformly)."""
+        rng = np.random.default_rng(seed)
+        return cls(
+            voltage=rng.uniform(-1.0, 1.0, nodes),
+            charge=np.zeros(nodes),
+            capacitance=rng.uniform(1.0, 2.0, nodes),
+            wire_from=rng.integers(0, nodes, wires),
+            wire_to=rng.integers(0, nodes, wires),
+            resistance=rng.uniform(0.5, 2.0, wires),
+            inductance=rng.uniform(0.01, 0.1, wires),
+            current=np.zeros(wires),
+        )
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.voltage)
+
+    @property
+    def num_wires(self) -> int:
+        return len(self.current)
+
+
+def calc_new_currents(state: CircuitState, dt: float = 1e-3) -> None:
+    """Solve each wire's RL current update from its endpoint voltages."""
+    dv = state.voltage[state.wire_from] - state.voltage[state.wire_to]
+    # Implicit Euler for di/dt = (dv - R i) / L.
+    state.current[:] = (
+        state.current + dt * dv / state.inductance
+    ) / (1.0 + dt * state.resistance / state.inductance)
+
+
+def distribute_charge(state: CircuitState, dt: float = 1e-3) -> None:
+    """Scatter-add each wire's transported charge onto its endpoints."""
+    dq = dt * state.current
+    np.add.at(state.charge, state.wire_from, -dq)
+    np.add.at(state.charge, state.wire_to, dq)
+
+
+def update_voltages(state: CircuitState) -> None:
+    """Integrate node voltages from accumulated charge and reset it."""
+    state.voltage += state.charge / state.capacitance
+    state.charge[:] = 0.0
+
+
+def circuit_flops_per_iteration(nodes: int, wires: int) -> float:
+    """Approximate flop count of one full iteration (all three kernels)."""
+    cnc = wires * 6.0  # dv, scaled update, divide
+    dc = wires * 3.0  # dq and two scatter adds
+    uv = nodes * 2.0  # divide + add
+    return cnc + dc + uv

@@ -1,0 +1,103 @@
+"""Compressible Lagrangian hydrodynamics on a 1D staggered mesh.
+
+A compact reference for the physics Pennant computes (Pennant itself is
+2D unstructured; the mapping-relevant structure — predictor/corrector
+stepping over zone/point/side arrays with many small task kinds — is
+captured by the application model in :mod:`repro.apps.pennant`).  This
+kernel provides a runnable ground truth for the *cost shape*: many cheap
+bandwidth-bound passes over mesh arrays, which is why Pennant tasks gain
+little from GPUs on small inputs (paper Figure 6c).
+
+The scheme is the classic von Neumann–Richtmyer staggered-grid method
+with artificial viscosity; the unit tests check conservation of total
+energy (a real physics invariant, not a smoke test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["HydroState", "hydro_step", "total_energy", "hydro_flops_per_step"]
+
+GAMMA = 5.0 / 3.0
+Q_COEFF = 2.0  # quadratic artificial-viscosity coefficient
+
+
+@dataclass
+class HydroState:
+    """Staggered mesh: velocities on points, thermo on zones."""
+
+    x: np.ndarray  # (points,) node positions
+    u: np.ndarray  # (points,) node velocities
+    rho: np.ndarray  # (zones,) density
+    e: np.ndarray  # (zones,) specific internal energy
+    m: np.ndarray  # (zones,) zone mass (constant)
+
+    @classmethod
+    def sod(cls, zones: int = 100) -> "HydroState":
+        """The Sod shock-tube initial condition."""
+        x = np.linspace(0.0, 1.0, zones + 1)
+        mid = zones // 2
+        rho = np.where(np.arange(zones) < mid, 1.0, 0.125)
+        pressure = np.where(np.arange(zones) < mid, 1.0, 0.1)
+        e = pressure / ((GAMMA - 1.0) * rho)
+        m = rho * np.diff(x)
+        return cls(x=x, u=np.zeros(zones + 1), rho=rho, e=e, m=m)
+
+    @property
+    def num_zones(self) -> int:
+        return len(self.rho)
+
+
+def _pressure(state: HydroState) -> np.ndarray:
+    return (GAMMA - 1.0) * state.rho * state.e
+
+
+def _viscosity(state: HydroState) -> np.ndarray:
+    du = np.diff(state.u)
+    compressing = du < 0.0
+    return np.where(compressing, Q_COEFF * state.rho * du * du, 0.0)
+
+
+def hydro_step(state: HydroState, dt: float) -> None:
+    """One predictor-free explicit step (force → accel → move → update)."""
+    p = _pressure(state) + _viscosity(state)
+    # Point forces: pressure difference across each interior point.
+    force = np.zeros_like(state.u)
+    force[1:-1] = p[:-1] - p[1:]
+    point_mass = np.zeros_like(state.u)
+    point_mass[:-1] += 0.5 * state.m
+    point_mass[1:] += 0.5 * state.m
+    u_old = state.u.copy()
+    state.u += dt * force / point_mass
+    # Fixed (reflecting) boundaries.
+    state.u[0] = 0.0
+    state.u[-1] = 0.0
+    state.x += dt * 0.5 * (state.u + u_old)
+    # Zone updates from the new geometry.
+    dx = np.diff(state.x)
+    if np.any(dx <= 0):
+        raise FloatingPointError("mesh tangled; dt too large")
+    rho_new = state.m / dx
+    # Energy update: de = -p dV/m (compression heating).
+    dvol = dx - state.m / state.rho
+    state.e -= p * dvol / state.m
+    state.rho = rho_new
+
+
+def total_energy(state: HydroState) -> float:
+    """Kinetic + internal energy (conserved by the scheme up to
+    boundary work, which is zero for reflecting walls)."""
+    point_mass = np.zeros_like(state.u)
+    point_mass[:-1] += 0.5 * state.m
+    point_mass[1:] += 0.5 * state.m
+    kinetic = 0.5 * np.sum(point_mass * state.u * state.u)
+    internal = np.sum(state.m * state.e)
+    return float(kinetic + internal)
+
+
+def hydro_flops_per_step(zones: int) -> float:
+    """Approximate flop count of one step (bandwidth-bound passes)."""
+    return zones * 30.0

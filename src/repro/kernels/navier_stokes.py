@@ -1,0 +1,115 @@
+"""Compressible Navier–Stokes with explicit finite differences.
+
+The reference numeric for both HTR (multi-physics hypersonic solver) and
+Maestro (multi-fidelity ensemble CFD): single-component compressible flow
+on a 3D periodic grid, conservative central differences plus constant
+transport coefficients, RK2 time stepping.  Small but genuinely 3D and
+genuinely compressible — the unit tests evolve a smooth acoustic pulse
+and check mass conservation to round-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["NSState", "ns_step", "total_mass", "ns_flops_per_step"]
+
+GAMMA = 1.4
+MU = 1e-3  # dynamic viscosity
+KAPPA = 1e-3  # thermal conductivity
+
+
+@dataclass
+class NSState:
+    """Conserved variables on a periodic 3D grid."""
+
+    rho: np.ndarray  # density
+    mom: np.ndarray  # momentum, shape (3, nx, ny, nz)
+    ener: np.ndarray  # total energy
+
+    @classmethod
+    def acoustic_pulse(
+        cls, shape: Tuple[int, int, int] = (16, 16, 16)
+    ) -> "NSState":
+        """A smooth density/pressure pulse in a quiescent medium."""
+        nx, ny, nz = shape
+        x = np.linspace(0, 2 * np.pi, nx, endpoint=False)
+        y = np.linspace(0, 2 * np.pi, ny, endpoint=False)
+        z = np.linspace(0, 2 * np.pi, nz, endpoint=False)
+        xx, yy, zz = np.meshgrid(x, y, z, indexing="ij")
+        bump = 0.01 * np.sin(xx) * np.sin(yy) * np.sin(zz)
+        rho = 1.0 + bump
+        pressure = 1.0 + GAMMA * bump
+        mom = np.zeros((3, nx, ny, nz))
+        ener = pressure / (GAMMA - 1.0)
+        return cls(rho=rho, mom=mom, ener=ener)
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        return self.rho.shape
+
+
+def _ddx(f: np.ndarray, axis: int, h: float) -> np.ndarray:
+    """Second-order central difference on a periodic grid."""
+    return (np.roll(f, -1, axis=axis) - np.roll(f, 1, axis=axis)) / (2 * h)
+
+
+def _laplacian(f: np.ndarray, h: float) -> np.ndarray:
+    out = -6.0 * f
+    for axis in range(3):
+        out = out + np.roll(f, 1, axis=axis) + np.roll(f, -1, axis=axis)
+    return out / (h * h)
+
+
+def _rhs(state: NSState, h: float):
+    rho = state.rho
+    u = state.mom / rho  # (3, ...)
+    pressure = (GAMMA - 1.0) * (
+        state.ener - 0.5 * np.sum(state.mom * u, axis=0)
+    )
+    drho = np.zeros_like(rho)
+    dmom = np.zeros_like(state.mom)
+    dener = np.zeros_like(state.ener)
+    for axis in range(3):
+        drho -= _ddx(state.mom[axis], axis, h)
+        for comp in range(3):
+            flux = state.mom[comp] * u[axis]
+            if comp == axis:
+                flux = flux + pressure
+            dmom[comp] -= _ddx(flux, axis, h)
+        dener -= _ddx((state.ener + pressure) * u[axis], axis, h)
+    # Viscous + conductive terms (simplified constant-coefficient form).
+    for comp in range(3):
+        dmom[comp] += MU * _laplacian(u[comp], h)
+    temp = pressure / rho
+    dener += KAPPA * _laplacian(temp, h)
+    return drho, dmom, dener
+
+
+def ns_step(state: NSState, dt: float, h: float = 0.1) -> None:
+    """One RK2 (midpoint) step, in place."""
+    k1 = _rhs(state, h)
+    mid = NSState(
+        rho=state.rho + 0.5 * dt * k1[0],
+        mom=state.mom + 0.5 * dt * k1[1],
+        ener=state.ener + 0.5 * dt * k1[2],
+    )
+    k2 = _rhs(mid, h)
+    state.rho += dt * k2[0]
+    state.mom += dt * k2[1]
+    state.ener += dt * k2[2]
+    if np.any(state.rho <= 0):
+        raise FloatingPointError("negative density; dt too large")
+
+
+def total_mass(state: NSState) -> float:
+    return float(np.sum(state.rho))
+
+
+def ns_flops_per_step(cells: int) -> float:
+    """Approximate flop count per RK2 step per grid (two RHS evals)."""
+    # ~5 conserved fields x (3 flux derivatives x ~6 flops + viscous ~8).
+    return cells * 2.0 * 5.0 * 26.0

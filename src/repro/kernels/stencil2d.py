@@ -1,0 +1,72 @@
+"""2D star stencil (the Parallel Research Kernels "Stencil" benchmark).
+
+The PRK stencil applies a radius-``r`` star-shaped weighted sum to an
+``n×n`` grid, then increments the input grid by one — exactly the two
+task kinds of the paper's Stencil application (Figure 5: 2 tasks).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["star_weights", "star_stencil", "increment", "stencil_flops"]
+
+
+def star_weights(radius: int = 2) -> np.ndarray:
+    """The PRK star-stencil weight matrix of the given radius."""
+    if radius < 1:
+        raise ValueError("radius must be >= 1")
+    size = 2 * radius + 1
+    weights = np.zeros((size, size), dtype=np.float64)
+    for i in range(1, radius + 1):
+        w = 1.0 / (2.0 * i * radius)
+        weights[radius, radius + i] = w
+        weights[radius, radius - i] = -w
+        weights[radius + i, radius] = w
+        weights[radius - i, radius] = -w
+    return weights
+
+
+def star_stencil(
+    grid_in: np.ndarray, weights: np.ndarray, grid_out: np.ndarray
+) -> None:
+    """Apply the star stencil: ``out[interior] += Σ w_k · in[shifted]``.
+
+    Vectorised over shifted views (no copies of the interior), matching
+    the memory-traffic profile the simulator's cost model assumes.
+    """
+    radius = weights.shape[0] // 2
+    n, m = grid_in.shape
+    if n <= 2 * radius or m <= 2 * radius:
+        raise ValueError("grid smaller than stencil diameter")
+    interior = np.s_[radius : n - radius, radius : m - radius]
+    out_view = grid_out[interior]
+    # Star shape: only the center row and column of the weight matrix.
+    for k in range(-radius, radius + 1):
+        if k == 0:
+            continue
+        wr = weights[radius, radius + k]
+        wc = weights[radius + k, radius]
+        out_view += wr * grid_in[
+            radius : n - radius, radius + k : m - radius + k
+        ]
+        out_view += wc * grid_in[
+            radius + k : n - radius + k, radius : m - radius
+        ]
+
+
+def increment(grid_in: np.ndarray) -> None:
+    """The PRK "add one to every input element" step (in place)."""
+    grid_in += 1.0
+
+
+def stencil_flops(n: int, radius: int = 2) -> Tuple[float, float]:
+    """(stencil flops, increment flops) for one iteration on ``n×n``.
+
+    The star touches ``4·radius`` neighbours, each costing a multiply
+    and an add.
+    """
+    interior = max(0, n - 2 * radius) ** 2
+    return (interior * 4.0 * radius * 2.0, float(n * n))

@@ -1,0 +1,89 @@
+"""Processor and memory *kinds*.
+
+AutoMap factors the mapping search space over kinds, not concrete devices
+(paper §3.2): the search chooses a processor kind per task and a memory
+kind per collection argument, and deterministic runtime logic picks the
+concrete processor/memory of that kind.  These enums are therefore the
+alphabet of the entire search space.
+
+The addressability rules below mirror the paper's Figure 1 machine:
+
+======== ======================= =====================================
+Memory   Addressable by          Notes
+======== ======================= =====================================
+SYSTEM   CPUs only               one allocation per socket
+ZERO_COPY CPUs and GPUs          pinned host memory, one per node
+FRAMEBUFFER GPUs only            one per GPU, highest bandwidth
+======== ======================= =====================================
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet, Tuple
+
+__all__ = [
+    "ProcKind",
+    "MemKind",
+    "ADDRESSABLE",
+    "addressable_mem_kinds",
+    "addressable_proc_kinds",
+    "fastest_mem_kind",
+]
+
+
+class ProcKind(str, enum.Enum):
+    """Kind of processor a task variant can execute on."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class MemKind(str, enum.Enum):
+    """Kind of memory a collection instance can be placed in."""
+
+    SYSTEM = "system"
+    ZERO_COPY = "zero_copy"
+    FRAMEBUFFER = "framebuffer"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: The kind-level addressability relation of Figure 1.
+ADDRESSABLE: FrozenSet[Tuple[ProcKind, MemKind]] = frozenset(
+    {
+        (ProcKind.CPU, MemKind.SYSTEM),
+        (ProcKind.CPU, MemKind.ZERO_COPY),
+        (ProcKind.GPU, MemKind.FRAMEBUFFER),
+        (ProcKind.GPU, MemKind.ZERO_COPY),
+    }
+)
+
+#: Memory kinds ordered from fastest to slowest for each processor kind.
+#: Used by the runtime's priority-list fallback (paper §3.1) and by the
+#: default mapper's "closest memory with capacity" heuristic.
+_PREFERENCE = {
+    ProcKind.CPU: (MemKind.SYSTEM, MemKind.ZERO_COPY),
+    ProcKind.GPU: (MemKind.FRAMEBUFFER, MemKind.ZERO_COPY),
+}
+
+
+def addressable_mem_kinds(proc_kind: ProcKind) -> Tuple[MemKind, ...]:
+    """Memory kinds addressable by ``proc_kind``, fastest first."""
+    return _PREFERENCE[proc_kind]
+
+
+def addressable_proc_kinds(mem_kind: MemKind) -> Tuple[ProcKind, ...]:
+    """Processor kinds that can address ``mem_kind``."""
+    return tuple(
+        pk for pk in ProcKind if (pk, mem_kind) in ADDRESSABLE
+    )
+
+
+def fastest_mem_kind(proc_kind: ProcKind) -> MemKind:
+    """The highest-bandwidth memory kind for ``proc_kind``."""
+    return _PREFERENCE[proc_kind][0]

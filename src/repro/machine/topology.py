@@ -1,0 +1,117 @@
+"""Memoised topology queries over the machine graph.
+
+The runtime simulator needs to route copies between arbitrary memory
+pairs.  Direct channels cover the common cases (FB↔ZC, node↔node between
+Zero-Copy pools); everything else is routed over a shortest channel path.
+:class:`Topology` wraps the machine's channel graph in a networkx graph
+and memoises path queries, which dominate simulator startup otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.machine.model import Channel, Machine
+
+__all__ = ["CopyPath", "Topology"]
+
+
+@dataclass(frozen=True)
+class CopyPath:
+    """A routed copy between two memories.
+
+    Attributes
+    ----------
+    hops:
+        The channel sequence traversed, source side first.
+    bandwidth:
+        Effective end-to-end bandwidth: the minimum over hops (store-and-
+        forward pipelining is bandwidth-limited by the narrowest hop).
+    latency:
+        Sum of per-hop latencies.
+    """
+
+    hops: Tuple[Channel, ...]
+    bandwidth: float
+    latency: float
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` along this path."""
+        if not self.hops:
+            return 0.0
+        return self.latency + nbytes / self.bandwidth
+
+
+class Topology:
+    """Copy-path routing over a :class:`Machine`'s channel graph.
+
+    Edge weights for shortest-path routing are the transfer time of a
+    *representative* message (default 16 MiB): this balances latency-
+    and bandwidth-dominated regimes so that routing prefers the fast
+    direct links the hardware actually uses.
+    """
+
+    #: Representative message size used to weight channels during routing.
+    ROUTING_MESSAGE_BYTES = 16 * 1024 * 1024
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self._graph = nx.Graph()
+        for mem in machine.memories:
+            self._graph.add_node(mem.uid)
+        for chan in machine.channels:
+            weight = chan.latency + self.ROUTING_MESSAGE_BYTES / chan.bandwidth
+            # Keep the faster channel when duplicates exist.
+            existing = self._graph.get_edge_data(chan.mem_a, chan.mem_b)
+            if existing is None or existing["weight"] > weight:
+                self._graph.add_edge(
+                    chan.mem_a, chan.mem_b, weight=weight, channel=chan
+                )
+        self._path_cache: Dict[Tuple[str, str], Optional[CopyPath]] = {}
+
+    def copy_path(self, src_uid: str, dst_uid: str) -> Optional[CopyPath]:
+        """The routed path from ``src_uid`` to ``dst_uid``.
+
+        Returns a zero-hop path when source equals destination, and
+        ``None`` when the memories are disconnected (a malformed machine;
+        the stock builders always produce connected channel graphs).
+        """
+        if src_uid == dst_uid:
+            return CopyPath(hops=(), bandwidth=float("inf"), latency=0.0)
+        key = (src_uid, dst_uid)
+        if key not in self._path_cache:
+            self._path_cache[key] = self._route(src_uid, dst_uid)
+        return self._path_cache[key]
+
+    def _route(self, src_uid: str, dst_uid: str) -> Optional[CopyPath]:
+        try:
+            nodes: List[str] = nx.shortest_path(
+                self._graph, src_uid, dst_uid, weight="weight"
+            )
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return None
+        hops = []
+        for a, b in zip(nodes, nodes[1:]):
+            hops.append(self._graph.edges[a, b]["channel"])
+        bandwidth = min(ch.bandwidth for ch in hops)
+        latency = sum(ch.latency for ch in hops)
+        return CopyPath(hops=tuple(hops), bandwidth=bandwidth, latency=latency)
+
+    def transfer_time(self, src_uid: str, dst_uid: str, nbytes: float) -> float:
+        """Seconds to copy ``nbytes`` from one memory to another.
+
+        Raises ``ValueError`` if the memories are disconnected.
+        """
+        path = self.copy_path(src_uid, dst_uid)
+        if path is None:
+            raise ValueError(f"no channel path from {src_uid} to {dst_uid}")
+        return path.transfer_time(nbytes)
+
+    def connected(self) -> bool:
+        """Whether every memory can reach every other memory."""
+        if self._graph.number_of_nodes() <= 1:
+            return True
+        return nx.is_connected(self._graph)

@@ -1,0 +1,37 @@
+"""Mapping representation (paper §2, §3.1, §3.2).
+
+A mapping assigns each task a processor kind and a distribution flag, and
+each collection-argument slot a memory kind — the factored signature
+``tasks × collections → bool × processor kind × memory kind`` of §3.2.
+Concrete processor/memory selection of the chosen kind is deterministic
+runtime logic (:mod:`repro.runtime.placement`).
+
+Public surface:
+
+- :class:`~repro.mapping.decision.MappingDecision` — per-kind decisions;
+- :class:`~repro.mapping.mapping.Mapping` — the full mapping function,
+  immutable with functional update helpers;
+- :mod:`~repro.mapping.validate` — constraint (1) checks (addressability,
+  variants);
+- :class:`~repro.mapping.space.SearchSpace` — the search-space
+  representation (dimensions, size estimates, encode/decode for generic
+  tuners, starting point, file I/O).
+"""
+
+from repro.mapping.decision import MappingDecision
+from repro.mapping.mapping import Mapping
+from repro.mapping.validate import MappingError, explain_invalid, is_valid, validate
+from repro.mapping.space import SearchSpace
+from repro.mapping.io import load_mapping, save_mapping
+
+__all__ = [
+    "MappingDecision",
+    "Mapping",
+    "MappingError",
+    "validate",
+    "is_valid",
+    "explain_invalid",
+    "SearchSpace",
+    "save_mapping",
+    "load_mapping",
+]

@@ -1,0 +1,82 @@
+"""Per-task-kind mapping decisions.
+
+For a task kind with ``n`` collection-argument slots, a decision is the
+triple the factored search space ranges over (paper §3.2):
+
+* ``distribute`` — whether launches of this kind are spread blocked
+  across all machine nodes (True) or run entirely on the initial leader
+  node (False) (paper §3.1);
+* ``proc_kind`` — the processor kind every point task runs on;
+* ``mem_kinds`` — one memory kind per argument slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.machine.kinds import MemKind, ProcKind
+
+__all__ = ["MappingDecision"]
+
+
+@dataclass(frozen=True)
+class MappingDecision:
+    """The mapping decision for one task kind."""
+
+    distribute: bool
+    proc_kind: ProcKind
+    mem_kinds: Tuple[MemKind, ...]
+
+    def __post_init__(self) -> None:
+        if not self.mem_kinds:
+            raise ValueError("a decision needs at least one memory kind")
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.mem_kinds)
+
+    def with_distribute(self, distribute: bool) -> "MappingDecision":
+        """Copy with the distribution flag replaced."""
+        return MappingDecision(
+            distribute=distribute,
+            proc_kind=self.proc_kind,
+            mem_kinds=self.mem_kinds,
+        )
+
+    def with_proc(self, proc_kind: ProcKind) -> "MappingDecision":
+        """Copy with the processor kind replaced (memories untouched —
+        callers re-establish addressability via the constraint logic)."""
+        return MappingDecision(
+            distribute=self.distribute,
+            proc_kind=proc_kind,
+            mem_kinds=self.mem_kinds,
+        )
+
+    def with_mem(self, slot_index: int, mem_kind: MemKind) -> "MappingDecision":
+        """Copy with one slot's memory kind replaced."""
+        if not 0 <= slot_index < len(self.mem_kinds):
+            raise IndexError(
+                f"slot index {slot_index} out of range "
+                f"(kind has {len(self.mem_kinds)} slots)"
+            )
+        mems = list(self.mem_kinds)
+        mems[slot_index] = mem_kind
+        return MappingDecision(
+            distribute=self.distribute,
+            proc_kind=self.proc_kind,
+            mem_kinds=tuple(mems),
+        )
+
+    def key(self) -> Tuple:
+        """A canonical hashable key (used for mapping deduplication)."""
+        return (
+            self.distribute,
+            self.proc_kind.value,
+            tuple(m.value for m in self.mem_kinds),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dist = "dist" if self.distribute else "leader"
+        mems = ",".join(m.value for m in self.mem_kinds)
+        return f"[{dist}|{self.proc_kind.value}|{mems}]"

@@ -1,0 +1,26 @@
+"""Legion-like distributed task-runtime simulator (substrate).
+
+The paper's AutoMap drives the real Legion runtime; this package is the
+faithful software stand-in (see DESIGN.md §1).  It executes a task graph
+under a mapping on a machine model with discrete-event semantics:
+
+* dependence-driven execution of group launches split into point tasks;
+* deterministic placement of point tasks on concrete processors of the
+  mapped kind (blocked across nodes, round-robin within a node) and of
+  collection instances in the concrete memory of the mapped kind closest
+  to the processor (paper §3.2);
+* per-memory *instances* of collection data with validity tracked on the
+  underlying logical index spaces, so halo sharing, producer/consumer
+  copies, and cross-node gathers cost exactly what the channel graph
+  says they cost;
+* memory-capacity accounting with OOM failures and the priority-list
+  spill fallback of §3.1;
+* run-to-run measurement noise (lognormal, seeded).
+
+Entry point: :class:`~repro.runtime.simulator.Simulator`.
+"""
+
+from repro.runtime.simulator import OOMError, SimConfig, SimResult, Simulator
+from repro.runtime.noise import NoiseModel
+
+__all__ = ["Simulator", "SimConfig", "SimResult", "OOMError", "NoiseModel"]

@@ -1,0 +1,127 @@
+"""Disjoint half-open integer interval sets.
+
+The instance/coherence layer tracks which byte ranges of each logical
+index space are valid in each memory.  :class:`IntervalSet` provides the
+union / intersection / subtraction operations that layer needs, stored as
+a sorted list of disjoint ``[lo, hi)`` pairs.
+
+The implementation favours clarity and O(n) merges — interval counts per
+(root, memory) stay tiny (bounded by the partition count), so this is
+never a hot spot; the simulator's profile is dominated by the event loop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+__all__ = ["IntervalSet"]
+
+Interval = Tuple[int, int]
+
+
+def _normalize(intervals: Iterable[Interval]) -> List[Interval]:
+    """Sort, drop empties, and coalesce overlapping/adjacent intervals."""
+    items = sorted((lo, hi) for lo, hi in intervals if hi > lo)
+    out: List[Interval] = []
+    for lo, hi in items:
+        if out and lo <= out[-1][1]:
+            prev_lo, prev_hi = out[-1]
+            out[-1] = (prev_lo, max(prev_hi, hi))
+        else:
+            out.append((lo, hi))
+    return out
+
+
+class IntervalSet:
+    """An immutable set of disjoint half-open integer intervals."""
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._intervals: List[Interval] = _normalize(intervals)
+
+    @classmethod
+    def single(cls, lo: int, hi: int) -> "IntervalSet":
+        """The set containing just ``[lo, hi)``."""
+        return cls([(lo, hi)])
+
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        return cls()
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        """Total length covered."""
+        return sum(hi - lo for lo, hi in self._intervals)
+
+    def __bool__(self) -> bool:
+        return bool(self._intervals)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._intervals)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._intervals))
+
+    # ------------------------------------------------------------------
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        return IntervalSet([*self._intervals, *other._intervals])
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        out: List[Interval] = []
+        i = j = 0
+        a, b = self._intervals, other._intervals
+        while i < len(a) and j < len(b):
+            lo = max(a[i][0], b[j][0])
+            hi = min(a[i][1], b[j][1])
+            if lo < hi:
+                out.append((lo, hi))
+            if a[i][1] < b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return IntervalSet(out)
+
+    def subtract(self, other: "IntervalSet") -> "IntervalSet":
+        out: List[Interval] = []
+        j = 0
+        b = other._intervals
+        for lo, hi in self._intervals:
+            cur = lo
+            while j < len(b) and b[j][1] <= cur:
+                j += 1
+            k = j
+            while k < len(b) and b[k][0] < hi:
+                blo, bhi = b[k]
+                if blo > cur:
+                    out.append((cur, min(blo, hi)))
+                cur = max(cur, bhi)
+                if cur >= hi:
+                    break
+                k += 1
+            if cur < hi:
+                out.append((cur, hi))
+        return IntervalSet(out)
+
+    def contains(self, lo: int, hi: int) -> bool:
+        """Whether ``[lo, hi)`` is fully covered."""
+        if hi <= lo:
+            return True
+        return self.intersection(IntervalSet.single(lo, hi)).total == hi - lo
+
+    def overlap(self, lo: int, hi: int) -> int:
+        """Length of the covered part of ``[lo, hi)``."""
+        return self.intersection(IntervalSet.single(lo, hi)).total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"[{lo},{hi})" for lo, hi in self._intervals)
+        return f"IntervalSet({parts})"

@@ -1,0 +1,216 @@
+"""Memory-capacity accounting, OOM detection, and the spill fallback.
+
+The paper (§3.1) allows mappings "to fail at runtime if a collection
+assignment exceeds the capacity of the physical memory", and generalises
+a mapping to "a priority list of memories ... where the first memory that
+can hold c will be used".  Both behaviours live here:
+
+* :meth:`MemoryPlanner.check` computes the steady-state footprint each
+  concrete memory would hold under a mapping and reports overflows — the
+  evaluation oracle turns those into failed evaluations (§5.2: AutoMap
+  "detect[s] when a mapping results in an out of memory error and mov[es]
+  on to a different mapping");
+* :meth:`MemoryPlanner.apply_spill` realises the priority-list fallback:
+  walking launches in program order, each collection-argument slot keeps
+  its mapped memory kind if the instance fits and is demoted to the next
+  memory kind in the processor's preference order otherwise.  This is how
+  the default mapper's "collections (that fit) are placed in Frame-Buffer
+  memory" behaves.
+
+Footprints are unions of byte intervals per (root index space, concrete
+memory), so overlapping collections are not double-counted and replicated
+arguments are counted once per memory, matching how a runtime shares
+physical instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.machine.kinds import MemKind, addressable_mem_kinds
+from repro.machine.model import Machine
+from repro.mapping.mapping import Mapping
+from repro.runtime.intervals import IntervalSet
+from repro.runtime.placement import Placer
+from repro.taskgraph.graph import TaskGraph
+from repro.util.units import format_bytes
+
+__all__ = ["OOMError", "MemoryDemand", "MemoryPlanner"]
+
+
+class OOMError(RuntimeError):
+    """A mapping's footprint exceeds some memory's physical capacity."""
+
+
+@dataclass
+class MemoryDemand:
+    """Steady-state footprint report for one mapping."""
+
+    #: bytes demanded per concrete memory uid.
+    per_memory: Dict[str, int] = field(default_factory=dict)
+    #: memories whose demand exceeds capacity: uid -> (demand, capacity).
+    overflows: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.overflows
+
+    def describe(self) -> str:
+        lines = []
+        for uid in sorted(self.per_memory):
+            demand = self.per_memory[uid]
+            marker = " OVERFLOW" if uid in self.overflows else ""
+            lines.append(f"{uid}: {format_bytes(demand)}{marker}")
+        return "\n".join(lines)
+
+
+class _FootprintAccumulator:
+    """Incremental union-of-intervals footprint per (memory, root)."""
+
+    def __init__(self, machine: Machine) -> None:
+        self._machine = machine
+        self._per_mem_root: Dict[Tuple[str, str], IntervalSet] = {}
+        self._per_mem_total: Dict[str, int] = {}
+
+    def would_fit(self, mem_uid: str, root: str, lo: int, hi: int) -> bool:
+        """Whether adding ``[lo, hi)`` of ``root`` to ``mem_uid`` stays
+        within capacity."""
+        added = self._added_bytes(mem_uid, root, lo, hi)
+        capacity = self._machine.memory(mem_uid).capacity
+        return self._per_mem_total.get(mem_uid, 0) + added <= capacity
+
+    def _added_bytes(self, mem_uid: str, root: str, lo: int, hi: int) -> int:
+        current = self._per_mem_root.get((mem_uid, root))
+        if current is None:
+            return hi - lo
+        return (hi - lo) - current.overlap(lo, hi)
+
+    def add(self, mem_uid: str, root: str, lo: int, hi: int) -> None:
+        key = (mem_uid, root)
+        current = self._per_mem_root.get(key, IntervalSet.empty())
+        added = self._added_bytes(mem_uid, root, lo, hi)
+        self._per_mem_root[key] = current.union(IntervalSet.single(lo, hi))
+        self._per_mem_total[mem_uid] = (
+            self._per_mem_total.get(mem_uid, 0) + added
+        )
+
+    def totals(self) -> Dict[str, int]:
+        return dict(self._per_mem_total)
+
+
+class MemoryPlanner:
+    """Static capacity analysis of a mapping on a machine."""
+
+    def __init__(self, graph: TaskGraph, machine: Machine) -> None:
+        self.graph = graph
+        self.machine = machine
+        self._placer = Placer(machine)
+
+    # ------------------------------------------------------------------
+    def check(self, mapping: Mapping) -> MemoryDemand:
+        """Compute the footprint of ``mapping``; report overflows."""
+        acc = _FootprintAccumulator(self.machine)
+        for launch in self.graph.launches:
+            decision = mapping.decision(launch.kind.name)
+            placements = self._placer.place_launch(launch, decision)
+            for placement in placements:
+                for slot_index, mem in enumerate(placement.mems):
+                    lo, hi = launch.shard_interval(
+                        slot_index, placement.point, for_write=False
+                    )
+                    root = launch.args[slot_index].root
+                    assert root is not None
+                    if hi > lo:
+                        acc.add(mem.uid, root, lo, hi)
+        demand = MemoryDemand(per_memory=acc.totals())
+        for uid, total in demand.per_memory.items():
+            capacity = self.machine.memory(uid).capacity
+            if total > capacity:
+                demand.overflows[uid] = (total, capacity)
+        return demand
+
+    def ensure_fits(self, mapping: Mapping) -> None:
+        """Raise :class:`OOMError` if the mapping overflows any memory."""
+        demand = self.check(mapping)
+        if not demand.ok:
+            details = ", ".join(
+                f"{uid} needs {format_bytes(need)} of {format_bytes(cap)}"
+                for uid, (need, cap) in sorted(demand.overflows.items())
+            )
+            raise OOMError(f"mapping exceeds memory capacity: {details}")
+
+    # ------------------------------------------------------------------
+    def apply_spill(self, mapping: Mapping) -> Mapping:
+        """Demote overflowing slots along the priority list (§3.1).
+
+        Slots are considered in program order of their first use; a slot
+        that does not fit in its mapped memory kind is demoted — for the
+        *whole kind*, keeping the factored-space invariant that all
+        launches of a kind share one decision — to the next addressable
+        memory kind.  Raises :class:`OOMError` when no kind fits.
+        """
+        demoted: Dict[Tuple[str, int], MemKind] = {}
+        current = mapping
+        # Iterate to a fixed point: each pass re-walks program order with
+        # the demotions applied; at most (kinds x slots x kinds) passes.
+        for _ in range(1 + sum(k.num_slots for k in self.graph.task_kinds) * 2):
+            acc = _FootprintAccumulator(self.machine)
+            retry = False
+            for launch in self.graph.launches:
+                decision = current.decision(launch.kind.name)
+                placements = self._placer.place_launch(launch, decision)
+                for placement in placements:
+                    for slot_index, mem in enumerate(placement.mems):
+                        lo, hi = launch.shard_interval(
+                            slot_index, placement.point, for_write=False
+                        )
+                        root = launch.args[slot_index].root
+                        assert root is not None
+                        if hi <= lo:
+                            continue
+                        if acc.would_fit(mem.uid, root, lo, hi):
+                            acc.add(mem.uid, root, lo, hi)
+                            continue
+                        # Demote this slot to the next preference kind.
+                        next_kind = self._next_kind(
+                            decision.proc_kind, decision.mem_kinds[slot_index]
+                        )
+                        if next_kind is None:
+                            raise OOMError(
+                                f"no memory kind can hold "
+                                f"{launch.kind.name}[{slot_index}] "
+                                f"({format_bytes(hi - lo)} shard in "
+                                f"{mem.uid})"
+                            )
+                        demoted[(launch.kind.name, slot_index)] = next_kind
+                        current = current.with_mem(
+                            launch.kind.name, slot_index, next_kind
+                        )
+                        retry = True
+                        break
+                    if retry:
+                        break
+                if retry:
+                    break
+            if not retry:
+                return current
+        raise OOMError("spill fallback failed to converge")
+
+    def _next_kind(
+        self, proc_kind, mem_kind: MemKind
+    ) -> Optional[MemKind]:
+        """Next memory kind after ``mem_kind`` in the processor's
+        preference order that exists on this machine."""
+        order = [
+            mk
+            for mk in addressable_mem_kinds(proc_kind)
+            if mk in self.machine.mem_kinds()
+        ]
+        try:
+            index = order.index(mem_kind)
+        except ValueError:
+            return order[0] if order else None
+        if index + 1 < len(order):
+            return order[index + 1]
+        return None

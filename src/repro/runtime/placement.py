@@ -1,0 +1,112 @@
+"""Deterministic concrete placement of point tasks and instances.
+
+AutoMap factors the mapping problem into a search over *kinds* plus
+"runtime logic to select specific processors/memories of the appropriate
+kind" (paper §3.2).  This module is that runtime logic:
+
+* a **distributed** group launch is decomposed blocked across machine
+  nodes (point ``i`` of ``S`` goes to node ``i·N//S``); a non-distributed
+  launch runs entirely on the leader node 0 (paper §3.1);
+* within its node, a point task is assigned round-robin over the concrete
+  processors of the mapped kind;
+* each collection argument is instantiated "in the memory of the desired
+  kind that is closest to the selected processor" (§3.2) — the GPU's own
+  frame buffer, the CPU's own socket's System memory, the node's
+  Zero-Copy pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.machine.kinds import MemKind, ProcKind
+from repro.machine.model import Machine, Memory, Processor
+from repro.mapping.decision import MappingDecision
+from repro.taskgraph.task import TaskLaunch
+
+__all__ = ["PointPlacement", "Placer"]
+
+
+@dataclass(frozen=True)
+class PointPlacement:
+    """Concrete placement of one point task of a launch."""
+
+    point: int
+    proc: Processor
+    mems: Tuple[Memory, ...]  # one per argument slot
+
+
+class Placer:
+    """Maps (launch, decision) pairs to concrete point placements."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self._procs_by_kind_node: Dict[Tuple[ProcKind, int], List[Processor]] = {}
+        for kind in machine.proc_kinds():
+            for node in range(machine.num_nodes):
+                procs = machine.processors_of_kind(kind, node)
+                self._procs_by_kind_node[(kind, node)] = procs
+        self._closest_cache: Dict[Tuple[str, MemKind], Memory] = {}
+
+    def _closest(self, proc: Processor, kind: MemKind) -> Memory:
+        key = (proc.uid, kind)
+        mem = self._closest_cache.get(key)
+        if mem is None:
+            found = self.machine.closest_memory(proc, kind)
+            if found is None:
+                raise ValueError(
+                    f"processor {proc.uid} cannot address any "
+                    f"{kind.value} memory (invalid mapping reached the "
+                    f"placer; validate first)"
+                )
+            mem = found
+            self._closest_cache[key] = mem
+        return mem
+
+    def node_of_point(self, launch: TaskLaunch, decision: MappingDecision, point: int) -> int:
+        """Node index executing the given point task (blocked split)."""
+        if not decision.distribute:
+            return 0
+        return point * self.machine.num_nodes // launch.size
+
+    def place_launch(
+        self, launch: TaskLaunch, decision: MappingDecision
+    ) -> List[PointPlacement]:
+        """Concrete placements for every point task of ``launch``.
+
+        Deterministic: same inputs always yield identical placements, so
+        repeated evaluations of one mapping measure the same execution
+        (the paper's run-to-run variation comes from the machine, modelled
+        separately by the noise layer).
+        """
+        placements: List[PointPlacement] = []
+        rr_counters: Dict[int, int] = {}
+        for point in range(launch.size):
+            node = self.node_of_point(launch, decision, point)
+            procs = self._procs_by_kind_node.get((decision.proc_kind, node), [])
+            if not procs:
+                raise ValueError(
+                    f"no {decision.proc_kind.value} processors on node {node}"
+                )
+            index = rr_counters.get(node, 0)
+            rr_counters[node] = index + 1
+            proc = procs[index % len(procs)]
+            mems = tuple(
+                self._closest(proc, mem_kind)
+                for mem_kind in decision.mem_kinds
+            )
+            placements.append(PointPlacement(point=point, proc=proc, mems=mems))
+        return placements
+
+    @staticmethod
+    def shard_interval(
+        launch: TaskLaunch,
+        slot_index: int,
+        point: int,
+        for_write: bool = False,
+    ) -> Tuple[int, int]:
+        """Byte interval accessed by one point task through one slot —
+        delegates to :meth:`repro.taskgraph.task.TaskLaunch.shard_interval`
+        (halo/strip patterns included)."""
+        return launch.shard_interval(slot_index, point, for_write=for_write)

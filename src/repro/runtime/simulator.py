@@ -1,0 +1,137 @@
+"""The simulator facade: validate → capacity-check → execute → (noise).
+
+:class:`Simulator` is the runtime stand-in the rest of the system talks
+to.  It combines mapping validation (constraint 1), the memory planner
+(OOM / spill), the deterministic executor, and the noise model, and it
+memoises deterministic results per mapping so that AutoMap's repeated
+measurements of one mapping (7 during search, 31 for final reporting)
+cost one execution plus cheap noise draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.machine.model import Machine
+from repro.mapping.mapping import Mapping
+from repro.mapping.validate import MappingError, validate
+from repro.runtime.executor import ExecutionReport, Executor
+from repro.runtime.memory import MemoryPlanner, OOMError
+from repro.runtime.noise import NoiseModel
+from repro.taskgraph.graph import TaskGraph
+
+__all__ = ["SimConfig", "SimResult", "Simulator", "OOMError"]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Simulator configuration.
+
+    Attributes
+    ----------
+    noise_sigma:
+        Log-space σ of run-to-run noise (0 disables noise).
+    seed:
+        Root seed of the noise stream.
+    spill:
+        When True, mappings whose instances overflow a memory are
+        demoted along the priority list (§3.1) instead of failing —
+        the behaviour of the default mapper's "collections that fit".
+        When False, overflow raises :class:`OOMError` — the behaviour
+        AutoMap's search relies on in the memory-constrained
+        experiments (§5.2).
+    """
+
+    noise_sigma: float = 0.04
+    seed: int = 0
+    spill: bool = False
+
+
+@dataclass
+class SimResult:
+    """Result of simulating one mapping."""
+
+    #: Deterministic makespan in seconds (no noise).
+    makespan: float
+    #: The mapping actually executed (differs from the requested one when
+    #: spill demotions were applied).
+    executed_mapping: Mapping
+    report: ExecutionReport
+    #: Noisy measurement samples, when requested.
+    samples: List[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            return self.makespan
+        return sum(self.samples) / len(self.samples)
+
+
+class Simulator:
+    """Runs mappings of one task graph on one machine."""
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        machine: Machine,
+        config: Optional[SimConfig] = None,
+    ) -> None:
+        self.graph = graph
+        self.machine = machine
+        self.config = config or SimConfig()
+        self.noise = NoiseModel(self.config.noise_sigma, self.config.seed)
+        self._executor = Executor(graph, machine)
+        self._planner = MemoryPlanner(graph, machine)
+        self._cache: Dict[tuple, SimResult] = {}
+        #: Deterministic executions performed (cache misses) — used by
+        #: search-efficiency statistics.
+        self.executions = 0
+
+    # ------------------------------------------------------------------
+    def run(self, mapping: Mapping, runs: int = 0) -> SimResult:
+        """Simulate ``mapping``; optionally draw ``runs`` noisy samples.
+
+        Raises
+        ------
+        MappingError
+            If the mapping violates addressability/variant constraints.
+        OOMError
+            If instances overflow a memory and spill is disabled.
+        """
+        validate(self.graph, self.machine, mapping)
+        key = mapping.key()
+        cached = self._cache.get(key)
+        if cached is None:
+            executed = mapping
+            if self.config.spill:
+                executed = self._planner.apply_spill(mapping)
+            else:
+                self._planner.ensure_fits(mapping)
+            report = self._executor.run(executed)
+            cached = SimResult(
+                makespan=report.makespan,
+                executed_mapping=executed,
+                report=report,
+            )
+            self._cache[key] = cached
+            self.executions += 1
+        if runs > 0:
+            samples = self.noise.samples(cached.makespan, key, runs)
+        else:
+            samples = []
+        return SimResult(
+            makespan=cached.makespan,
+            executed_mapping=cached.executed_mapping,
+            report=cached.report,
+            samples=samples,
+        )
+
+    # ------------------------------------------------------------------
+    def memory_demand(self, mapping: Mapping):
+        """Static footprint report for ``mapping`` (no execution)."""
+        validate(self.graph, self.machine, mapping)
+        return self._planner.check(mapping)
+
+    def clear_cache(self) -> None:
+        self._cache.clear()

@@ -1,0 +1,50 @@
+"""Search algorithms over the mapping space (paper §4).
+
+AutoMap's driver treats search algorithms as pluggable components.  This
+package implements:
+
+- :class:`~repro.search.cd.CoordinateDescent` — Algorithm 1 without the
+  co-location line (§4.1);
+- :class:`~repro.search.ccd.ConstrainedCoordinateDescent` — the paper's
+  contribution: rotations over CD with co-location constraints on
+  overlapping collections, relaxed by edge pruning (§4.2, Algorithms 1+2);
+- :class:`~repro.search.ensemble.EnsembleTuner` — an OpenTuner-style
+  generic tuner: ensembles of techniques under a multi-armed bandit, no
+  support for constrained spaces (§4.3);
+- :class:`~repro.search.random_search.RandomSearch` and
+  :class:`~repro.search.exhaustive.ExhaustiveSearch` — baselines used in
+  tests and ablations.
+
+All algorithms speak to an evaluation *oracle*
+(:class:`~repro.search.base.Oracle`) that measures candidate mappings,
+deduplicates repeats, rejects invalid mappings with a high value, and
+enforces the time/evaluation budget.
+"""
+
+from repro.search.base import (
+    EvalOutcome,
+    Oracle,
+    SearchAlgorithm,
+    SearchResult,
+    TracePoint,
+)
+from repro.search.cd import CoordinateDescent
+from repro.search.ccd import ConstrainedCoordinateDescent
+from repro.search.colocation import apply_colocation_constraints
+from repro.search.ensemble import EnsembleTuner
+from repro.search.random_search import RandomSearch
+from repro.search.exhaustive import ExhaustiveSearch
+
+__all__ = [
+    "Oracle",
+    "EvalOutcome",
+    "SearchAlgorithm",
+    "SearchResult",
+    "TracePoint",
+    "CoordinateDescent",
+    "ConstrainedCoordinateDescent",
+    "apply_colocation_constraints",
+    "EnsembleTuner",
+    "RandomSearch",
+    "ExhaustiveSearch",
+]

@@ -1,0 +1,95 @@
+"""Multi-armed bandit meta-controller for the ensemble tuner.
+
+OpenTuner allocates trials among its techniques with an area-under-curve
+credit-assignment bandit: "techniques that find better mappings have a
+larger budget to select the subsequent mappings for evaluation, while the
+ones that perform poorly evaluate fewer mappings" (paper §4.3).  This is
+the same mechanism: each arm keeps a sliding window of use outcomes
+(did the suggestion produce a new global best?), scored by a
+recency-weighted AUC plus a UCB-style exploration bonus.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from math import log, sqrt
+from typing import Deque, Dict, List, Sequence
+
+__all__ = ["AUCBandit"]
+
+
+@dataclass
+class _Arm:
+    name: str
+    window: Deque[bool] = field(default_factory=deque)
+    uses: int = 0
+
+    def auc(self) -> float:
+        """Recency-weighted fraction of window uses that improved the
+        global best: newer successes count more."""
+        if not self.window:
+            return 0.0
+        num = 0.0
+        den = 0.0
+        for i, improved in enumerate(self.window):
+            weight = i + 1.0
+            den += weight
+            if improved:
+                num += weight
+        return num / den
+
+
+class AUCBandit:
+    """Sliding-window AUC bandit over a fixed set of arms."""
+
+    def __init__(
+        self,
+        arms: Sequence[str],
+        window_size: int = 100,
+        exploration: float = 0.05,
+    ) -> None:
+        if not arms:
+            raise ValueError("bandit needs at least one arm")
+        if len(set(arms)) != len(arms):
+            raise ValueError("arm names must be unique")
+        self.window_size = window_size
+        self.exploration = exploration
+        self._arms: Dict[str, _Arm] = {name: _Arm(name) for name in arms}
+        self._total_uses = 0
+
+    # ------------------------------------------------------------------
+    def select(self) -> str:
+        """The arm with the highest AUC + exploration score.  Unused arms
+        are always tried first (in declaration order)."""
+        for arm in self._arms.values():
+            if arm.uses == 0:
+                return arm.name
+        total = max(1, self._total_uses)
+
+        def score(arm: _Arm) -> float:
+            bonus = self.exploration * sqrt(2.0 * log(total) / arm.uses)
+            return arm.auc() + bonus
+
+        best_name = None
+        best_score = float("-inf")
+        for name, arm in self._arms.items():
+            s = score(arm)
+            if s > best_score:
+                best_name, best_score = name, s
+        assert best_name is not None
+        return best_name
+
+    def report(self, arm_name: str, improved: bool) -> None:
+        """Record the outcome of one use of an arm."""
+        arm = self._arms[arm_name]
+        arm.uses += 1
+        self._total_uses += 1
+        arm.window.append(improved)
+        while len(arm.window) > self.window_size:
+            arm.window.popleft()
+
+    # ------------------------------------------------------------------
+    def usage(self) -> Dict[str, int]:
+        """Uses per arm (for reports and tests)."""
+        return {name: arm.uses for name, arm in self._arms.items()}

@@ -1,0 +1,161 @@
+"""Shared search-algorithm interfaces.
+
+The oracle abstraction mirrors the paper's architecture (Figure 4): the
+*driver* owns the search algorithm and the profiles database; algorithms
+only propose mappings and observe measured performance.  The oracle
+contract encodes three behaviours every algorithm relies on:
+
+* **deduplication** — re-suggesting an already-measured mapping returns
+  the recorded result without a new execution (§5.3 distinguishes
+  mappings *suggested* from mappings *evaluated*);
+* **invalid-mapping rejection** — mappings violating addressability are
+  *not* executed; the oracle "returns a high value ... so it does not
+  suggest similar mappings in the future" (§4.3);
+* **failure reporting** — valid mappings may still fail (out-of-memory);
+  the search "detect[s] when a mapping results in an out of memory error
+  and mov[es] on to a different mapping" (§5.2).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, runtime_checkable
+
+from repro.mapping.mapping import Mapping
+from repro.mapping.space import SearchSpace
+from repro.util.rng import RngStream
+
+__all__ = [
+    "INFEASIBLE",
+    "EvalOutcome",
+    "Oracle",
+    "TracePoint",
+    "SearchResult",
+    "SearchAlgorithm",
+]
+
+#: Performance value reported for invalid / failed mappings — "a high
+#: value" in the paper's words.  Finite so generic tuners can still rank.
+INFEASIBLE = 1e30
+
+
+@dataclass(frozen=True)
+class EvalOutcome:
+    """The oracle's verdict on one suggested mapping."""
+
+    #: Measured performance (mean over the oracle's repeated runs), or
+    #: :data:`INFEASIBLE` for invalid/failed mappings.  Lower is better.
+    performance: float
+    #: True when the mapping violated validity constraints (never run).
+    invalid: bool = False
+    #: True when the mapping ran and failed (e.g. out of memory).
+    failed: bool = False
+    #: True when this result came from the profiles database (dedup).
+    cached: bool = False
+    #: Optional human-readable reason for invalid/failed outcomes.
+    reason: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not (self.invalid or self.failed)
+
+
+@runtime_checkable
+class Oracle(Protocol):
+    """What a search algorithm may ask of the evaluation machinery."""
+
+    def evaluate(self, mapping: Mapping) -> EvalOutcome:
+        """Measure one mapping (averaged noisy runs, dedup, rejection)."""
+        ...
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the search budget (time or evaluations) is spent."""
+        ...
+
+    def kind_runtimes(self, mapping: Mapping) -> dict:
+        """Profiled busy seconds per task kind under ``mapping`` — the
+        signal CD/CCD use to order tasks by runtime (Alg. 1 line 6)."""
+        ...
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One point of the best-so-far trajectory (Figure 9's axes)."""
+
+    elapsed: float  # seconds since search start
+    evaluations: int  # oracle evaluations so far
+    suggested: int  # mappings suggested so far
+    best_performance: float
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search run."""
+
+    algorithm: str
+    best_mapping: Optional[Mapping]
+    best_performance: float
+    trace: List[TracePoint] = field(default_factory=list)
+    suggested: int = 0
+    evaluated: int = 0
+
+    @property
+    def found(self) -> bool:
+        return (
+            self.best_mapping is not None
+            and self.best_performance < INFEASIBLE
+        )
+
+
+class SearchAlgorithm(abc.ABC):
+    """Base class for mapping-search algorithms."""
+
+    #: Short identifier used in logs and reports (e.g. ``"ccd"``).
+    name: str = "base"
+
+    @abc.abstractmethod
+    def search(
+        self,
+        space: SearchSpace,
+        oracle: Oracle,
+        rng: RngStream,
+        start: Optional[Mapping] = None,
+    ) -> SearchResult:
+        """Run the search until the oracle's budget is exhausted or the
+        algorithm's natural end; returns the best mapping found."""
+
+    # ------------------------------------------------------------------
+    # Helpers shared by concrete algorithms
+    # ------------------------------------------------------------------
+    @staticmethod
+    def ordered_kinds(
+        space: SearchSpace, oracle: Oracle, mapping: Mapping
+    ) -> List[str]:
+        """Task kinds ordered from longest running to shortest under
+        ``mapping`` (Alg. 1 line 6)."""
+        runtimes = oracle.kind_runtimes(mapping)
+        return sorted(
+            space.kind_names(),
+            key=lambda name: (-runtimes.get(name, 0.0), name),
+        )
+
+    @staticmethod
+    def ordered_slots(space: SearchSpace, kind_name: str) -> List[int]:
+        """Slot indices of ``kind_name`` ordered from largest bound
+        collection to smallest (Alg. 1 line 14)."""
+        graph = space.graph
+        sizes = {}
+        for launch in graph.launches_of_kind(kind_name):
+            for index, arg in enumerate(launch.args):
+                sizes[index] = max(sizes.get(index, 0), arg.nbytes)
+        kind = graph.kind(kind_name)
+        return sorted(
+            range(kind.num_slots),
+            key=lambda index: (-sizes.get(index, 0), index),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

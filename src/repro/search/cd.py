@@ -1,0 +1,174 @@
+"""Coordinate-wise descent (paper §4.1; Algorithm 1 without line 17).
+
+CD considers each task in turn — from longest running to shortest — and
+greedily optimises its distribution setting, its processor kind, and the
+memory kind of each collection argument (largest collection first),
+holding every other decision constant and accepting only strict
+improvements.  Its runtime is linear in the number of tasks and
+collection arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.machine.kinds import ADDRESSABLE
+from repro.mapping.mapping import Mapping
+from repro.mapping.space import SearchSpace
+from repro.search.base import (
+    INFEASIBLE,
+    Oracle,
+    SearchAlgorithm,
+    SearchResult,
+)
+from repro.taskgraph.induced import CollectionGraph
+from repro.search.colocation import apply_colocation_constraints
+from repro.util.logging import get_logger, kv
+from repro.util.rng import RngStream
+
+__all__ = ["CoordinateDescent"]
+
+_LOG = get_logger("search.cd")
+
+
+class CoordinateDescent(SearchAlgorithm):
+    """Plain coordinate-wise descent (one unconstrained rotation)."""
+
+    name = "cd"
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        space: SearchSpace,
+        oracle: Oracle,
+        rng: RngStream,
+        start: Optional[Mapping] = None,
+    ) -> SearchResult:
+        current = start if start is not None else space.default_mapping()
+        outcome = oracle.evaluate(current)
+        performance = outcome.performance
+        current, performance = self._rotation(
+            space, oracle, current, performance, colgraph=None
+        )
+        return self._result(oracle, current, performance)
+
+    # ------------------------------------------------------------------
+    # Shared machinery (CCD reuses everything below)
+    # ------------------------------------------------------------------
+    def _rotation(
+        self,
+        space: SearchSpace,
+        oracle: Oracle,
+        current: Mapping,
+        performance: float,
+        colgraph: Optional[CollectionGraph],
+    ) -> Tuple[Mapping, float]:
+        """One full CD pass over all task kinds (Alg. 1 lines 5-7)."""
+        for kind_name in self.ordered_kinds(space, oracle, current):
+            if oracle.exhausted:
+                break
+            current, performance = self._optimize_task(
+                space, oracle, current, performance, kind_name, colgraph
+            )
+        return current, performance
+
+    def _optimize_task(
+        self,
+        space: SearchSpace,
+        oracle: Oracle,
+        current: Mapping,
+        performance: float,
+        kind_name: str,
+        colgraph: Optional[CollectionGraph],
+    ) -> Tuple[Mapping, float]:
+        """OptimizeTask (Alg. 1 lines 10-19); ``colgraph`` enables the
+        co-location constraints of line 17."""
+        dims = space.dims(kind_name)
+
+        # Lines 11-12: the distribution setting.
+        for distribute in dims.distribute_options:
+            if oracle.exhausted:
+                return current, performance
+            candidate = current.with_distribute(kind_name, distribute)
+            current, performance = self._test(
+                oracle, candidate, current, performance
+            )
+
+        # Lines 13-18: processor kind x (collection x memory kind).
+        for proc_kind in dims.proc_options:
+            for slot_index in self.ordered_slots(space, kind_name):
+                for mem_kind in dims.mem_options[proc_kind]:
+                    if oracle.exhausted:
+                        return current, performance
+                    candidate = current.with_proc(kind_name, proc_kind)
+                    candidate = candidate.with_mem(
+                        kind_name, slot_index, mem_kind
+                    )
+                    if colgraph is not None:
+                        candidate = apply_colocation_constraints(
+                            space,
+                            colgraph,
+                            candidate,
+                            kind_name,
+                            slot_index,
+                            proc_kind,
+                            mem_kind,
+                        )
+                    else:
+                        candidate = self._legalize_kind(
+                            space, candidate, kind_name
+                        )
+                    current, performance = self._test(
+                        oracle, candidate, current, performance
+                    )
+        return current, performance
+
+    @staticmethod
+    def _legalize_kind(
+        space: SearchSpace, mapping: Mapping, kind_name: str
+    ) -> Mapping:
+        """After a processor-kind move, reset any slot of the kind whose
+        memory kind the new processor cannot address to the fastest
+        addressable kind (the runtime's deterministic legalisation)."""
+        decision = mapping.decision(kind_name)
+        fastest = space.dims(kind_name).mem_options[decision.proc_kind][0]
+        for slot_index, mem_kind in enumerate(decision.mem_kinds):
+            if (decision.proc_kind, mem_kind) not in ADDRESSABLE:
+                mapping = mapping.with_mem(kind_name, slot_index, fastest)
+        return mapping
+
+    @staticmethod
+    def _test(
+        oracle: Oracle,
+        candidate: Mapping,
+        current: Mapping,
+        performance: float,
+    ) -> Tuple[Mapping, float]:
+        """TestMapping (Alg. 1 lines 20-24): evaluate and keep the
+        candidate only on strict improvement."""
+        outcome = oracle.evaluate(candidate)
+        if outcome.performance < performance:
+            return candidate, outcome.performance
+        return current, performance
+
+    def _result(
+        self, oracle: Oracle, mapping: Mapping, performance: float
+    ) -> SearchResult:
+        result = SearchResult(
+            algorithm=self.name,
+            best_mapping=mapping if performance < INFEASIBLE else None,
+            best_performance=performance,
+            trace=list(getattr(oracle, "trace", [])),
+            suggested=getattr(oracle, "suggested", 0),
+            evaluated=getattr(oracle, "evaluated", 0),
+        )
+        _LOG.info(
+            kv(
+                "search-done",
+                algorithm=self.name,
+                best=performance,
+                suggested=result.suggested,
+                evaluated=result.evaluated,
+            )
+        )
+        return result

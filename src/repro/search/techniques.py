@@ -1,0 +1,150 @@
+"""Search techniques for the ensemble tuner.
+
+Each technique proposes integer vectors in the *unconstrained* encoding
+of the search space (:meth:`repro.mapping.space.SearchSpace.decode`), so
+— like OpenTuner — they can and do propose invalid mappings (e.g. a CPU
+task with a Frame-Buffer argument), which the oracle rejects with a high
+value (paper §4.3).
+
+The ensemble mirrors OpenTuner's stock lineup: pure random, greedy
+mutation of the incumbent, a genetic crossover over an elite population,
+and a cycling pattern search.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.util.rng import RngStream
+
+__all__ = [
+    "TunerState",
+    "Technique",
+    "UniformRandom",
+    "GreedyMutation",
+    "GeneticCrossover",
+    "PatternSearch",
+    "default_techniques",
+]
+
+
+@dataclass
+class TunerState:
+    """Shared tuner state visible to all techniques."""
+
+    dims: List[int]
+    best_vector: Optional[List[int]] = None
+    best_performance: float = float("inf")
+    #: Elite population of (performance, vector), best first, bounded.
+    population: List[Tuple[float, List[int]]] = field(default_factory=list)
+    population_cap: int = 16
+
+    def record(self, vector: List[int], performance: float) -> bool:
+        """Fold a result into the state; returns True on a new global
+        best."""
+        improved = performance < self.best_performance
+        if improved:
+            self.best_performance = performance
+            self.best_vector = list(vector)
+        self.population.append((performance, list(vector)))
+        self.population.sort(key=lambda item: item[0])
+        del self.population[self.population_cap :]
+        return improved
+
+
+class Technique(abc.ABC):
+    """One suggestion strategy inside the ensemble."""
+
+    name: str = "technique"
+
+    @abc.abstractmethod
+    def suggest(self, state: TunerState, rng: RngStream) -> List[int]:
+        """Propose the next vector to measure."""
+
+    @staticmethod
+    def _random_vector(dims: Sequence[int], rng: RngStream) -> List[int]:
+        return [rng.integers(0, max(1, d)) for d in dims]
+
+
+class UniformRandom(Technique):
+    """Uniform random sampling of the unconstrained space."""
+
+    name = "random"
+
+    def suggest(self, state: TunerState, rng: RngStream) -> List[int]:
+        return self._random_vector(state.dims, rng)
+
+
+class GreedyMutation(Technique):
+    """Mutate 1-2 random dimensions of the incumbent best."""
+
+    name = "greedy-mutation"
+
+    def __init__(self, max_mutations: int = 2) -> None:
+        if max_mutations < 1:
+            raise ValueError("max_mutations must be >= 1")
+        self.max_mutations = max_mutations
+
+    def suggest(self, state: TunerState, rng: RngStream) -> List[int]:
+        if state.best_vector is None:
+            return self._random_vector(state.dims, rng)
+        vector = list(state.best_vector)
+        mutations = rng.integers(1, self.max_mutations + 1)
+        for _ in range(mutations):
+            dim = rng.integers(0, len(vector))
+            vector[dim] = rng.integers(0, max(1, state.dims[dim]))
+        return vector
+
+
+class GeneticCrossover(Technique):
+    """Uniform crossover of two elite parents plus one mutation."""
+
+    name = "genetic"
+
+    def suggest(self, state: TunerState, rng: RngStream) -> List[int]:
+        if len(state.population) < 2:
+            return self._random_vector(state.dims, rng)
+        pool = state.population[: max(2, len(state.population) // 2)]
+        a = rng.choice(pool)[1]
+        b = rng.choice(pool)[1]
+        child = [
+            a[i] if rng.uniform() < 0.5 else b[i] for i in range(len(a))
+        ]
+        dim = rng.integers(0, len(child))
+        child[dim] = rng.integers(0, max(1, state.dims[dim]))
+        return child
+
+
+class PatternSearch(Technique):
+    """Cycle through dimensions stepping the incumbent by ±1 (modular)."""
+
+    name = "pattern"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+        self._direction = 1
+
+    def suggest(self, state: TunerState, rng: RngStream) -> List[int]:
+        if state.best_vector is None:
+            return self._random_vector(state.dims, rng)
+        vector = list(state.best_vector)
+        dim = self._cursor % len(vector)
+        cardinality = max(1, state.dims[dim])
+        vector[dim] = (vector[dim] + self._direction) % cardinality
+        # Advance: flip direction each full cycle.
+        self._cursor += 1
+        if self._cursor % len(vector) == 0:
+            self._direction = -self._direction
+        return vector
+
+
+def default_techniques() -> List[Technique]:
+    """The stock OpenTuner-style ensemble."""
+    return [
+        UniformRandom(),
+        GreedyMutation(),
+        GeneticCrossover(),
+        PatternSearch(),
+    ]

@@ -1,0 +1,49 @@
+"""Task-based programming model (paper §2).
+
+Programs are acyclic dependence graphs of *tasks* over named *data
+collections*.  Tasks read/write collections; collections may overlap
+(reference non-disjoint pieces of the same logical data structure, e.g.
+halo regions of a partitioned stencil grid).  Group tasks (index launches)
+are sets of independent point tasks launched in one operation; individual
+tasks are groups of size one (paper §3.1).
+
+Public surface:
+
+- :class:`~repro.taskgraph.collection.Collection` and
+  :func:`~repro.taskgraph.collection.overlap_bytes` — data collections and
+  the overlap relation;
+- :class:`~repro.taskgraph.task.TaskKind` /
+  :class:`~repro.taskgraph.task.TaskLaunch` — task kinds (the unit the
+  mapping ranges over) and their launches;
+- :class:`~repro.taskgraph.graph.TaskGraph` — the dependence graph;
+- :class:`~repro.taskgraph.builder.GraphBuilder` — the fluent public API
+  applications use to express programs;
+- :func:`~repro.taskgraph.induced.induced_collection_graph` — the induced
+  collection graph C used by CCD (paper §4.2).
+"""
+
+from repro.taskgraph.collection import Collection, overlap_bytes
+from repro.taskgraph.task import (
+    ArgSlot,
+    Privilege,
+    ShardPattern,
+    TaskKind,
+    TaskLaunch,
+)
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.builder import GraphBuilder
+from repro.taskgraph.induced import CollectionGraph, induced_collection_graph
+
+__all__ = [
+    "Collection",
+    "overlap_bytes",
+    "Privilege",
+    "ShardPattern",
+    "ArgSlot",
+    "TaskKind",
+    "TaskLaunch",
+    "TaskGraph",
+    "GraphBuilder",
+    "CollectionGraph",
+    "induced_collection_graph",
+]

@@ -1,0 +1,88 @@
+"""Data collections and the overlap relation.
+
+In every task-based system the paper surveys, collections are variations
+of multi-dimensional arrays.  For mapping, only two properties matter:
+the collection's *size in bytes* (capacity and transfer costs) and the
+*overlap relation* between collections (CCD's co-location constraints).
+
+We model each collection as an interval of a named one-dimensional *root*
+index space measured in bytes.  Partitions of a logical array are
+disjoint sub-intervals of the same root; halo/ghost regions are intervals
+that straddle partition boundaries, which is exactly how overlap arises in
+the paper's motivating stencil example ("the halo regions in a partitioned
+stencil computation overlap", §4.2).  Multi-dimensional structure is
+flattened into this byte-interval picture — sufficient because mapping
+decisions never depend on dimensionality, only on sizes and sharing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.util.units import format_bytes
+
+__all__ = ["Collection", "overlap_bytes", "overlapping"]
+
+
+@dataclass(frozen=True)
+class Collection:
+    """A named data collection.
+
+    Attributes
+    ----------
+    name:
+        Unique collection name, e.g. ``"grid_interior_p3"``.
+    nbytes:
+        Size of the collection in bytes.
+    root:
+        Name of the logical data structure this collection is a piece of.
+        Collections with different roots never overlap.  Defaults to the
+        collection's own name (a standalone array).
+    offset:
+        Byte offset of this collection within its root index space.
+    """
+
+    name: str
+    nbytes: int
+    root: Optional[str] = None
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"{self.name}: nbytes must be >= 0")
+        if self.offset < 0:
+            raise ValueError(f"{self.name}: offset must be >= 0")
+        if self.root is None:
+            object.__setattr__(self, "root", self.name)
+
+    @property
+    def interval(self) -> Tuple[int, int]:
+        """Half-open byte interval ``[offset, offset + nbytes)`` within
+        the root index space."""
+        return (self.offset, self.offset + self.nbytes)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}[{format_bytes(self.nbytes)}]"
+
+
+def overlap_bytes(a: Collection, b: Collection) -> int:
+    """Size in bytes of ``a ∩ b``.
+
+    A collection fully overlaps itself.  Distinct collections overlap when
+    they share a root and their byte intervals intersect; the overlap
+    weight is the intersection size, matching the paper's edge weight
+    ``|c1 ∩ c2|`` (§4.2).
+    """
+    if a.name == b.name:
+        return a.nbytes
+    if a.root != b.root:
+        return 0
+    lo = max(a.interval[0], b.interval[0])
+    hi = min(a.interval[1], b.interval[1])
+    return max(0, hi - lo)
+
+
+def overlapping(a: Collection, b: Collection) -> bool:
+    """Whether ``a ∩ b ≠ ∅``."""
+    return overlap_bytes(a, b) > 0

@@ -1,0 +1,136 @@
+"""The induced collection graph C (paper §4.2).
+
+From the dependence graph G we induce a graph over collections where
+``(c1, c2)`` is an edge iff ``c1 ∩ c2 ≠ ∅``, weighted by ``|c1 ∩ c2|``.
+CCD uses C for its co-location constraints, pruning the lightest edges
+after each rotation to gradually relax the data-movement penalty.
+
+Because AutoMap's factored search space makes one memory decision per
+*collection-argument slot* of each task kind (not per concrete
+collection), we lift C to slot granularity: the nodes are
+``(kind_name, slot_index)`` pairs and two slots are connected when any of
+the collections bound to them across launches overlap.  The weight is the
+total overlap in bytes.  This is exactly the structure Algorithm 2's
+overlap map ``O[(t, c)]`` iterates over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.taskgraph.collection import overlap_bytes
+from repro.taskgraph.graph import TaskGraph
+
+__all__ = ["SlotRef", "CollectionGraph", "induced_collection_graph"]
+
+#: A collection-argument slot: (task kind name, slot index).
+SlotRef = Tuple[str, int]
+
+
+class CollectionGraph:
+    """A mutable weighted graph over collection-argument slots.
+
+    Supports the two operations CCD needs: neighbourhood queries (the
+    overlap map O) and pruning the lightest fraction of edges (constraint
+    relaxation between rotations).
+    """
+
+    def __init__(self, edges: Dict[FrozenSet, int]) -> None:
+        # edges: frozenset({slot_a, slot_b}) -> weight (bytes)
+        self._edges: Dict[FrozenSet, int] = {
+            key: int(weight) for key, weight in edges.items() if weight > 0
+        }
+        for key in self._edges:
+            if len(key) != 2:
+                raise ValueError(f"edge must join two distinct slots: {key}")
+        self.original_num_edges = len(self._edges)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def edges(self) -> List[Tuple[SlotRef, SlotRef, int]]:
+        """All edges as sorted ``(a, b, weight)`` triples (deterministic)."""
+        out = []
+        for key, weight in self._edges.items():
+            a, b = sorted(key)
+            out.append((a, b, weight))
+        out.sort()
+        return out
+
+    def weight(self, a: SlotRef, b: SlotRef) -> int:
+        """Edge weight between two slots (0 when absent)."""
+        return self._edges.get(frozenset((a, b)), 0)
+
+    def neighbors(self, slot: SlotRef) -> List[SlotRef]:
+        """Slots currently connected to ``slot``, sorted."""
+        out = []
+        for key in self._edges:
+            if slot in key:
+                (other,) = key - {slot}
+                out.append(other)
+        return sorted(out)
+
+    def connected(self, a: SlotRef, b: SlotRef) -> bool:
+        return frozenset((a, b)) in self._edges
+
+    # ------------------------------------------------------------------
+    def prune_lightest(self, count: int) -> int:
+        """Remove up to ``count`` lightest edges; returns how many were
+        removed.  Ties break deterministically by slot names."""
+        if count <= 0:
+            return 0
+        ranked = sorted(
+            self._edges.items(), key=lambda kv: (kv[1], tuple(sorted(kv[0])))
+        )
+        removed = 0
+        for key, _ in ranked[:count]:
+            del self._edges[key]
+            removed += 1
+        return removed
+
+    def prune_all(self) -> None:
+        """Remove every edge (the fully-relaxed final rotation)."""
+        self._edges.clear()
+
+    def copy(self) -> "CollectionGraph":
+        clone = CollectionGraph(dict(self._edges))
+        clone.original_num_edges = self.original_num_edges
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CollectionGraph(edges={self.num_edges})"
+
+
+def induced_collection_graph(graph: TaskGraph) -> CollectionGraph:
+    """Build the slot-level induced collection graph of ``graph``.
+
+    Two distinct slots are joined when any collections bound to them in
+    any launches overlap; the edge weight accumulates the overlap bytes
+    over all binding pairs, so heavily-shared data (e.g. a collection
+    passed whole to two different kinds every iteration) gets a heavy
+    edge that survives pruning longest.
+    """
+    # Gather the collections bound to each slot across all launches.
+    bound: Dict[SlotRef, Set[str]] = {}
+    for launch in graph.launches:
+        for idx in range(launch.kind.num_slots):
+            bound.setdefault((launch.kind.name, idx), set()).add(
+                launch.args[idx].name
+            )
+
+    slots = sorted(bound)
+    edges: Dict[FrozenSet, int] = {}
+    for i, slot_a in enumerate(slots):
+        colls_a = [graph.collection(name) for name in sorted(bound[slot_a])]
+        for slot_b in slots[i + 1 :]:
+            colls_b = [graph.collection(name) for name in sorted(bound[slot_b])]
+            weight = 0
+            for ca in colls_a:
+                for cb in colls_b:
+                    weight += overlap_bytes(ca, cb)
+            if weight > 0:
+                edges[frozenset((slot_a, slot_b))] = weight
+    return CollectionGraph(edges)

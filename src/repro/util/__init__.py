@@ -1,0 +1,35 @@
+"""Shared utilities for the AutoMap reproduction.
+
+Small, dependency-light helpers used across the machine model, runtime
+simulator, search algorithms, and benchmark applications:
+
+- :mod:`repro.util.rng` — deterministic, forkable random-number streams;
+- :mod:`repro.util.units` — byte/time unit constants and formatting;
+- :mod:`repro.util.logging` — a thin structured-logging layer;
+- :mod:`repro.util.serialization` — JSON helpers for dataclass trees;
+- :mod:`repro.util.timer` — wall-clock timers for search budgeting.
+"""
+
+from repro.util.rng import RngStream, derive_seed
+from repro.util.timer import Stopwatch, Budget
+from repro.util.units import (
+    KIB,
+    MIB,
+    GIB,
+    format_bytes,
+    format_time,
+    parse_bytes,
+)
+
+__all__ = [
+    "RngStream",
+    "derive_seed",
+    "Stopwatch",
+    "Budget",
+    "KIB",
+    "MIB",
+    "GIB",
+    "format_bytes",
+    "format_time",
+    "parse_bytes",
+]

@@ -1,0 +1,60 @@
+"""A thin structured-logging layer.
+
+The library logs through the standard :mod:`logging` module under the
+``repro`` namespace so that downstream users control verbosity with the
+usual knobs.  The helpers here add two conveniences used by the search
+driver: a one-call configuration for scripts, and a key=value event
+formatter so search traces stay grep-able.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any
+
+__all__ = ["get_logger", "configure", "kv"]
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under ``repro``.
+
+    ``get_logger("search.ccd")`` yields the ``repro.search.ccd`` logger.
+    """
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure(level: int = logging.INFO) -> None:
+    """Attach a stderr handler to the ``repro`` root logger (idempotent).
+
+    Intended for scripts and examples; library code never calls this.
+    """
+    root = logging.getLogger(_ROOT_NAME)
+    root.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in root.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        root.addHandler(handler)
+
+
+def kv(event: str, **fields: Any) -> str:
+    """Format a structured log line: ``kv('eval', n=3, t=0.5)`` →
+    ``"eval n=3 t=0.5"``.
+
+    Floats are rendered compactly; strings with spaces are quoted.
+    """
+    parts = [event]
+    for key, value in fields.items():
+        if isinstance(value, float):
+            rendered = f"{value:.6g}"
+        elif isinstance(value, str) and (" " in value or not value):
+            rendered = repr(value)
+        else:
+            rendered = str(value)
+        parts.append(f"{key}={rendered}")
+    return " ".join(parts)

@@ -1,0 +1,75 @@
+"""JSON serialization helpers for dataclass trees and numpy scalars.
+
+The AutoMap driver persists two artifacts: the search-space representation
+file (paper §3.3) and the profiles database.  Both are plain JSON so they
+can be inspected, diffed, and versioned.  These helpers make dataclasses,
+enums, tuples, and numpy scalar types round-trip cleanly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+__all__ = ["to_jsonable", "dump_json", "load_json"]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-encodable primitives.
+
+    Handles dataclasses (as dicts), enums (as their ``value``), numpy
+    scalars and arrays, sets (sorted lists when possible), tuples, and
+    nested containers.  Unknown objects raise ``TypeError`` eagerly so
+    serialization bugs surface at write time, not at read time.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: to_jsonable(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(x) for x in obj.tolist()]
+    if isinstance(obj, dict):
+        out = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                key = str(to_jsonable(key))
+            out[key] = to_jsonable(value)
+        return out
+    if isinstance(obj, (set, frozenset)):
+        items = [to_jsonable(x) for x in obj]
+        try:
+            return sorted(items)
+        except TypeError:
+            return items
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(x) for x in obj]
+    raise TypeError(f"cannot serialize object of type {type(obj).__name__}")
+
+
+def dump_json(obj: Any, path: Union[str, Path], indent: int = 2) -> None:
+    """Serialize ``obj`` to ``path`` as pretty-printed JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(to_jsonable(obj), fh, indent=indent, sort_keys=True)
+        fh.write("\n")
+
+
+def load_json(path: Union[str, Path]) -> Any:
+    """Read a JSON document from ``path``."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        return json.load(fh)

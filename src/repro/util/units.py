@@ -1,0 +1,98 @@
+"""Byte and time unit constants, parsing, and human-readable formatting.
+
+The machine model expresses capacities in bytes and bandwidths in bytes per
+second; the simulator expresses time in seconds.  These helpers keep the
+literals readable (``16 * GIB``) and the reports legible (``"16.0 GiB"``).
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "US",
+    "MS",
+    "format_bytes",
+    "format_time",
+    "format_rate",
+    "parse_bytes",
+]
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+#: One microsecond / millisecond, in seconds.
+US = 1e-6
+MS = 1e-3
+
+_BYTE_SUFFIXES = [("TiB", TIB), ("GiB", GIB), ("MiB", MIB), ("KiB", KIB)]
+
+_PARSE_RE = re.compile(
+    r"^\s*(?P<num>[0-9]*\.?[0-9]+)\s*(?P<unit>[KMGT]i?B|B)?\s*$", re.IGNORECASE
+)
+
+_UNIT_FACTORS = {
+    "b": 1,
+    "kib": KIB,
+    "kb": KIB,
+    "mib": MIB,
+    "mb": MIB,
+    "gib": GIB,
+    "gb": GIB,
+    "tib": TIB,
+    "tb": TIB,
+}
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count with a binary suffix, e.g. ``format_bytes(2**34)
+    == '16.0 GiB'``."""
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for suffix, factor in _BYTE_SUFFIXES:
+        if n >= factor:
+            return f"{sign}{n / factor:.1f} {suffix}"
+    return f"{sign}{n:.0f} B"
+
+
+def parse_bytes(text: str) -> int:
+    """Parse ``"16 GiB"``-style strings into a byte count.
+
+    Decimal suffixes (``GB``) are treated as their binary counterparts —
+    fine for configuration convenience, not for billing.
+    """
+    match = _PARSE_RE.match(text)
+    if match is None:
+        raise ValueError(f"cannot parse byte quantity: {text!r}")
+    num = float(match.group("num"))
+    unit = (match.group("unit") or "B").lower()
+    return int(num * _UNIT_FACTORS[unit])
+
+
+def format_time(seconds: float) -> str:
+    """Render a duration at an appropriate scale (``"1.24 ms"``)."""
+    s = float(seconds)
+    sign = "-" if s < 0 else ""
+    s = abs(s)
+    if s >= 60.0:
+        minutes = int(s // 60)
+        return f"{sign}{minutes}m{s - 60 * minutes:04.1f}s"
+    if s >= 1.0:
+        return f"{sign}{s:.2f} s"
+    if s >= 1e-3:
+        return f"{sign}{s * 1e3:.2f} ms"
+    if s >= 1e-6:
+        return f"{sign}{s * 1e6:.2f} us"
+    return f"{sign}{s * 1e9:.1f} ns"
+
+
+def format_rate(bytes_per_second: float) -> str:
+    """Render a bandwidth (``"900.0 GiB/s"``)."""
+    return f"{format_bytes(bytes_per_second)}/s"

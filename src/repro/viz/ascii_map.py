@@ -1,0 +1,118 @@
+"""ASCII rendering of mappings (Figure 3 style).
+
+Each task kind is shown with its processor kind, distribution setting,
+and per-argument memory kinds; a bar under every collection argument
+shows its size relative to the application's largest collection, exactly
+like the rectangles in the paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.machine.kinds import MemKind
+from repro.mapping.mapping import Mapping
+from repro.taskgraph.graph import TaskGraph
+
+__all__ = ["render_mapping", "render_mapping_diff"]
+
+#: One-letter markers per memory kind (Figure 3 uses colors; we use
+#: letters: Z = Zero-Copy, F = Frame-Buffer, S = System).
+_MEM_MARK = {
+    MemKind.ZERO_COPY: "Z",
+    MemKind.FRAMEBUFFER: "F",
+    MemKind.SYSTEM: "S",
+}
+
+_BAR_WIDTH = 24
+
+
+def _slot_sizes(graph: TaskGraph) -> Dict[tuple, int]:
+    sizes: Dict[tuple, int] = {}
+    for launch in graph.launches:
+        for index, arg in enumerate(launch.args):
+            key = (launch.kind.name, index)
+            sizes[key] = max(sizes.get(key, 0), arg.nbytes)
+    return sizes
+
+
+def _bar(nbytes: int, largest: int) -> str:
+    if largest <= 0:
+        return ""
+    filled = max(1, round(_BAR_WIDTH * nbytes / largest))
+    return "▕" + "█" * filled + " " * (_BAR_WIDTH - filled) + "▏"
+
+
+def render_mapping(
+    graph: TaskGraph,
+    mapping: Mapping,
+    title: Optional[str] = None,
+) -> str:
+    """Render ``mapping`` over ``graph`` as a multi-line string.
+
+    Example output (one kind)::
+
+        stencil                      GPU  distributed
+          out_c        F ▕██████████████████████  ▏ 190.7 MiB
+          in_n         Z ▕█                       ▏ 156.2 KiB
+    """
+    from repro.util.units import format_bytes
+
+    sizes = _slot_sizes(graph)
+    largest = max(sizes.values(), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for kind in graph.task_kinds:
+        if kind.name not in mapping:
+            continue
+        decision = mapping.decision(kind.name)
+        dist = "distributed" if decision.distribute else "leader-node"
+        lines.append(
+            f"{kind.name:<28} {decision.proc_kind.value.upper():<4} {dist}"
+        )
+        for index, slot in enumerate(kind.slots):
+            nbytes = sizes.get((kind.name, index), 0)
+            mark = _MEM_MARK.get(decision.mem_kinds[index], "?")
+            lines.append(
+                f"  {slot.name:<14} {mark} "
+                f"{_bar(nbytes, largest)} {format_bytes(nbytes)}"
+            )
+    lines.append("")
+    lines.append("memory kinds: F = Frame-Buffer, Z = Zero-Copy, S = System")
+    return "\n".join(lines)
+
+
+def render_mapping_diff(
+    graph: TaskGraph, base: Mapping, other: Mapping
+) -> str:
+    """Render only the decisions where ``other`` differs from ``base`` —
+    handy for showing what AutoMap changed relative to the default."""
+    lines: List[str] = []
+    for kind in graph.task_kinds:
+        if kind.name not in base or kind.name not in other:
+            continue
+        a = base.decision(kind.name)
+        b = other.decision(kind.name)
+        if a == b:
+            continue
+        changes = []
+        if a.distribute != b.distribute:
+            changes.append(
+                f"distribute {a.distribute} -> {b.distribute}"
+            )
+        if a.proc_kind != b.proc_kind:
+            changes.append(
+                f"proc {a.proc_kind.value} -> {b.proc_kind.value}"
+            )
+        for index, slot in enumerate(kind.slots):
+            if a.mem_kinds[index] != b.mem_kinds[index]:
+                changes.append(
+                    f"{slot.name}: {a.mem_kinds[index].value} -> "
+                    f"{b.mem_kinds[index].value}"
+                )
+        lines.append(f"{kind.name}: " + "; ".join(changes))
+    if not lines:
+        return "(mappings identical)"
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Aligned text tables for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; :class:`Table` keeps that output aligned and greppable
+without external dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A fixed-column text table.
+
+    >>> t = Table(["input", "speedup"])
+    >>> t.add_row(["n50w200", 2.41])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    input    | speedup
+    ---------+--------
+    n50w200  | 2.41
+    """
+
+    def __init__(
+        self, columns: Sequence[str], float_format: str = "{:.2f}"
+    ) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = [str(c) for c in columns]
+        self.float_format = float_format
+        self._rows: List[List[str]] = []
+
+    def add_row(self, values: Sequence[Any]) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        rendered = []
+        for value in values:
+            if isinstance(value, float):
+                rendered.append(self.float_format.format(value))
+            else:
+                rendered.append(str(value))
+        self._rows.append(rendered)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._rows)
+
+    def render(self, title: Optional[str] = None) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: List[str] = []
+        if title:
+            lines.append(title)
+        header = " | ".join(
+            c.ljust(w) for c, w in zip(self.columns, widths)
+        )
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self._rows:
+            lines.append(
+                " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

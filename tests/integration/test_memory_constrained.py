@@ -1,0 +1,104 @@
+"""Integration tests for §5.2: memory-constrained mappings (Figure 8)."""
+
+import pytest
+
+from repro.apps import PennantApp
+from repro.core import AutoMapDriver, OracleConfig
+from repro.machine import shepard
+from repro.machine.kinds import MemKind
+from repro.mapping import SearchSpace
+from repro.runtime import SimConfig
+from repro.runtime.memory import MemoryPlanner, OOMError
+
+
+def max_fitting_zy(machine, zx=320, lo=1000, hi=500_000):
+    """Largest zy whose all-Frame-Buffer mapping fits (bisection)."""
+    def fits(zy):
+        app = PennantApp(zx, zy, iterations=1)
+        graph = app.graph(machine)
+        planner = MemoryPlanner(graph, machine)
+        try:
+            planner.ensure_fits(app.space(machine).default_mapping())
+            return True
+        except OOMError:
+            return False
+
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if fits(mid):
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return shepard(1)
+
+
+@pytest.fixture(scope="module")
+def max_zy(machine):
+    return max_fitting_zy(machine)
+
+
+class TestMemoryConstrained:
+    def test_oversized_default_fails(self, machine, max_zy):
+        app = PennantApp(320, int(max_zy * 1.013), iterations=1)
+        graph = app.graph(machine)
+        planner = MemoryPlanner(graph, machine)
+        with pytest.raises(OOMError):
+            planner.ensure_fits(app.space(machine).default_mapping())
+
+    def test_all_zero_copy_valid_but_slow(self, machine, max_zy):
+        app = PennantApp(320, int(max_zy * 1.013), iterations=1)
+        graph = app.graph(machine)
+        space = app.space(machine)
+        zc = space.default_mapping()
+        for kind in zc.kind_names():
+            for i in range(zc.decision(kind).num_slots):
+                zc = zc.with_mem(kind, i, MemKind.ZERO_COPY)
+        planner = MemoryPlanner(graph, machine)
+        planner.ensure_fits(zc)  # everything fits in the 60 GB pool
+
+    def test_automap_beats_all_zero_copy_4x(self, machine, max_zy):
+        """Figure 8: AutoMap >= 4x faster than GPU + all-Zero-Copy."""
+        app = PennantApp(320, int(max_zy * 1.013), iterations=1)
+        graph = app.graph(machine)
+        space = app.space(machine)
+        driver = AutoMapDriver(
+            graph,
+            machine,
+            algorithm="ccd",
+            oracle_config=OracleConfig(max_suggestions=6000),
+            sim_config=SimConfig(noise_sigma=0.03, seed=31, spill=False),
+            space=space,
+        )
+        zc = space.default_mapping()
+        for kind in zc.kind_names():
+            for i in range(zc.decision(kind).num_slots):
+                zc = zc.with_mem(kind, i, MemKind.ZERO_COPY)
+        t_zc = driver.measure(zc)
+        report = driver.tune(start=zc)
+        assert report.best_mean * 4 < t_zc
+        # The discovered mapping demotes a subset of slots out of FB.
+        non_fb = report.best_mapping.count_mem(
+            MemKind.ZERO_COPY
+        ) + report.best_mapping.count_mem(MemKind.SYSTEM)
+        assert non_fb > 0
+
+    def test_search_skips_oom_mappings(self, machine, max_zy):
+        """§5.2: the search detects OOM and moves on."""
+        app = PennantApp(320, int(max_zy * 1.013), iterations=1)
+        graph = app.graph(machine)
+        driver = AutoMapDriver(
+            graph,
+            machine,
+            algorithm="cd",
+            oracle_config=OracleConfig(max_suggestions=3000),
+            sim_config=SimConfig(noise_sigma=0.03, seed=31, spill=False),
+        )
+        report = driver.tune()  # starts from the (failing) default
+        assert report.failed_evaluations > 0
+        assert report.best_mapping is not None
+        assert report.best_mean > 0

@@ -1,0 +1,105 @@
+"""Property-based tests for Algorithm 2 (co-location constraints).
+
+The critical invariants: starting from *any* mapping and *any* single
+(task, collection, proc kind, mem kind) move, the propagation terminates
+and returns a mapping satisfying constraint (1) globally, with the
+origin's decision preserved.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import single_node
+from repro.machine.kinds import ADDRESSABLE, MemKind, ProcKind
+from repro.mapping import SearchSpace, is_valid
+from repro.search.colocation import apply_colocation_constraints
+from repro.taskgraph import GraphBuilder, Privilege, induced_collection_graph
+from repro.util.rng import RngStream
+
+_MACHINE = single_node(cpus=4, gpus=1)
+
+
+def _graph():
+    """Overlapping halo partitions shared across three kinds."""
+    b = GraphBuilder("coloc")
+    parts = b.partition("field", nbytes=1 << 20, parts=3, halo_bytes=1 << 14)
+    aux = b.collection("aux", nbytes=1 << 16)
+    k1 = b.task_kind(
+        "k1", slots=[("f", Privilege.READ_WRITE), ("x", Privilege.READ)]
+    )
+    k2 = b.task_kind("k2", slots=[("f", Privilege.READ)])
+    k3 = b.task_kind(
+        "k3", slots=[("f", Privilege.READ), ("x", Privilege.READ_WRITE)]
+    )
+    for p in parts:
+        b.launch(k1, [p, aux], size=2, flops=1e6)
+        b.launch(k2, [p], size=2, flops=1e6)
+        b.launch(k3, [p, aux], size=2, flops=1e6)
+    return b.build()
+
+
+_GRAPH = _graph()
+_SPACE = SearchSpace(_GRAPH, _MACHINE)
+_COLGRAPH = induced_collection_graph(_GRAPH)
+
+_kind_slot = st.sampled_from(
+    [
+        (name, slot)
+        for name in _SPACE.kind_names()
+        for slot in range(_SPACE.dims(name).num_slots)
+    ]
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    origin=_kind_slot,
+    proc=st.sampled_from(list(ProcKind)),
+    mem_index=st.integers(min_value=0, max_value=1),
+)
+def test_colocation_terminates_and_legal(seed, origin, proc, mem_index):
+    kind_name, slot = origin
+    dims = _SPACE.dims(kind_name)
+    if proc not in dims.proc_options:
+        proc = dims.proc_options[0]
+    mem = dims.mem_options[proc][mem_index % len(dims.mem_options[proc])]
+    start = (
+        _SPACE.random_mapping(RngStream(seed))
+        .with_proc(kind_name, proc)
+        .with_mem(kind_name, slot, mem)
+    )
+    out = apply_colocation_constraints(
+        _SPACE, _COLGRAPH.copy(), start, kind_name, slot, proc, mem
+    )
+    # Constraint (1) holds globally.
+    assert is_valid(_GRAPH, _MACHINE, out)
+    # The origin move is preserved.
+    assert out.decision(kind_name).proc_kind is proc
+    assert out.decision(kind_name).mem_kinds[slot] is mem
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    origin=_kind_slot,
+)
+def test_colocation_constraint_two_best_effort(seed, origin):
+    """After propagation, slots overlapping the origin share its memory
+    kind whenever their processor can address it (constraint 2)."""
+    kind_name, slot = origin
+    dims = _SPACE.dims(kind_name)
+    proc = dims.proc_options[0]
+    mem = dims.mem_options[proc][0]
+    start = (
+        _SPACE.random_mapping(RngStream(seed))
+        .with_proc(kind_name, proc)
+        .with_mem(kind_name, slot, mem)
+    )
+    out = apply_colocation_constraints(
+        _SPACE, _COLGRAPH.copy(), start, kind_name, slot, proc, mem
+    )
+    for n_kind, n_slot in _COLGRAPH.neighbors((kind_name, slot)):
+        decision = out.decision(n_kind)
+        if (decision.proc_kind, mem) in ADDRESSABLE:
+            assert decision.mem_kinds[n_slot] is mem

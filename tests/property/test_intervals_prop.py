@@ -1,0 +1,72 @@
+"""Property-based tests for IntervalSet (set-algebra laws)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.intervals import IntervalSet
+
+intervals_st = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=500),
+    ).map(lambda t: (min(t), max(t))),
+    max_size=12,
+)
+
+
+def to_points(s: IntervalSet) -> set:
+    return {x for lo, hi in s for x in range(lo, hi)}
+
+
+@given(intervals_st)
+def test_normalization_preserves_points(raw):
+    s = IntervalSet(raw)
+    expected = {x for lo, hi in raw for x in range(lo, hi)}
+    assert to_points(s) == expected
+
+
+@given(intervals_st)
+def test_disjoint_and_sorted(raw):
+    s = IntervalSet(raw)
+    items = list(s)
+    for (lo1, hi1), (lo2, hi2) in zip(items, items[1:]):
+        assert hi1 < lo2  # disjoint AND non-adjacent after coalescing
+    assert all(lo < hi for lo, hi in items)
+
+
+@given(intervals_st, intervals_st)
+def test_union_is_set_union(raw_a, raw_b):
+    a, b = IntervalSet(raw_a), IntervalSet(raw_b)
+    assert to_points(a.union(b)) == to_points(a) | to_points(b)
+
+
+@given(intervals_st, intervals_st)
+def test_intersection_is_set_intersection(raw_a, raw_b):
+    a, b = IntervalSet(raw_a), IntervalSet(raw_b)
+    assert to_points(a.intersection(b)) == to_points(a) & to_points(b)
+
+
+@given(intervals_st, intervals_st)
+def test_subtract_is_set_difference(raw_a, raw_b):
+    a, b = IntervalSet(raw_a), IntervalSet(raw_b)
+    assert to_points(a.subtract(b)) == to_points(a) - to_points(b)
+
+
+@given(intervals_st, intervals_st)
+def test_total_consistent_with_points(raw_a, raw_b):
+    a, b = IntervalSet(raw_a), IntervalSet(raw_b)
+    assert a.union(b).total == len(to_points(a) | to_points(b))
+
+
+@given(intervals_st, intervals_st)
+def test_partition_identity(raw_a, raw_b):
+    """(a - b) ∪ (a ∩ b) == a."""
+    a, b = IntervalSet(raw_a), IntervalSet(raw_b)
+    rebuilt = a.subtract(b).union(a.intersection(b))
+    assert rebuilt == a
+
+
+@given(intervals_st)
+def test_self_subtract_empty(raw):
+    a = IntervalSet(raw)
+    assert not a.subtract(a)

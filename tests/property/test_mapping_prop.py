@@ -1,0 +1,79 @@
+"""Property-based tests on mappings and the search-space codec."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import single_node
+from repro.machine.kinds import MemKind, ProcKind
+from repro.mapping import SearchSpace, is_valid
+from repro.taskgraph import GraphBuilder, Privilege
+from repro.util.rng import RngStream
+
+_MACHINE = single_node(cpus=4, gpus=1)
+
+
+def _graph():
+    b = GraphBuilder("prop")
+    c1 = b.collection("c1", nbytes=1 << 20)
+    c2 = b.collection("c2", nbytes=1 << 18)
+    k1 = b.task_kind(
+        "k1", slots=[("a", Privilege.READ_WRITE), ("b", Privilege.READ)]
+    )
+    k2 = b.task_kind("k2", slots=[("a", Privilege.READ)])
+    b.launch(k1, [c1, c2], size=2, flops=1e6)
+    b.launch(k2, [c1], size=2, flops=1e6)
+    return b.build()
+
+
+_GRAPH = _graph()
+_SPACE = SearchSpace(_GRAPH, _MACHINE)
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_random_mappings_always_valid(seed):
+    mapping = _SPACE.random_mapping(RngStream(seed))
+    assert is_valid(_GRAPH, _MACHINE, mapping)
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_encode_decode_roundtrip(seed):
+    mapping = _SPACE.random_mapping(RngStream(seed))
+    assert _SPACE.decode(_SPACE.encode(mapping)) == mapping
+
+
+_VECTOR_LEN = len(_SPACE.vector_dims())
+
+
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=1000),
+        min_size=_VECTOR_LEN,
+        max_size=_VECTOR_LEN,
+    )
+)
+def test_decode_total(vector):
+    """Any integer vector decodes into a structurally complete mapping."""
+    mapping = _SPACE.decode(vector)
+    assert set(mapping.kind_names()) == {"k1", "k2"}
+    for name in mapping.kind_names():
+        decision = mapping.decision(name)
+        assert decision.num_slots == _GRAPH.kind(name).num_slots
+
+
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.sampled_from(list(MemKind)),
+    st.integers(min_value=0, max_value=1),
+)
+def test_functional_update_changes_only_target(seed, mem, slot):
+    mapping = _SPACE.random_mapping(RngStream(seed))
+    new = mapping.with_mem("k1", slot, mem)
+    assert new.decision("k2") == mapping.decision("k2")
+    assert new.decision("k1").mem_kinds[slot] is mem
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_mapping_key_is_identity(seed):
+    a = _SPACE.random_mapping(RngStream(seed))
+    b = _SPACE.random_mapping(RngStream(seed))
+    assert a == b and a.key() == b.key() and hash(a) == hash(b)

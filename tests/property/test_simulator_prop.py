@@ -1,0 +1,77 @@
+"""Property-based tests on the simulator's global invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import single_node
+from repro.mapping import SearchSpace
+from repro.runtime import SimConfig, Simulator
+from repro.taskgraph import GraphBuilder, Privilege
+from repro.util.rng import RngStream
+
+_MACHINE = single_node(cpus=4, gpus=1)
+
+
+def _graph():
+    b = GraphBuilder("simprop")
+    parts = b.partition("field", nbytes=1 << 22, parts=2, halo_bytes=1 << 12)
+    out = b.collection("out", nbytes=1 << 20)
+    k1 = b.task_kind("k1", slots=[("f", Privilege.READ_WRITE)])
+    k2 = b.task_kind(
+        "k2", slots=[("f", Privilege.READ), ("o", Privilege.READ_WRITE)]
+    )
+    for _ in range(2):
+        for p in parts:
+            b.launch(k1, [p], size=2, flops=3e7)
+        b.launch(k2, [parts[0], out], size=2, flops=1e7)
+    return b.build()
+
+
+_GRAPH = _graph()
+_SPACE = SearchSpace(_GRAPH, _MACHINE)
+_SIM = Simulator(_GRAPH, _MACHINE, SimConfig(noise_sigma=0.0, spill=True))
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_every_valid_mapping_executes(seed):
+    mapping = _SPACE.random_mapping(RngStream(seed))
+    result = _SIM.run(mapping)
+    assert result.makespan > 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_makespan_bounds(seed):
+    """Makespan >= critical-path compute on the fastest processor and
+    >= the busiest processor's total work (list-scheduling bounds)."""
+    mapping = _SPACE.random_mapping(RngStream(seed))
+    result = _SIM.run(mapping)
+    report = result.report
+    busiest = max(report.proc_busy.values(), default=0.0)
+    assert result.makespan + 1e-12 >= busiest
+    assert result.makespan >= max(report.kind_finish.values()) - 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_deterministic_across_instances(seed):
+    mapping = _SPACE.random_mapping(RngStream(seed))
+    fresh = Simulator(_GRAPH, _MACHINE, SimConfig(noise_sigma=0.0, spill=True))
+    assert fresh.run(mapping).makespan == _SIM.run(mapping).makespan
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=1, max_value=9),
+)
+def test_noise_mean_tracks_base(seed, runs):
+    noisy = Simulator(
+        _GRAPH, _MACHINE, SimConfig(noise_sigma=0.05, seed=3, spill=True)
+    )
+    mapping = _SPACE.random_mapping(RngStream(seed))
+    result = noisy.run(mapping, runs=runs)
+    assert len(result.samples) == runs
+    for sample in result.samples:
+        assert 0.7 * result.makespan < sample < 1.4 * result.makespan

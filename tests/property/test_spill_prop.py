@@ -1,0 +1,76 @@
+"""Property-based tests for the priority-list spill fallback (§3.1)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import single_node
+from repro.mapping import SearchSpace, is_valid
+from repro.runtime.memory import MemoryPlanner, OOMError
+from repro.taskgraph import GraphBuilder, Privilege
+from repro.util.rng import RngStream
+from repro.util.units import MIB
+
+#: Frame buffer sized so that some — but not all — random workloads
+#: overflow it.
+_MACHINE = single_node(
+    cpus=2,
+    gpus=1,
+    framebuffer_capacity=8 * MIB,
+    sysmem_capacity=512 * MIB,
+    zero_copy_capacity=512 * MIB,
+)
+
+
+def _graph(sizes):
+    b = GraphBuilder("spill")
+    colls = [
+        b.collection(f"c{i}", nbytes=size * MIB)
+        for i, size in enumerate(sizes)
+    ]
+    for i, coll in enumerate(colls):
+        kind = b.task_kind(
+            f"k{i}", slots=[("c", Privilege.READ_WRITE)]
+        )
+        b.launch(kind, [coll], size=2, flops=1e6)
+    return b.build()
+
+
+sizes_st = st.lists(
+    st.integers(min_value=1, max_value=12), min_size=1, max_size=6
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(sizes_st, st.integers(min_value=0, max_value=2**31))
+def test_spill_output_always_fits_and_valid(sizes, seed):
+    graph = _graph(sizes)
+    space = SearchSpace(graph, _MACHINE)
+    planner = MemoryPlanner(graph, _MACHINE)
+    mapping = space.random_mapping(RngStream(seed))
+    spilled = planner.apply_spill(mapping)
+    planner.ensure_fits(spilled)  # no OOM
+    assert is_valid(graph, _MACHINE, spilled)
+
+
+@settings(max_examples=50, deadline=None)
+@given(sizes_st, st.integers(min_value=0, max_value=2**31))
+def test_spill_idempotent(sizes, seed):
+    graph = _graph(sizes)
+    space = SearchSpace(graph, _MACHINE)
+    planner = MemoryPlanner(graph, _MACHINE)
+    mapping = space.random_mapping(RngStream(seed))
+    once = planner.apply_spill(mapping)
+    twice = planner.apply_spill(once)
+    assert once == twice
+
+
+@settings(max_examples=50, deadline=None)
+@given(sizes_st)
+def test_spill_noop_when_everything_fits(sizes):
+    small = [max(1, s // 16) for s in sizes]
+    graph = _graph(small)
+    space = SearchSpace(graph, _MACHINE)
+    planner = MemoryPlanner(graph, _MACHINE)
+    mapping = space.default_mapping()
+    if planner.check(mapping).ok:
+        assert planner.apply_spill(mapping) == mapping

@@ -1,0 +1,151 @@
+"""Unit tests for the App spec machinery (repro.apps.base)."""
+
+import pytest
+
+from repro.apps.base import App, KindSpec, RootSpec, SlotSpec
+from repro.machine import lassen, shepard
+from repro.machine.kinds import MemKind, ProcKind
+from repro.taskgraph.task import Privilege, ShardPattern
+
+
+class TinyApp(App):
+    """Minimal concrete app used to exercise the base machinery."""
+
+    name = "tiny"
+
+    def __init__(self, halo_frac=0.1, group_over=None):
+        self.halo_frac = halo_frac
+        self.group_over = group_over
+
+    def roots(self):
+        return [RootSpec("a", 1 << 16), RootSpec("b", 1 << 12)]
+
+    def kinds(self):
+        return [
+            KindSpec(
+                "k1",
+                slots=(
+                    SlotSpec(
+                        "a",
+                        "a",
+                        Privilege.READ_WRITE,
+                        ShardPattern.BLOCK_HALO,
+                        self.halo_frac,
+                    ),
+                    SlotSpec("b", "b", Privilege.READ),
+                ),
+                flops_per_elem=5.0,
+                group_over=self.group_over,
+            ),
+            KindSpec(
+                "k2",
+                slots=(SlotSpec("b", "b", Privilege.READ_WRITE),),
+                flops_per_elem=2.0,
+            ),
+        ]
+
+    def input_label(self):
+        return "tiny"
+
+
+class TestGraphConstruction:
+    def test_launch_count(self):
+        app = TinyApp()
+        app.iterations = 3
+        graph = app.graph(shepard(1))
+        assert len(graph) == 6  # 2 kinds x 3 iterations
+
+    def test_flops_scale_with_work_root(self):
+        graph = TinyApp().graph(shepard(1))
+        k1 = graph.launches_of_kind("k1")[0]
+        k2 = graph.launches_of_kind("k2")[0]
+        assert k1.flops == 5.0 * (1 << 16) // 1 * 1.0
+        assert k2.flops == 2.0 * (1 << 12)
+
+    def test_halo_bytes_from_fraction(self):
+        app = TinyApp(halo_frac=0.25)
+        machine = shepard(1)
+        graph = app.graph(machine)
+        kind = graph.kind("k1")
+        share = (1 << 16) * 8 // app.parts(machine)
+        assert kind.slots[0].halo_bytes == int(share * 0.25)
+
+    def test_group_over_gpus_uses_gpu_count(self):
+        app = TinyApp(group_over="gpus")
+        machine = lassen(1)  # 4 GPUs
+        graph = app.graph(machine)
+        k1 = graph.launches_of_kind("k1")[0]
+        k2 = graph.launches_of_kind("k2")[0]
+        assert k1.size == 4
+        assert k2.size == app.parts(machine)
+
+    def test_group_over_gpus_halo_share(self):
+        """Halo widths must follow the kind's own group size (a
+        regression for the parts/gpus mismatch)."""
+        app = TinyApp(halo_frac=0.5, group_over="gpus")
+        machine = lassen(1)
+        graph = app.graph(machine)
+        kind = graph.kind("k1")
+        share = (1 << 16) * 8 // 4  # gpus, not parts
+        assert kind.slots[0].halo_bytes == int(share * 0.5)
+
+    def test_parts_scale_with_machine(self):
+        app = TinyApp()
+        assert app.parts(shepard(2)) == 2 * app.parts(shepard(1))
+
+
+class TestSpecValidation:
+    def test_unknown_root_rejected(self):
+        class Bad(TinyApp):
+            def kinds(self):
+                return [
+                    KindSpec(
+                        "k",
+                        slots=(SlotSpec("x", "ghost_root"),),
+                    )
+                ]
+
+        with pytest.raises(ValueError, match="unknown root"):
+            Bad().graph(shepard(1))
+
+    def test_unknown_work_root_rejected(self):
+        class Bad(TinyApp):
+            def kinds(self):
+                return [
+                    KindSpec(
+                        "k",
+                        slots=(SlotSpec("a", "a"),),
+                        work_root="ghost",
+                    )
+                ]
+
+        with pytest.raises(ValueError, match="work root"):
+            Bad().graph(shepard(1))
+
+    def test_duplicate_roots_rejected(self):
+        class Bad(TinyApp):
+            def roots(self):
+                return [RootSpec("a", 1), RootSpec("a", 2)]
+
+        with pytest.raises(ValueError, match="duplicate root"):
+            Bad().graph(shepard(1))
+
+
+class TestDecideHelper:
+    def test_decide_by_slot_name(self):
+        app = TinyApp()
+        machine = shepard(1)
+        mapping = app.default_mapping(machine)
+        new = app._decide(
+            mapping,
+            "k1",
+            proc=ProcKind.CPU,
+            mems={"a": MemKind.SYSTEM, "b": MemKind.ZERO_COPY},
+            distribute=False,
+        )
+        decision = new.decision("k1")
+        assert decision.proc_kind is ProcKind.CPU
+        assert decision.mem_kinds == (MemKind.SYSTEM, MemKind.ZERO_COPY)
+        assert decision.distribute is False
+        # Untouched kind unchanged.
+        assert new.decision("k2") == mapping.decision("k2")

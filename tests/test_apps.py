@@ -1,0 +1,235 @@
+"""Unit tests for the five benchmark applications."""
+
+import pytest
+
+from repro.apps import (
+    APP_REGISTRY,
+    CircuitApp,
+    HTRApp,
+    MaestroApp,
+    PennantApp,
+    StencilApp,
+    make_app,
+)
+from repro.machine import lassen, shepard
+from repro.machine.kinds import MemKind, ProcKind
+from repro.mapping import is_valid
+from repro.runtime import SimConfig, Simulator
+
+
+ALL_APPS = [
+    CircuitApp(nodes=200, wires=800),
+    StencilApp(nx=500, ny=500),
+    PennantApp(zx=320, zy=90),
+    HTRApp(x=8, y=8, z=9),
+    MaestroApp(lf_count=4, lf_res=16, hf_res=32),
+]
+
+
+class TestFigure5Inventory:
+    """The task/argument counts and space sizes of Figure 5."""
+
+    @pytest.mark.parametrize(
+        "app,tasks,args",
+        [
+            (CircuitApp(), 3, 15),
+            (StencilApp(), 2, 12),
+            (PennantApp(), 31, 97),
+            (HTRApp(), 28, 72),
+            (MaestroApp(), 13, 30),
+        ],
+        ids=["circuit", "stencil", "pennant", "htr", "maestro"],
+    )
+    def test_counts(self, app, tasks, args):
+        assert app.num_tasks() == tasks
+        assert app.num_collection_arguments() == args
+
+    @pytest.mark.parametrize(
+        "app,lo,hi",
+        [
+            (CircuitApp(), 14, 24),
+            (StencilApp(), 10, 20),
+            (PennantApp(), 110, 150),
+            (HTRApp(), 85, 115),
+            (MaestroApp(), 35, 50),
+        ],
+        ids=["circuit", "stencil", "pennant", "htr", "maestro"],
+    )
+    def test_space_size_order(self, app, lo, hi):
+        space = app.space(shepard(1))
+        assert lo <= space.log2_size() <= hi
+
+
+@pytest.mark.parametrize("app", ALL_APPS, ids=lambda a: a.name)
+class TestAppGraphs:
+    def test_graph_builds_and_is_acyclic(self, app):
+        graph = app.graph(shepard(1))
+        assert len(graph.topological_order()) == len(graph)
+
+    def test_mappings_valid(self, app):
+        machine = shepard(1)
+        graph = app.graph(machine)
+        assert is_valid(graph, machine, app.default_mapping(machine))
+        assert is_valid(graph, machine, app.custom_mapping(machine))
+
+    def test_default_mapping_executes(self, app):
+        machine = shepard(1)
+        graph = app.graph(machine)
+        sim = Simulator(graph, machine, SimConfig(noise_sigma=0, spill=True))
+        result = sim.run(app.default_mapping(machine))
+        assert result.makespan > 0
+
+    def test_custom_mapping_executes(self, app):
+        machine = shepard(1)
+        graph = app.graph(machine)
+        sim = Simulator(graph, machine, SimConfig(noise_sigma=0, spill=True))
+        result = sim.run(app.custom_mapping(machine))
+        assert result.makespan > 0
+
+    def test_multi_node_graph_scales_parts(self, app):
+        g1 = app.graph(shepard(1))
+        g2 = app.graph(shepard(2))
+        assert sum(t.size for t in g2.launches) >= sum(
+            t.size for t in g1.launches
+        )
+
+
+class TestCircuit:
+    def test_label(self):
+        assert CircuitApp(50, 200).input_label() == "n50w200"
+
+    def test_bigger_input_slower(self):
+        machine = shepard(1)
+        small = CircuitApp(50, 200)
+        big = CircuitApp(12800, 51200)
+        t_small = Simulator(
+            small.graph(machine), machine, SimConfig(noise_sigma=0)
+        ).run(small.default_mapping(machine))
+        t_big = Simulator(
+            big.graph(machine), machine, SimConfig(noise_sigma=0)
+        ).run(big.default_mapping(machine))
+        assert t_big.makespan > t_small.makespan
+
+    def test_custom_uses_zero_copy_ghosts(self):
+        machine = shepard(1)
+        mapping = CircuitApp().custom_mapping(machine)
+        assert mapping.count_mem(MemKind.ZERO_COPY) >= 3
+
+
+class TestStencil:
+    def test_label(self):
+        assert StencilApp(2000, 1000).input_label() == "2000x1000"
+
+    def test_custom_equals_default(self):
+        machine = shepard(1)
+        app = StencilApp()
+        assert app.custom_mapping(machine) == app.default_mapping(machine)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            StencilApp(nx=4, ny=4)
+
+
+class TestPennant:
+    def test_label(self):
+        assert PennantApp(320, 46080).input_label() == "320x46080"
+
+    def test_point_arrays_shared_across_pieces(self):
+        from repro.taskgraph import induced_collection_graph
+
+        graph = PennantApp(320, 90).graph(shepard(1))
+        C = induced_collection_graph(graph)
+        assert C.num_edges > 10  # rich co-location structure
+
+
+class TestHTR:
+    def test_label(self):
+        assert HTRApp(8, 8, 9).input_label() == "8x8y9z"
+
+    def test_q_heavily_shared(self):
+        from repro.taskgraph import induced_collection_graph
+
+        graph = HTRApp(8, 8, 9).graph(shepard(1))
+        C = induced_collection_graph(graph)
+        q_slots = [
+            (kind.name, i)
+            for kind in graph.task_kinds
+            for i, _slot in enumerate(kind.slots)
+            if graph.launches_of_kind(kind.name)[0].args[i].name == "Q"
+        ]
+        # Q's slots form a big connected cluster.
+        sample = q_slots[0]
+        assert len(C.neighbors(sample)) >= 10
+
+
+class TestMaestro:
+    def test_hf_kinds_fixed(self):
+        machine = lassen(1)
+        app = MaestroApp(lf_count=4, lf_res=16, hf_res=32)
+        space = app.space(machine)
+        assert "hf_flux" not in space.kind_names()
+        assert all(k.startswith("lf_") for k in space.kind_names())
+
+    def test_hf_alone_excludes_lf(self):
+        machine = lassen(1)
+        alone = MaestroApp(lf_count=4, lf_res=16, hf_res=32).hf_alone()
+        graph = alone.graph(machine)
+        assert all(
+            t.kind.name.startswith("hf_") for t in graph.launches
+        )
+
+    def test_hf_metric_below_makespan(self):
+        machine = lassen(1)
+        app = MaestroApp(lf_count=4, lf_res=16, hf_res=32)
+        graph = app.graph(machine)
+        sim = Simulator(graph, machine, SimConfig(noise_sigma=0, spill=True))
+        result = sim.run(app.space(machine).default_mapping())
+        assert 0 < MaestroApp.hf_metric(result.report) <= result.makespan
+
+    def test_strategies_differ(self):
+        machine = lassen(1)
+        app = MaestroApp(lf_count=4, lf_res=16, hf_res=32)
+        cpu = app.strategy_cpu_system(machine)
+        gpu = app.strategy_gpu_zero_copy(machine)
+        assert cpu != gpu
+        assert cpu.decision("lf_update").proc_kind is ProcKind.CPU
+        assert gpu.decision("lf_update").proc_kind is ProcKind.GPU
+        # HF decisions identical in both (fixed).
+        assert cpu.decision("hf_flux") == gpu.decision("hf_flux")
+
+    def test_interference_slows_hf(self):
+        machine = lassen(1)
+        app = MaestroApp(lf_count=8, lf_res=32, hf_res=64)
+        alone = app.hf_alone()
+        sim_alone = Simulator(
+            alone.graph(machine), machine, SimConfig(noise_sigma=0, spill=True)
+        )
+        t_alone = MaestroApp.hf_metric(
+            sim_alone.run(alone.space(machine).default_mapping()).report
+        )
+        sim = Simulator(
+            app.graph(machine), machine, SimConfig(noise_sigma=0, spill=True)
+        )
+        t_with = MaestroApp.hf_metric(
+            sim.run(app.strategy_gpu_zero_copy(machine)).report
+        )
+        assert t_with > t_alone
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(APP_REGISTRY) == {
+            "circuit",
+            "stencil",
+            "pennant",
+            "htr",
+            "maestro",
+        }
+
+    def test_make_app_kwargs(self):
+        app = make_app("stencil", nx=600, ny=300)
+        assert app.input_label() == "600x300"
+
+    def test_make_app_unknown(self):
+        with pytest.raises(ValueError):
+            make_app("linpack")

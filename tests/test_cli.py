@@ -1,0 +1,80 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, parse_app_input
+
+
+class TestParseAppInput:
+    @pytest.mark.parametrize(
+        "app,label,expected",
+        [
+            ("circuit", "n50w200", {"nodes": 50, "wires": 200}),
+            ("stencil", "1000x500", {"nx": 1000, "ny": 500}),
+            ("pennant", "320x90", {"zx": 320, "zy": 90}),
+            ("htr", "8x8y9z", {"x": 8, "y": 8, "z": 9}),
+            ("maestro", "16x32", {"lf_count": 16, "lf_res": 32}),
+        ],
+    )
+    def test_labels(self, app, label, expected):
+        assert parse_app_input(app, label) == expected
+
+    def test_none_keeps_defaults(self):
+        assert parse_app_input("pennant", None) == {}
+
+    def test_bad_label_exits(self):
+        with pytest.raises(SystemExit):
+            parse_app_input("htr", "320x90")
+
+
+class TestParser:
+    def test_tune_defaults(self):
+        args = build_parser().parse_args(
+            ["tune", "--app", "stencil"]
+        )
+        assert args.algorithm == "ccd"
+        assert args.machine == "shepard"
+        assert args.nodes == 1
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "--app", "linpack"])
+
+
+class TestCommands:
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "shepard" in out and "lassen" in out
+
+    def test_inspect(self, capsys):
+        code = main(
+            ["inspect", "--app", "circuit", "--input", "n50w200"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 tasks, 15 collection arguments" in out
+        assert "default mapping" in out
+
+    def test_tune_small(self, capsys, tmp_path):
+        code = main(
+            [
+                "tune",
+                "--app",
+                "stencil",
+                "--input",
+                "500x500",
+                "--max-suggestions",
+                "300",
+                "--workdir",
+                str(tmp_path / "w"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert (tmp_path / "w" / "report.txt").exists()

@@ -1,0 +1,145 @@
+"""Unit tests for the OpenTuner-style ensemble (bandit, techniques)."""
+
+import pytest
+
+from repro.core import OracleConfig, SimulationOracle
+from repro.mapping import SearchSpace
+from repro.runtime import SimConfig, Simulator
+from repro.search import EnsembleTuner
+from repro.search.bandit import AUCBandit
+from repro.search.techniques import (
+    GeneticCrossover,
+    GreedyMutation,
+    PatternSearch,
+    TunerState,
+    UniformRandom,
+    default_techniques,
+)
+from repro.util.rng import RngStream
+
+
+class TestBandit:
+    def test_tries_all_arms_first(self):
+        bandit = AUCBandit(["a", "b", "c"])
+        picks = []
+        for _ in range(3):
+            arm = bandit.select()
+            picks.append(arm)
+            bandit.report(arm, False)
+        assert set(picks) == {"a", "b", "c"}
+
+    def test_rewards_shift_budget(self):
+        bandit = AUCBandit(["good", "bad"], exploration=0.01)
+        for _ in range(100):
+            arm = bandit.select()
+            bandit.report(arm, improved=(arm == "good"))
+        usage = bandit.usage()
+        assert usage["good"] > usage["bad"]
+
+    def test_window_bounded(self):
+        bandit = AUCBandit(["a"], window_size=10)
+        for _ in range(50):
+            bandit.report("a", True)
+        assert len(bandit._arms["a"].window) == 10
+
+    def test_duplicate_arms_rejected(self):
+        with pytest.raises(ValueError):
+            AUCBandit(["a", "a"])
+
+    def test_empty_arms_rejected(self):
+        with pytest.raises(ValueError):
+            AUCBandit([])
+
+
+class TestTechniques:
+    @pytest.fixture
+    def state(self):
+        state = TunerState(dims=[2, 2, 3, 3, 3])
+        state.record([0, 1, 2, 0, 1], 1.0)
+        state.record([1, 0, 0, 0, 0], 2.0)
+        return state
+
+    def test_random_in_range(self, state):
+        rng = RngStream(1)
+        for i in range(20):
+            vec = UniformRandom().suggest(state, rng.fork(str(i)))
+            assert all(0 <= v < d for v, d in zip(vec, state.dims))
+
+    def test_mutation_close_to_best(self, state):
+        rng = RngStream(2)
+        vec = GreedyMutation(max_mutations=1).suggest(state, rng)
+        diffs = sum(
+            1 for a, b in zip(vec, state.best_vector) if a != b
+        )
+        assert diffs <= 1
+
+    def test_mutation_without_best_is_random(self):
+        state = TunerState(dims=[4, 4])
+        vec = GreedyMutation().suggest(state, RngStream(1))
+        assert len(vec) == 2
+
+    def test_crossover_from_population(self, state):
+        vec = GeneticCrossover().suggest(state, RngStream(3))
+        assert len(vec) == len(state.dims)
+
+    def test_pattern_steps_one_dim(self, state):
+        tech = PatternSearch()
+        vec = tech.suggest(state, RngStream(4))
+        diffs = sum(1 for a, b in zip(vec, state.best_vector) if a != b)
+        assert diffs == 1
+
+    def test_state_records_best(self):
+        state = TunerState(dims=[2])
+        assert state.record([1], 5.0)
+        assert not state.record([0], 9.0)
+        assert state.record([0], 1.0)
+        assert state.best_performance == 1.0
+
+    def test_population_capped(self):
+        state = TunerState(dims=[2], population_cap=4)
+        for i in range(10):
+            state.record([i % 2], float(i))
+        assert len(state.population) == 4
+        assert [p for p, _ in state.population] == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestEnsembleTuner:
+    def test_finds_reasonable_mapping(self, diamond_graph, mini_machine):
+        sim = Simulator(diamond_graph, mini_machine, SimConfig(noise_sigma=0, seed=2))
+        oracle = SimulationOracle(
+            sim, OracleConfig(runs_per_eval=1, max_suggestions=400)
+        )
+        space = SearchSpace(diamond_graph, mini_machine)
+        result = EnsembleTuner().search(space, oracle, RngStream(5))
+        assert result.found
+        default_perf = sim.run(space.default_mapping()).makespan
+        assert result.best_performance <= default_perf * 1.001
+
+    def test_proposes_invalid_mappings(self, diamond_graph, mini_machine):
+        """Unconstrained encoding -> invalid proposals occur (§4.3)."""
+        sim = Simulator(diamond_graph, mini_machine, SimConfig(noise_sigma=0, seed=2))
+        oracle = SimulationOracle(
+            sim, OracleConfig(runs_per_eval=1, max_suggestions=300)
+        )
+        EnsembleTuner().search(
+            SearchSpace(diamond_graph, mini_machine), oracle, RngStream(5)
+        )
+        assert oracle.invalid_suggestions > 0
+
+    def test_suggested_exceeds_evaluated(self, diamond_graph, mini_machine):
+        sim = Simulator(diamond_graph, mini_machine, SimConfig(noise_sigma=0, seed=2))
+        oracle = SimulationOracle(
+            sim, OracleConfig(runs_per_eval=1, max_suggestions=500)
+        )
+        result = EnsembleTuner().search(
+            SearchSpace(diamond_graph, mini_machine), oracle, RngStream(5)
+        )
+        assert result.suggested > result.evaluated
+
+    def test_max_suggestions_respected(self, diamond_graph, mini_machine):
+        sim = Simulator(diamond_graph, mini_machine, SimConfig(noise_sigma=0, seed=2))
+        oracle = SimulationOracle(sim, OracleConfig(runs_per_eval=1))
+        EnsembleTuner(max_suggestions=50).search(
+            SearchSpace(diamond_graph, mini_machine), oracle, RngStream(5)
+        )
+        assert oracle.suggested <= 51  # + the seed evaluation

@@ -1,0 +1,198 @@
+"""Unit tests for the executor and simulator facade."""
+
+import pytest
+
+from repro.machine import shepard, single_node
+from repro.machine.kinds import MemKind, ProcKind
+from repro.mapping import SearchSpace
+from repro.mapping.validate import MappingError
+from repro.runtime import OOMError, SimConfig, Simulator
+from repro.taskgraph import ArgSlot, GraphBuilder, Privilege, ShardPattern
+from repro.util.units import MIB
+
+
+def chain_graph(nbytes=4 * MIB, iterations=3):
+    """producer -> consumer chain over one collection."""
+    b = GraphBuilder("chain")
+    c = b.collection("c", nbytes=nbytes)
+    prod = b.task_kind("prod", slots=[("c", Privilege.WRITE)])
+    cons = b.task_kind("cons", slots=[("c", Privilege.READ)])
+    for _ in range(iterations):
+        b.launch(prod, [c], size=2, flops=1e8)
+        b.launch(cons, [c], size=2, flops=1e8)
+    return b.build()
+
+
+class TestExecutorSemantics:
+    def test_deterministic(self, mini_machine):
+        graph = chain_graph()
+        sim = Simulator(graph, mini_machine, SimConfig(noise_sigma=0))
+        space = SearchSpace(graph, mini_machine)
+        mapping = space.default_mapping()
+        a = sim.run(mapping).makespan
+        sim.clear_cache()
+        b = sim.run(mapping).makespan
+        assert a == b
+
+    def test_same_memory_no_copies(self, mini_machine):
+        graph = chain_graph()
+        sim = Simulator(graph, mini_machine, SimConfig(noise_sigma=0))
+        mapping = SearchSpace(graph, mini_machine).default_mapping()
+        result = sim.run(mapping)
+        assert result.report.copy_stats.num_copies == 0
+
+    def test_mismatched_memory_costs_copies(self, mini_machine):
+        graph = chain_graph()
+        sim = Simulator(graph, mini_machine, SimConfig(noise_sigma=0))
+        space = SearchSpace(graph, mini_machine)
+        base = space.default_mapping()
+        split = base.with_proc("cons", ProcKind.CPU).with_mem(
+            "cons", 0, MemKind.SYSTEM
+        )
+        r_same = sim.run(base)
+        r_split = sim.run(split)
+        assert r_split.report.copy_stats.num_copies > 0
+        assert r_split.report.copy_stats.bytes_moved > 0
+
+    def test_dependences_respected(self, mini_machine):
+        graph = chain_graph(iterations=1)
+        sim = Simulator(graph, mini_machine, SimConfig(noise_sigma=0))
+        mapping = SearchSpace(graph, mini_machine).default_mapping()
+        report = sim.run(mapping).report
+        assert (
+            report.kind_finish["cons"] > report.kind_finish["prod"]
+        )
+
+    def test_makespan_grows_with_work(self, mini_machine):
+        small = chain_graph(nbytes=MIB)
+        big = chain_graph(nbytes=64 * MIB)
+        t_small = Simulator(small, mini_machine, SimConfig(noise_sigma=0)).run(
+            SearchSpace(small, mini_machine).default_mapping()
+        )
+        t_big = Simulator(big, mini_machine, SimConfig(noise_sigma=0)).run(
+            SearchSpace(big, mini_machine).default_mapping()
+        )
+        assert t_big.makespan > t_small.makespan
+
+    def test_zero_copy_slower_than_framebuffer_for_gpu(self, mini_machine):
+        graph = chain_graph(nbytes=64 * MIB)
+        sim = Simulator(graph, mini_machine, SimConfig(noise_sigma=0))
+        space = SearchSpace(graph, mini_machine)
+        fb = space.default_mapping()
+        zc = fb.with_mem("prod", 0, MemKind.ZERO_COPY).with_mem(
+            "cons", 0, MemKind.ZERO_COPY
+        )
+        assert sim.run(zc).makespan > sim.run(fb).makespan
+
+    def test_colocated_zero_copy_beats_split(self, mini_machine):
+        """The §4.2 motivating example: CPU consumer + GPU producer —
+        sharing Zero-Copy beats producer-in-FB + copies."""
+        graph = chain_graph(nbytes=256 * MIB, iterations=4)
+        sim = Simulator(graph, mini_machine, SimConfig(noise_sigma=0))
+        space = SearchSpace(graph, mini_machine)
+        base = space.default_mapping().with_proc(
+            "cons", ProcKind.CPU
+        )
+        split = base.with_mem("cons", 0, MemKind.SYSTEM)
+        shared = base.with_mem("prod", 0, MemKind.ZERO_COPY).with_mem(
+            "cons", 0, MemKind.ZERO_COPY
+        )
+        assert sim.run(shared).makespan < sim.run(split).makespan
+
+    def test_group_points_share_processors(self):
+        machine = shepard(1)
+        b = GraphBuilder("wide")
+        c = b.collection("c", nbytes=MIB)
+        k = b.task_kind("k", slots=[("c", Privilege.READ)])
+        b.launch(k, [c], size=8, flops=1e9)
+        graph = b.build()
+        sim = Simulator(graph, machine, SimConfig(noise_sigma=0))
+        mapping = SearchSpace(graph, machine).default_mapping()
+        report = sim.run(mapping).report
+        # 8 points on the single GPU -> serialized there.
+        assert report.proc_busy["n0.gpu0"] > 0
+        assert report.kind_points["k"] == 8
+
+    def test_distribution_uses_both_nodes(self):
+        machine = shepard(2)
+        graph = chain_graph(nbytes=MIB)
+        sim = Simulator(graph, machine, SimConfig(noise_sigma=0))
+        space = SearchSpace(graph, machine)
+        dist = space.default_mapping()
+        report = sim.run(dist).report
+        assert any(
+            uid.startswith("n1.") and busy > 0
+            for uid, busy in report.proc_busy.items()
+        )
+
+    def test_leader_only_when_undistributed(self):
+        machine = shepard(2)
+        graph = chain_graph(nbytes=MIB)
+        sim = Simulator(graph, machine, SimConfig(noise_sigma=0))
+        space = SearchSpace(graph, machine)
+        mapping = space.default_mapping()
+        for kind in space.kind_names():
+            mapping = mapping.with_distribute(kind, False)
+        report = sim.run(mapping).report
+        assert not any(
+            uid.startswith("n1.") and busy > 0
+            for uid, busy in report.proc_busy.items()
+        )
+
+
+class TestSimulatorFacade:
+    def test_invalid_mapping_raises(self, mini_machine):
+        graph = chain_graph()
+        sim = Simulator(graph, mini_machine, SimConfig(noise_sigma=0))
+        space = SearchSpace(graph, mini_machine)
+        bad = space.default_mapping().with_proc("prod", ProcKind.CPU)
+        with pytest.raises(MappingError):
+            sim.run(bad)
+
+    def test_oom_raises_without_spill(self):
+        machine = single_node(
+            cpus=2, gpus=1, framebuffer_capacity=MIB,
+            sysmem_capacity=256 * MIB, zero_copy_capacity=256 * MIB,
+        )
+        graph = chain_graph(nbytes=16 * MIB)
+        sim = Simulator(graph, machine, SimConfig(noise_sigma=0, spill=False))
+        with pytest.raises(OOMError):
+            sim.run(SearchSpace(graph, machine).default_mapping())
+
+    def test_spill_executes_demoted(self):
+        machine = single_node(
+            cpus=2, gpus=1, framebuffer_capacity=MIB,
+            sysmem_capacity=256 * MIB, zero_copy_capacity=256 * MIB,
+        )
+        graph = chain_graph(nbytes=16 * MIB)
+        sim = Simulator(graph, machine, SimConfig(noise_sigma=0, spill=True))
+        result = sim.run(SearchSpace(graph, machine).default_mapping())
+        executed = result.executed_mapping
+        assert executed.count_mem(MemKind.ZERO_COPY) > 0
+
+    def test_noisy_samples_average_near_base(self, mini_machine):
+        graph = chain_graph()
+        sim = Simulator(
+            graph, mini_machine, SimConfig(noise_sigma=0.05, seed=3)
+        )
+        mapping = SearchSpace(graph, mini_machine).default_mapping()
+        result = sim.run(mapping, runs=200)
+        assert result.mean == pytest.approx(result.makespan, rel=0.05)
+        assert len(set(result.samples)) == 200
+
+    def test_cache_counts_executions(self, mini_machine):
+        graph = chain_graph()
+        sim = Simulator(graph, mini_machine, SimConfig(noise_sigma=0))
+        mapping = SearchSpace(graph, mini_machine).default_mapping()
+        sim.run(mapping)
+        sim.run(mapping)
+        assert sim.executions == 1
+
+    def test_memory_demand_reporting(self, mini_machine):
+        graph = chain_graph(nbytes=8 * MIB)
+        sim = Simulator(graph, mini_machine, SimConfig(noise_sigma=0))
+        demand = sim.memory_demand(
+            SearchSpace(graph, mini_machine).default_mapping()
+        )
+        assert demand.per_memory
+        assert "OVERFLOW" not in demand.describe()

@@ -1,0 +1,106 @@
+"""Unit tests for the induced collection graph C (paper §4.2)."""
+
+import pytest
+
+from repro.taskgraph import GraphBuilder, Privilege, induced_collection_graph
+from repro.taskgraph.induced import CollectionGraph
+
+
+def make_graph():
+    """Two kinds sharing one collection, one private collection each."""
+    b = GraphBuilder("g")
+    shared = b.collection("shared", nbytes=1000)
+    priv_a = b.collection("priv_a", nbytes=400)
+    priv_b = b.collection("priv_b", nbytes=200)
+    ka = b.task_kind(
+        "a", slots=[("s", Privilege.READ_WRITE), ("p", Privilege.READ)]
+    )
+    kb = b.task_kind(
+        "b", slots=[("s", Privilege.READ), ("p", Privilege.READ_WRITE)]
+    )
+    b.launch(ka, [shared, priv_a], size=2, flops=1.0)
+    b.launch(kb, [shared, priv_b], size=2, flops=1.0)
+    return b.build()
+
+
+class TestInducedGraph:
+    def test_shared_collection_creates_edge(self):
+        C = induced_collection_graph(make_graph())
+        assert C.connected(("a", 0), ("b", 0))
+        assert C.weight(("a", 0), ("b", 0)) == 1000
+
+    def test_private_collections_no_edge(self):
+        C = induced_collection_graph(make_graph())
+        assert not C.connected(("a", 1), ("b", 1))
+
+    def test_neighbors_sorted(self):
+        C = induced_collection_graph(make_graph())
+        assert C.neighbors(("a", 0)) == [("b", 0)]
+
+    def test_halo_partitions_edge_weights(self):
+        b = GraphBuilder("halo")
+        parts = b.partition("grid", nbytes=1000, parts=2, halo_bytes=100)
+        k1 = b.task_kind("k1", slots=[("g", Privilege.READ_WRITE)])
+        k2 = b.task_kind("k2", slots=[("g", Privilege.READ)])
+        b.launch(k1, [parts[0]], flops=1.0)
+        b.launch(k2, [parts[1]], flops=1.0)
+        g = b.build()
+        C = induced_collection_graph(g)
+        # parts overlap by 2*halo = 200 bytes.
+        assert C.weight(("k1", 0), ("k2", 0)) == 200
+
+
+class TestPruning:
+    def make(self):
+        return CollectionGraph(
+            {
+                frozenset({("a", 0), ("b", 0)}): 100,
+                frozenset({("a", 0), ("c", 0)}): 10,
+                frozenset({("b", 0), ("c", 0)}): 50,
+            }
+        )
+
+    def test_prune_lightest_first(self):
+        C = self.make()
+        removed = C.prune_lightest(1)
+        assert removed == 1
+        assert not C.connected(("a", 0), ("c", 0))
+        assert C.connected(("a", 0), ("b", 0))
+
+    def test_prune_more_than_available(self):
+        C = self.make()
+        assert C.prune_lightest(10) == 3
+        assert C.num_edges == 0
+
+    def test_prune_zero(self):
+        C = self.make()
+        assert C.prune_lightest(0) == 0
+        assert C.num_edges == 3
+
+    def test_prune_all(self):
+        C = self.make()
+        C.prune_all()
+        assert C.num_edges == 0
+        assert C.original_num_edges == 3
+
+    def test_copy_independent(self):
+        C = self.make()
+        D = C.copy()
+        C.prune_all()
+        assert D.num_edges == 3
+
+    def test_deterministic_tie_break(self):
+        C = CollectionGraph(
+            {
+                frozenset({("a", 0), ("b", 0)}): 10,
+                frozenset({("a", 0), ("c", 0)}): 10,
+            }
+        )
+        C.prune_lightest(1)
+        # ('a',0)-('b',0) sorts first, so it is removed first.
+        assert not C.connected(("a", 0), ("b", 0))
+        assert C.connected(("a", 0), ("c", 0))
+
+    def test_zero_weight_edges_dropped(self):
+        C = CollectionGraph({frozenset({("a", 0), ("b", 0)}): 0})
+        assert C.num_edges == 0

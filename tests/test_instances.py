@@ -1,0 +1,104 @@
+"""Unit tests for the coherence layer (segments, caches, invalidation)."""
+
+import pytest
+
+from repro.runtime.instances import CoherenceState, SegmentMap
+
+
+class TestSegmentMap:
+    def test_virgin_read_is_free(self):
+        seg = SegmentMap()
+        ready, copies = seg.plan_read(0, 100, "mem_a")
+        assert ready == 0.0
+        assert copies == []
+
+    def test_virgin_read_materialises_locally(self):
+        seg = SegmentMap()
+        seg.plan_read(0, 100, "mem_a")
+        # Second read of the same range in the same memory: still free.
+        ready, copies = seg.plan_read(0, 100, "mem_a")
+        assert copies == []
+
+    def test_read_after_local_write_is_free(self):
+        seg = SegmentMap()
+        seg.write(0, 100, "mem_a", time=5.0)
+        ready, copies = seg.plan_read(0, 100, "mem_a")
+        assert ready == 5.0
+        assert copies == []
+
+    def test_read_from_remote_requires_copy(self):
+        seg = SegmentMap()
+        seg.write(0, 100, "mem_a", time=5.0)
+        ready, copies = seg.plan_read(0, 100, "mem_b")
+        assert len(copies) == 1
+        need = copies[0]
+        assert (need.src_mem, need.lo, need.hi) == ("mem_a", 0, 100)
+        assert need.src_time == 5.0
+
+    def test_partial_overlap_copies_only_missing(self):
+        seg = SegmentMap()
+        seg.write(0, 50, "mem_a", time=1.0)
+        seg.write(50, 100, "mem_b", time=2.0)
+        ready, copies = seg.plan_read(0, 100, "mem_b")
+        assert ready == 2.0
+        assert len(copies) == 1
+        assert (copies[0].lo, copies[0].hi) == (0, 50)
+
+    def test_cache_satisfies_later_reads(self):
+        seg = SegmentMap()
+        seg.write(0, 100, "mem_a", time=1.0)
+        _, copies = seg.plan_read(0, 100, "mem_b")
+        seg.commit_cache(0, 100, "mem_b", time=3.0)
+        ready, copies = seg.plan_read(0, 100, "mem_b")
+        assert copies == []
+        assert ready == 3.0
+
+    def test_write_invalidates_caches(self):
+        seg = SegmentMap()
+        seg.write(0, 100, "mem_a", time=1.0)
+        seg.commit_cache(0, 100, "mem_b", time=2.0)
+        seg.write(0, 100, "mem_a", time=5.0)
+        _, copies = seg.plan_read(0, 100, "mem_b")
+        assert len(copies) == 1
+        assert copies[0].src_time == 5.0
+
+    def test_partial_write_splits_segments(self):
+        seg = SegmentMap()
+        seg.write(0, 100, "mem_a", time=1.0)
+        seg.write(40, 60, "mem_b", time=2.0)
+        _, copies = seg.plan_read(0, 100, "mem_a")
+        # Only the middle was invalidated in mem_a.
+        assert len(copies) == 1
+        assert (copies[0].src_mem, copies[0].lo, copies[0].hi) == (
+            "mem_b",
+            40,
+            60,
+        )
+
+    def test_footprint_counts_auth_and_caches(self):
+        seg = SegmentMap()
+        seg.write(0, 100, "mem_a", time=1.0)
+        seg.commit_cache(0, 50, "mem_b", time=2.0)
+        fp = seg.footprint()
+        assert fp["mem_a"] == 100
+        assert fp["mem_b"] == 50
+
+    def test_empty_range_noop(self):
+        seg = SegmentMap()
+        seg.write(10, 10, "mem_a", time=1.0)
+        assert seg.num_segments == 0
+        assert seg.plan_read(5, 5, "mem_a") == (0.0, [])
+
+
+class TestCoherenceState:
+    def test_roots_independent(self):
+        state = CoherenceState()
+        state.root("r1").write(0, 10, "mem_a", 1.0)
+        _, copies = state.root("r2").plan_read(0, 10, "mem_b")
+        assert copies == []
+
+    def test_total_footprint(self):
+        state = CoherenceState()
+        state.root("r1").write(0, 10, "mem_a", 1.0)
+        state.root("r2").write(0, 20, "mem_a", 1.0)
+        assert state.footprint() == {"mem_a": 30}

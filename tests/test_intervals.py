@@ -1,0 +1,81 @@
+"""Unit tests for the interval-set substrate."""
+
+import pytest
+
+from repro.runtime.intervals import IntervalSet
+
+
+class TestConstruction:
+    def test_normalizes_overlaps(self):
+        s = IntervalSet([(0, 10), (5, 15)])
+        assert list(s) == [(0, 15)]
+
+    def test_coalesces_adjacent(self):
+        s = IntervalSet([(0, 5), (5, 10)])
+        assert list(s) == [(0, 10)]
+
+    def test_drops_empty(self):
+        assert not IntervalSet([(5, 5), (7, 3)])
+
+    def test_sorts(self):
+        s = IntervalSet([(20, 30), (0, 10)])
+        assert list(s) == [(0, 10), (20, 30)]
+
+
+class TestOperations:
+    def test_total(self):
+        assert IntervalSet([(0, 10), (20, 25)]).total == 15
+
+    def test_union(self):
+        a = IntervalSet([(0, 10)])
+        b = IntervalSet([(5, 20)])
+        assert list(a.union(b)) == [(0, 20)]
+
+    def test_intersection(self):
+        a = IntervalSet([(0, 10), (20, 30)])
+        b = IntervalSet([(5, 25)])
+        assert list(a.intersection(b)) == [(5, 10), (20, 25)]
+
+    def test_intersection_empty(self):
+        a = IntervalSet([(0, 10)])
+        b = IntervalSet([(10, 20)])
+        assert not a.intersection(b)
+
+    def test_subtract_middle(self):
+        a = IntervalSet([(0, 30)])
+        b = IntervalSet([(10, 20)])
+        assert list(a.subtract(b)) == [(0, 10), (20, 30)]
+
+    def test_subtract_everything(self):
+        a = IntervalSet([(0, 10)])
+        assert not a.subtract(IntervalSet([(0, 100)]))
+
+    def test_subtract_nothing(self):
+        a = IntervalSet([(0, 10)])
+        assert a.subtract(IntervalSet([(50, 60)])) == a
+
+    def test_subtract_multiple_holes(self):
+        a = IntervalSet([(0, 100)])
+        b = IntervalSet([(10, 20), (30, 40), (90, 95)])
+        assert list(a.subtract(b)) == [
+            (0, 10),
+            (20, 30),
+            (40, 90),
+            (95, 100),
+        ]
+
+    def test_contains(self):
+        s = IntervalSet([(0, 10), (20, 30)])
+        assert s.contains(2, 8)
+        assert s.contains(5, 5)  # empty range always contained
+        assert not s.contains(8, 22)
+
+    def test_overlap_length(self):
+        s = IntervalSet([(0, 10), (20, 30)])
+        assert s.overlap(5, 25) == 10
+
+    def test_equality_and_hash(self):
+        a = IntervalSet([(0, 5), (5, 10)])
+        b = IntervalSet([(0, 10)])
+        assert a == b
+        assert hash(a) == hash(b)

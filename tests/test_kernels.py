@@ -1,0 +1,158 @@
+"""Unit tests for the reference numerical kernels (physics invariants)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    CircuitState,
+    HydroState,
+    NSState,
+    calc_new_currents,
+    calibrate_host,
+    distribute_charge,
+    hydro_step,
+    ns_step,
+    star_stencil,
+    stencil_flops,
+    update_voltages,
+)
+from repro.kernels.hydro import total_energy
+from repro.kernels.navier_stokes import total_mass
+from repro.kernels.stencil2d import increment, star_weights
+
+
+class TestStencil:
+    def test_weights_star_shape(self):
+        w = star_weights(radius=2)
+        assert w.shape == (5, 5)
+        assert w[2, 2] == 0.0
+        assert w[0, 0] == 0.0  # corners empty in a star
+        assert w[2, 4] != 0.0
+
+    def test_constant_field_zero_response(self):
+        """A star stencil with antisymmetric weights annihilates
+        constants — the PRK correctness property."""
+        grid = np.ones((32, 32))
+        out = np.zeros_like(grid)
+        star_stencil(grid, star_weights(2), out)
+        interior = out[2:-2, 2:-2]
+        assert np.allclose(interior, 0.0)
+
+    def test_linear_gradient_constant_response(self):
+        x = np.arange(32, dtype=float)
+        grid = np.tile(x, (32, 1))
+        out = np.zeros_like(grid)
+        star_stencil(grid, star_weights(2), out)
+        interior = out[2:-2, 2:-2]
+        assert np.allclose(interior, interior[0, 0])
+        assert interior[0, 0] == pytest.approx(1.0)
+
+    def test_increment(self):
+        grid = np.zeros((8, 8))
+        increment(grid)
+        assert np.all(grid == 1.0)
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(ValueError):
+            star_stencil(np.ones((3, 3)), star_weights(2), np.zeros((3, 3)))
+
+    def test_flop_count_positive(self):
+        stencil_f, inc_f = stencil_flops(100)
+        assert stencil_f > 0 and inc_f == 100 * 100
+
+
+class TestCircuitKernels:
+    def test_charge_conservation(self):
+        """distribute_charge moves charge between nodes; the total is
+        conserved exactly (scatter of +dq and -dq)."""
+        state = CircuitState.random(nodes=100, wires=300, seed=1)
+        calc_new_currents(state)
+        before = state.charge.sum()
+        distribute_charge(state)
+        assert state.charge.sum() == pytest.approx(before, abs=1e-12)
+
+    def test_currents_decay_without_voltage(self):
+        state = CircuitState.random(nodes=50, wires=100, seed=2)
+        state.voltage[:] = 0.0
+        state.current[:] = 1.0
+        calc_new_currents(state)
+        assert np.all(np.abs(state.current) < 1.0)
+
+    def test_update_voltages_resets_charge(self):
+        state = CircuitState.random(nodes=50, wires=100, seed=3)
+        state.charge[:] = 1.0
+        update_voltages(state)
+        assert np.all(state.charge == 0.0)
+
+    def test_full_iteration_stable(self):
+        state = CircuitState.random(nodes=200, wires=800, seed=4)
+        for _ in range(100):
+            calc_new_currents(state)
+            distribute_charge(state)
+            update_voltages(state)
+        assert np.all(np.isfinite(state.voltage))
+
+
+class TestHydro:
+    def test_energy_conserved(self):
+        state = HydroState.sod(zones=200)
+        e0 = total_energy(state)
+        for _ in range(500):
+            hydro_step(state, dt=1e-4)
+        assert total_energy(state) == pytest.approx(e0, rel=1e-10)
+
+    def test_shock_propagates(self):
+        state = HydroState.sod(zones=200)
+        for _ in range(500):
+            hydro_step(state, dt=1e-4)
+        # The interface moved: velocity is nonzero in the middle.
+        assert np.max(np.abs(state.u)) > 0.1
+
+    def test_density_positive(self):
+        state = HydroState.sod(zones=100)
+        for _ in range(1000):
+            hydro_step(state, dt=5e-5)
+        assert np.all(state.rho > 0)
+
+    def test_tangle_detected(self):
+        state = HydroState.sod(zones=100)
+        with pytest.raises(FloatingPointError):
+            for _ in range(100):
+                hydro_step(state, dt=1.0)
+
+
+class TestNavierStokes:
+    def test_mass_conserved(self):
+        state = NSState.acoustic_pulse((12, 12, 12))
+        m0 = total_mass(state)
+        for _ in range(50):
+            ns_step(state, dt=1e-3)
+        assert total_mass(state) == pytest.approx(m0, rel=1e-12)
+
+    def test_pulse_oscillates(self):
+        state = NSState.acoustic_pulse((12, 12, 12))
+        peak0 = float(np.max(np.abs(state.rho - 1.0)))
+        for _ in range(30):
+            ns_step(state, dt=1e-3)
+        # Still finite, bounded dynamics.
+        assert np.all(np.isfinite(state.rho))
+        assert float(np.max(np.abs(state.rho - 1.0))) < 10 * peak0
+
+    def test_momentum_develops(self):
+        state = NSState.acoustic_pulse((12, 12, 12))
+        for _ in range(10):
+            ns_step(state, dt=1e-3)
+        assert np.max(np.abs(state.mom)) > 0
+
+
+class TestCalibration:
+    def test_reports_all_kernels(self):
+        results = calibrate_host(scale=1)
+        assert set(results) == {
+            "stencil",
+            "circuit",
+            "hydro",
+            "navier_stokes",
+        }
+        for result in results.values():
+            assert result.flops_per_second > 1e6  # sanity: > 1 MFLOP/s

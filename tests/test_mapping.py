@@ -1,0 +1,139 @@
+"""Unit tests for mapping decisions, the Mapping type, and validation."""
+
+import pytest
+
+from repro.machine.kinds import MemKind, ProcKind
+from repro.mapping import (
+    Mapping,
+    MappingDecision,
+    MappingError,
+    explain_invalid,
+    is_valid,
+    validate,
+)
+
+
+@pytest.fixture
+def decision():
+    return MappingDecision(
+        distribute=True,
+        proc_kind=ProcKind.GPU,
+        mem_kinds=(MemKind.FRAMEBUFFER, MemKind.ZERO_COPY),
+    )
+
+
+class TestDecision:
+    def test_with_mem(self, decision):
+        new = decision.with_mem(1, MemKind.FRAMEBUFFER)
+        assert new.mem_kinds == (MemKind.FRAMEBUFFER, MemKind.FRAMEBUFFER)
+        assert decision.mem_kinds[1] is MemKind.ZERO_COPY  # original intact
+
+    def test_with_mem_bounds(self, decision):
+        with pytest.raises(IndexError):
+            decision.with_mem(2, MemKind.SYSTEM)
+
+    def test_with_proc_keeps_mems(self, decision):
+        new = decision.with_proc(ProcKind.CPU)
+        assert new.mem_kinds == decision.mem_kinds
+
+    def test_key_hashable_and_stable(self, decision):
+        assert decision.key() == decision.with_distribute(True).key()
+        assert decision.key() != decision.with_distribute(False).key()
+
+    def test_empty_mems_rejected(self):
+        with pytest.raises(ValueError):
+            MappingDecision(True, ProcKind.CPU, ())
+
+
+class TestMapping:
+    @pytest.fixture
+    def mapping(self, decision):
+        return Mapping({"a": decision, "b": decision.with_proc(ProcKind.CPU)})
+
+    def test_lookup(self, mapping, decision):
+        assert mapping.decision("a") == decision
+
+    def test_functional_update_isolated(self, mapping):
+        new = mapping.with_proc("a", ProcKind.CPU)
+        assert mapping.decision("a").proc_kind is ProcKind.GPU
+        assert new.decision("a").proc_kind is ProcKind.CPU
+        assert new.decision("b") == mapping.decision("b")
+
+    def test_equality_and_hash(self, mapping):
+        again = Mapping({k: mapping.decision(k) for k in mapping})
+        assert mapping == again
+        assert hash(mapping) == hash(again)
+
+    def test_update_changes_key(self, mapping):
+        assert mapping.with_distribute("b", False) != mapping
+
+    def test_unknown_kind_rejected(self, mapping):
+        with pytest.raises(KeyError):
+            mapping.with_proc("ghost", ProcKind.CPU)
+
+    def test_counts(self, mapping):
+        assert mapping.count_proc(ProcKind.GPU) == 1
+        assert mapping.count_mem(MemKind.FRAMEBUFFER) == 2
+
+    def test_describe_lists_all_kinds(self, mapping):
+        text = mapping.describe()
+        assert "a " in text and "b " in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Mapping({})
+
+
+class TestValidation:
+    def test_default_mapping_valid(self, diamond_space, diamond_graph, mini_machine):
+        mapping = diamond_space.default_mapping()
+        validate(diamond_graph, mini_machine, mapping)  # no raise
+        assert is_valid(diamond_graph, mini_machine, mapping)
+
+    def test_unaddressable_mem_invalid(
+        self, diamond_space, diamond_graph, mini_machine
+    ):
+        mapping = diamond_space.default_mapping().with_proc(
+            "source", ProcKind.CPU
+        )
+        # source slot stays FRAMEBUFFER -> CPU cannot address it.
+        assert not is_valid(diamond_graph, mini_machine, mapping)
+        reason = explain_invalid(diamond_graph, mini_machine, mapping)
+        assert reason is not None and "not addressable" in reason
+
+    def test_missing_kind_invalid(self, diamond_graph, mini_machine, diamond_space):
+        full = diamond_space.default_mapping()
+        partial = Mapping(
+            {k: full.decision(k) for k in full if k != "sink"}
+        )
+        with pytest.raises(MappingError, match="no decision"):
+            validate(diamond_graph, mini_machine, partial)
+
+    def test_missing_variant_invalid(self, mini_machine):
+        from tests.conftest import build_diamond_graph
+        from repro.taskgraph import ArgSlot, GraphBuilder, Privilege
+
+        b = GraphBuilder("cpu_only")
+        c = b.collection("c", nbytes=1 << 10)
+        k = b.task_kind(
+            "k", slots=[("c", Privilege.READ)], variants=[ProcKind.CPU]
+        )
+        b.launch(k, [c])
+        g = b.build()
+        bad = Mapping(
+            {
+                "k": MappingDecision(
+                    True, ProcKind.GPU, (MemKind.FRAMEBUFFER,)
+                )
+            }
+        )
+        assert not is_valid(g, mini_machine, bad)
+
+    def test_slot_count_mismatch(self, diamond_graph, mini_machine, diamond_space):
+        full = diamond_space.default_mapping()
+        bad = full.with_decision(
+            "sink",
+            MappingDecision(True, ProcKind.GPU, (MemKind.FRAMEBUFFER,)),
+        )
+        reason = explain_invalid(diamond_graph, mini_machine, bad)
+        assert reason is not None and "slots" in reason

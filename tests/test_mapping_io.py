@@ -1,0 +1,96 @@
+"""Unit tests for mapping persistence (save/load round trip)."""
+
+import pytest
+
+from repro.machine.kinds import MemKind, ProcKind
+from repro.mapping import (
+    Mapping,
+    MappingDecision,
+    is_valid,
+    load_mapping,
+    save_mapping,
+)
+
+
+class TestRoundTrip:
+    def test_identity(self, diamond_graph, diamond_space, tmp_path, rng):
+        mapping = diamond_space.random_mapping(rng)
+        path = tmp_path / "best.json"
+        save_mapping(mapping, path, application=diamond_graph.name)
+        loaded = load_mapping(path, graph=diamond_graph)
+        assert loaded == mapping
+
+    def test_loaded_mapping_executes(
+        self, diamond_graph, diamond_space, diamond_sim, tmp_path
+    ):
+        mapping = diamond_space.default_mapping()
+        path = tmp_path / "m.json"
+        save_mapping(mapping, path, application=diamond_graph.name)
+        loaded = load_mapping(path, graph=diamond_graph)
+        result = diamond_sim.run(loaded)
+        assert result.makespan == diamond_sim.run(mapping).makespan
+
+    def test_without_graph_validation(self, diamond_space, tmp_path):
+        mapping = diamond_space.default_mapping()
+        path = tmp_path / "m.json"
+        save_mapping(mapping, path)
+        assert load_mapping(path) == mapping
+
+
+class TestValidationOnLoad:
+    def test_wrong_application_rejected(
+        self, diamond_graph, diamond_space, tmp_path
+    ):
+        path = tmp_path / "m.json"
+        save_mapping(
+            diamond_space.default_mapping(), path, application="other-app"
+        )
+        with pytest.raises(ValueError, match="saved for 'other-app'"):
+            load_mapping(path, graph=diamond_graph)
+
+    def test_missing_kind_rejected(self, diamond_graph, tmp_path):
+        partial = Mapping(
+            {
+                "source": MappingDecision(
+                    True, ProcKind.GPU, (MemKind.FRAMEBUFFER,)
+                )
+            }
+        )
+        path = tmp_path / "m.json"
+        save_mapping(partial, path, application=diamond_graph.name)
+        with pytest.raises(ValueError, match="no decision"):
+            load_mapping(path, graph=diamond_graph)
+
+    def test_slot_mismatch_rejected(self, diamond_graph, diamond_space, tmp_path):
+        mapping = diamond_space.default_mapping().with_decision(
+            "sink",
+            MappingDecision(True, ProcKind.GPU, (MemKind.FRAMEBUFFER,)),
+        )
+        path = tmp_path / "m.json"
+        save_mapping(mapping, path, application=diamond_graph.name)
+        with pytest.raises(ValueError, match="slots"):
+            load_mapping(path, graph=diamond_graph)
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"format": "nope"}')
+        with pytest.raises(ValueError, match="not an AutoMap mapping"):
+            load_mapping(path)
+
+
+class TestMapperIntegration:
+    def test_load_into_mapper(
+        self, diamond_graph, diamond_space, mini_machine, tmp_path
+    ):
+        """The production flow: tune once, save, reload into the
+        runtime-facing mapper."""
+        from repro.core import AutoMapMapper
+
+        mapping = diamond_space.default_mapping()
+        path = tmp_path / "prod.json"
+        save_mapping(mapping, path, application=diamond_graph.name)
+        loaded = load_mapping(path, graph=diamond_graph)
+        assert is_valid(diamond_graph, mini_machine, loaded)
+        mapper = AutoMapMapper(mini_machine, loaded)
+        launch = diamond_graph.launches[0]
+        assert len(mapper.map_task(launch)) == launch.size

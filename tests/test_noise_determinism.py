@@ -1,0 +1,35 @@
+"""Regression test: noise draws are stable across *processes*.
+
+``NoiseModel`` once derived its per-context stream from ``hash(context)``;
+Python randomises string hashing per process (PYTHONHASHSEED), so
+identically-seeded experiments produced different measurements in
+different runs.  The fix derives the stream from ``repr(context)``.
+"""
+
+import subprocess
+import sys
+
+SNIPPET = r"""
+from repro.runtime.noise import NoiseModel
+noise = NoiseModel(sigma=0.05, seed=42)
+context = (("kind", ("a", "b")), ("other", (1, 2)))
+print(repr([noise.sample(1.0, context, i) for i in range(3)]))
+"""
+
+
+def run_subprocess(hash_seed: str) -> str:
+    result = subprocess.run(
+        [sys.executable, "-c", SNIPPET],
+        capture_output=True,
+        text=True,
+        env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+        check=True,
+    )
+    return result.stdout.strip()
+
+
+def test_noise_stable_across_hash_seeds():
+    a = run_subprocess("1")
+    b = run_subprocess("2")
+    assert a == b
+    assert "[" in a  # sanity: produced a list

@@ -1,0 +1,79 @@
+"""Unit tests for the profiles database."""
+
+import math
+
+import pytest
+
+from repro.core import ProfileDatabase
+from repro.machine.kinds import MemKind, ProcKind
+from repro.mapping import Mapping, MappingDecision
+
+
+def make_mapping(proc=ProcKind.GPU):
+    mem = (
+        MemKind.FRAMEBUFFER if proc is ProcKind.GPU else MemKind.SYSTEM
+    )
+    return Mapping({"k": MappingDecision(True, proc, (mem,))})
+
+
+class TestProfileDatabase:
+    def test_lookup_missing(self):
+        db = ProfileDatabase()
+        assert db.lookup(make_mapping()) is None
+
+    def test_record_and_stats(self):
+        db = ProfileDatabase()
+        record = db.record(make_mapping(), [1.0, 2.0, 3.0])
+        assert record.count == 3
+        assert record.mean == pytest.approx(2.0)
+        assert record.variance == pytest.approx(1.0)
+        assert record.stddev == pytest.approx(1.0)
+
+    def test_record_extends(self):
+        db = ProfileDatabase()
+        db.record(make_mapping(), [1.0])
+        record = db.record(make_mapping(), [3.0])
+        assert record.count == 2
+        assert record.mean == pytest.approx(2.0)
+
+    def test_identity_by_key(self):
+        db = ProfileDatabase()
+        db.record(make_mapping(), [1.0])
+        assert make_mapping() in db
+        assert make_mapping(ProcKind.CPU) not in db
+
+    def test_empty_record_mean_inf(self):
+        db = ProfileDatabase()
+        record = db.record(make_mapping(), [], failed=True, reason="oom")
+        assert math.isinf(record.mean)
+        assert record.failed and record.reason == "oom"
+
+    def test_best_excludes_failed(self):
+        db = ProfileDatabase()
+        db.record(make_mapping(ProcKind.GPU), [5.0])
+        db.record(make_mapping(ProcKind.CPU), [], failed=True)
+        best = db.best(5)
+        assert len(best) == 1
+        assert best[0].mean == pytest.approx(5.0)
+
+    def test_best_ranks_by_mean(self):
+        db = ProfileDatabase()
+        db.record(make_mapping(ProcKind.GPU), [5.0])
+        db.record(make_mapping(ProcKind.CPU), [2.0])
+        best = db.best(2)
+        assert [r.mean for r in best] == [2.0, 5.0]
+
+    def test_save_load_roundtrip(self, tmp_path):
+        db = ProfileDatabase()
+        db.record(make_mapping(), [1.5, 1.6])
+        path = tmp_path / "profiles.json"
+        db.save(path)
+        records = ProfileDatabase.load_summary(path)
+        assert len(records) == 1
+        assert records[0]["samples"] == [1.5, 1.6]
+
+    def test_load_rejects_foreign(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"format": "nope"}')
+        with pytest.raises(ValueError):
+            ProfileDatabase.load_summary(path)

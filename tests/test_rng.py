@@ -1,0 +1,76 @@
+"""Unit tests for repro.util.rng — determinism and stream independence."""
+
+import pytest
+
+from repro.util.rng import RngStream, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+
+    def test_differs_by_seed(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_differs_by_name(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_path_not_concatenation(self):
+        # ("ab", "c") must differ from ("a", "bc").
+        assert derive_seed(1, "ab", "c") != derive_seed(1, "a", "bc")
+
+    def test_non_negative(self):
+        for seed in (0, 1, 2**62, 123456789):
+            assert derive_seed(seed, "x") >= 0
+
+
+class TestRngStream:
+    def test_same_seed_same_sequence(self):
+        a = RngStream(42)
+        b = RngStream(42)
+        assert [a.integers(0, 100) for _ in range(10)] == [
+            b.integers(0, 100) for _ in range(10)
+        ]
+
+    def test_fork_is_pure(self):
+        root = RngStream(7)
+        x = root.fork("child").uniform()
+        y = root.fork("child").uniform()
+        assert x == y
+
+    def test_fork_independent_of_parent_draws(self):
+        root = RngStream(7)
+        before = root.fork("child").uniform()
+        root.uniform()  # advance parent
+        after = root.fork("child").uniform()
+        assert before == after
+
+    def test_forks_differ(self):
+        root = RngStream(7)
+        assert root.fork("a").uniform() != root.fork("b").uniform()
+
+    def test_fork_requires_name(self):
+        with pytest.raises(ValueError):
+            RngStream(1).fork()
+
+    def test_choice(self):
+        stream = RngStream(3)
+        options = ["x", "y", "z"]
+        for _ in range(20):
+            assert stream.choice(options) in options
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            RngStream(1).choice([])
+
+    def test_lognormal_positive(self):
+        stream = RngStream(5)
+        assert all(stream.lognormal(0, 0.1) > 0 for _ in range(20))
+
+    def test_shuffle_permutes(self):
+        stream = RngStream(9)
+        items = list(range(50))
+        shuffled = list(items)
+        stream.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # astronomically unlikely to be identity

@@ -1,0 +1,240 @@
+"""Unit tests for placement, events, copies, noise, memory planning."""
+
+import pytest
+
+from repro.machine import shepard, single_node
+from repro.machine.kinds import MemKind, ProcKind
+from repro.mapping import MappingDecision
+from repro.runtime.events import ResourceTimeline, TimelinePool
+from repro.runtime.memory import MemoryPlanner, OOMError
+from repro.runtime.noise import NoiseModel
+from repro.runtime.placement import Placer
+from repro.taskgraph import ArgSlot, GraphBuilder, Privilege
+from repro.util.units import GIB, MIB
+
+
+class TestResourceTimeline:
+    def test_serializes(self):
+        t = ResourceTimeline("r")
+        s1, f1 = t.reserve(0.0, 2.0)
+        s2, f2 = t.reserve(0.0, 3.0)
+        assert (s1, f1) == (0.0, 2.0)
+        assert (s2, f2) == (2.0, 5.0)
+
+    def test_respects_ready_time(self):
+        t = ResourceTimeline("r")
+        s, f = t.reserve(10.0, 1.0)
+        assert s == 10.0
+
+    def test_utilization(self):
+        t = ResourceTimeline("r")
+        t.reserve(0.0, 2.0)
+        assert t.utilization(4.0) == pytest.approx(0.5)
+        assert t.utilization(0.0) == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceTimeline("r").reserve(0.0, -1.0)
+
+    def test_pool_total_busy_prefix(self):
+        pool = TimelinePool()
+        pool.reserve("chan:a", 0.0, 1.0)
+        pool.reserve("chan:b", 0.0, 2.0)
+        pool.reserve("proc:x", 0.0, 5.0)
+        assert pool.total_busy("chan:") == pytest.approx(3.0)
+
+
+class TestPlacer:
+    def make_launch(self, machine, size=4):
+        b = GraphBuilder("p")
+        c = b.collection("c", nbytes=1 << 20)
+        k = b.task_kind("k", slots=[("c", Privilege.READ_WRITE)])
+        launch = b.launch(k, [c], size=size, flops=1.0)
+        return launch
+
+    def test_distributed_blocked_across_nodes(self):
+        machine = shepard(2)
+        placer = Placer(machine)
+        launch = self.make_launch(machine, size=4)
+        decision = MappingDecision(
+            True, ProcKind.GPU, (MemKind.FRAMEBUFFER,)
+        )
+        nodes = [
+            p.proc.node for p in placer.place_launch(launch, decision)
+        ]
+        assert nodes == [0, 0, 1, 1]
+
+    def test_leader_node_when_not_distributed(self):
+        machine = shepard(2)
+        placer = Placer(machine)
+        launch = self.make_launch(machine, size=4)
+        decision = MappingDecision(
+            False, ProcKind.GPU, (MemKind.FRAMEBUFFER,)
+        )
+        nodes = [
+            p.proc.node for p in placer.place_launch(launch, decision)
+        ]
+        assert nodes == [0, 0, 0, 0]
+
+    def test_round_robin_within_node(self):
+        machine = shepard(1)  # 2 CPU sockets
+        placer = Placer(machine)
+        launch = self.make_launch(machine, size=4)
+        decision = MappingDecision(True, ProcKind.CPU, (MemKind.SYSTEM,))
+        procs = [
+            p.proc.uid for p in placer.place_launch(launch, decision)
+        ]
+        assert procs == ["n0.cpu0", "n0.cpu1", "n0.cpu0", "n0.cpu1"]
+
+    def test_memory_closest_to_proc(self):
+        machine = shepard(1)
+        placer = Placer(machine)
+        launch = self.make_launch(machine, size=2)
+        decision = MappingDecision(True, ProcKind.CPU, (MemKind.SYSTEM,))
+        placements = placer.place_launch(launch, decision)
+        for placement in placements:
+            assert placement.mems[0].socket == placement.proc.socket
+
+    def test_deterministic(self):
+        machine = shepard(2)
+        placer = Placer(machine)
+        launch = self.make_launch(machine, size=8)
+        decision = MappingDecision(
+            True, ProcKind.GPU, (MemKind.ZERO_COPY,)
+        )
+        a = placer.place_launch(launch, decision)
+        b = placer.place_launch(launch, decision)
+        assert [(p.proc.uid, p.mems[0].uid) for p in a] == [
+            (p.proc.uid, p.mems[0].uid) for p in b
+        ]
+
+
+class TestNoise:
+    def test_zero_sigma_exact(self):
+        noise = NoiseModel(sigma=0.0, seed=1)
+        assert noise.sample(2.0, "ctx", 0) == 2.0
+
+    def test_deterministic_per_run_index(self):
+        noise = NoiseModel(sigma=0.05, seed=1)
+        assert noise.sample(2.0, "ctx", 3) == noise.sample(2.0, "ctx", 3)
+
+    def test_varies_across_runs(self):
+        noise = NoiseModel(sigma=0.05, seed=1)
+        samples = noise.samples(2.0, "ctx", 10)
+        assert len(set(samples)) == 10
+
+    def test_mean_unbiased(self):
+        noise = NoiseModel(sigma=0.05, seed=2)
+        samples = noise.samples(1.0, "ctx", 4000)
+        assert sum(samples) / len(samples) == pytest.approx(1.0, rel=0.01)
+
+    def test_context_changes_draws(self):
+        noise = NoiseModel(sigma=0.05, seed=1)
+        assert noise.sample(1.0, "a", 0) != noise.sample(1.0, "b", 0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(sigma=-0.1)
+
+
+class TestMemoryPlanner:
+    def small_machine(self):
+        return single_node(
+            cpus=2,
+            gpus=1,
+            framebuffer_capacity=int(1.5 * MIB),
+            sysmem_capacity=64 * MIB,
+            zero_copy_capacity=64 * MIB,
+        )
+
+    def make(self, nbytes):
+        b = GraphBuilder("mem")
+        c = b.collection("c", nbytes=nbytes)
+        k = b.task_kind("k", slots=[("c", Privilege.READ_WRITE)])
+        b.launch(k, [c], size=2, flops=1.0)
+        return b.build()
+
+    def test_fits(self):
+        machine = self.small_machine()
+        graph = self.make(MIB)
+        planner = MemoryPlanner(graph, machine)
+        from repro.mapping import SearchSpace
+
+        demand = planner.check(SearchSpace(graph, machine).default_mapping())
+        assert demand.ok
+        assert sum(demand.per_memory.values()) == MIB
+
+    def test_overflow_detected(self):
+        machine = self.small_machine()
+        graph = self.make(4 * MIB)
+        planner = MemoryPlanner(graph, machine)
+        from repro.mapping import SearchSpace
+
+        mapping = SearchSpace(graph, machine).default_mapping()
+        demand = planner.check(mapping)
+        assert not demand.ok
+        with pytest.raises(OOMError):
+            planner.ensure_fits(mapping)
+
+    def test_spill_demotes_to_zero_copy(self):
+        machine = self.small_machine()
+        graph = self.make(4 * MIB)
+        planner = MemoryPlanner(graph, machine)
+        from repro.mapping import SearchSpace
+
+        mapping = SearchSpace(graph, machine).default_mapping()
+        spilled = planner.apply_spill(mapping)
+        assert spilled.decision("k").mem_kinds[0] is MemKind.ZERO_COPY
+        planner.ensure_fits(spilled)
+
+    def test_spill_keeps_fitting_slots(self):
+        machine = self.small_machine()
+        b = GraphBuilder("mem2")
+        small = b.collection("small", nbytes=MIB // 2)
+        big = b.collection("big", nbytes=8 * MIB)
+        k = b.task_kind(
+            "k", slots=[("small", Privilege.READ), ("big", Privilege.READ)]
+        )
+        b.launch(k, [small, big], size=2, flops=1.0)
+        graph = b.build()
+        from repro.mapping import SearchSpace
+
+        planner = MemoryPlanner(graph, machine)
+        spilled = planner.apply_spill(
+            SearchSpace(graph, machine).default_mapping()
+        )
+        mems = spilled.decision("k").mem_kinds
+        assert mems[0] is MemKind.FRAMEBUFFER  # still fits
+        assert mems[1] is MemKind.ZERO_COPY  # demoted
+
+    def test_spill_raises_when_nothing_fits(self):
+        machine = single_node(
+            cpus=2,
+            gpus=1,
+            framebuffer_capacity=MIB,
+            sysmem_capacity=MIB,
+            zero_copy_capacity=MIB,
+        )
+        graph = self.make(64 * MIB)
+        planner = MemoryPlanner(graph, machine)
+        from repro.mapping import SearchSpace
+
+        with pytest.raises(OOMError):
+            planner.apply_spill(
+                SearchSpace(graph, machine).default_mapping()
+            )
+
+    def test_overlapping_collections_not_double_counted(self):
+        machine = self.small_machine()
+        b = GraphBuilder("overlap")
+        parts = b.partition("root", nbytes=MIB, parts=2, halo_bytes=1024)
+        k = b.task_kind("k", slots=[("c", Privilege.READ_WRITE)])
+        b.launch(k, [parts[0]], size=1, flops=1.0)
+        b.launch(k, [parts[1]], size=1, flops=1.0)
+        graph = b.build()
+        from repro.mapping import SearchSpace
+
+        planner = MemoryPlanner(graph, machine)
+        demand = planner.check(SearchSpace(graph, machine).default_mapping())
+        # Union of the two halo-widened parts is exactly the root.
+        assert sum(demand.per_memory.values()) == MIB

@@ -1,0 +1,207 @@
+"""Unit tests for the search algorithms (CD, CCD, colocation, baselines)."""
+
+import pytest
+
+from repro.core import OracleConfig, SimulationOracle
+from repro.machine.kinds import ADDRESSABLE, MemKind, ProcKind
+from repro.mapping import SearchSpace, is_valid
+from repro.runtime import SimConfig, Simulator
+from repro.search import (
+    ConstrainedCoordinateDescent,
+    CoordinateDescent,
+    ExhaustiveSearch,
+    RandomSearch,
+    apply_colocation_constraints,
+)
+from repro.search.base import INFEASIBLE
+from repro.taskgraph import induced_collection_graph
+from repro.util.rng import RngStream
+
+
+def make_oracle(graph, machine, **kwargs):
+    sim = Simulator(graph, machine, SimConfig(noise_sigma=0.0, seed=5))
+    return SimulationOracle(sim, OracleConfig(runs_per_eval=1, **kwargs))
+
+
+class TestColocation:
+    def test_result_always_valid(self, diamond_graph, mini_machine, rng):
+        space = SearchSpace(diamond_graph, mini_machine)
+        colgraph = induced_collection_graph(diamond_graph)
+        for i, kind_name in enumerate(space.kind_names()):
+            dims = space.dims(kind_name)
+            for slot in range(dims.num_slots):
+                for proc in dims.proc_options:
+                    for mem in dims.mem_options[proc]:
+                        start = (
+                            space.random_mapping(rng.fork(str(i), str(slot)))
+                            .with_proc(kind_name, proc)
+                            .with_mem(kind_name, slot, mem)
+                        )
+                        out = apply_colocation_constraints(
+                            space, colgraph, start, kind_name, slot,
+                            proc, mem,
+                        )
+                        assert is_valid(diamond_graph, mini_machine, out)
+
+    def test_overlapping_slots_colocated(self, diamond_graph, mini_machine):
+        """left.grid and right.grid overlap (halo) -> moving one drags
+        the other (constraint 2)."""
+        space = SearchSpace(diamond_graph, mini_machine)
+        colgraph = induced_collection_graph(diamond_graph)
+        assert colgraph.connected(("left", 0), ("right", 0))
+        start = space.default_mapping().with_mem(
+            "left", 0, MemKind.ZERO_COPY
+        )
+        out = apply_colocation_constraints(
+            space, colgraph, start, "left", 0,
+            ProcKind.GPU, MemKind.ZERO_COPY,
+        )
+        assert out.decision("right").mem_kinds[0] is MemKind.ZERO_COPY
+
+    def test_origin_preserved(self, diamond_graph, mini_machine):
+        space = SearchSpace(diamond_graph, mini_machine)
+        colgraph = induced_collection_graph(diamond_graph)
+        start = space.default_mapping().with_mem(
+            "left", 0, MemKind.ZERO_COPY
+        )
+        out = apply_colocation_constraints(
+            space, colgraph, start, "left", 0,
+            ProcKind.GPU, MemKind.ZERO_COPY,
+        )
+        assert out.decision("left").mem_kinds[0] is MemKind.ZERO_COPY
+        assert out.decision("left").proc_kind is ProcKind.GPU
+
+
+class TestCD:
+    def test_improves_or_matches_start(self, diamond_graph, mini_machine):
+        oracle = make_oracle(diamond_graph, mini_machine)
+        space = SearchSpace(diamond_graph, mini_machine)
+        start = space.default_mapping()
+        start_perf = oracle.evaluate(start).performance
+        result = CoordinateDescent().search(
+            space, oracle, RngStream(1)
+        )
+        assert result.best_performance <= start_perf
+        assert result.found
+
+    def test_all_tested_mappings_valid(self, diamond_graph, mini_machine):
+        oracle = make_oracle(diamond_graph, mini_machine)
+        space = SearchSpace(diamond_graph, mini_machine)
+        CoordinateDescent().search(space, oracle, RngStream(1))
+        assert oracle.invalid_suggestions == 0
+
+    def test_linear_evaluation_count(self, diamond_graph, mini_machine):
+        oracle = make_oracle(diamond_graph, mini_machine)
+        space = SearchSpace(diamond_graph, mini_machine)
+        CoordinateDescent().search(space, oracle, RngStream(1))
+        # <= 1 + per kind (dist options + procs x slots x mems).
+        bound = 1
+        for name in space.kind_names():
+            dims = space.dims(name)
+            bound += len(dims.distribute_options)
+            for proc in dims.proc_options:
+                bound += dims.num_slots * len(dims.mem_options[proc])
+        assert oracle.suggested <= bound
+
+    def test_respects_budget(self, diamond_graph, mini_machine):
+        oracle = make_oracle(
+            diamond_graph, mini_machine, max_evaluations=3
+        )
+        result = CoordinateDescent().search(
+            SearchSpace(diamond_graph, mini_machine), oracle, RngStream(1)
+        )
+        assert oracle.evaluated <= 4  # start + budget slack of one
+
+
+class TestCCD:
+    def test_at_least_as_good_as_cd(self, diamond_graph, mini_machine):
+        space = SearchSpace(diamond_graph, mini_machine)
+        cd_oracle = make_oracle(diamond_graph, mini_machine)
+        cd = CoordinateDescent().search(space, cd_oracle, RngStream(1))
+        ccd_oracle = make_oracle(diamond_graph, mini_machine)
+        ccd = ConstrainedCoordinateDescent().search(
+            space, ccd_oracle, RngStream(1)
+        )
+        assert ccd.best_performance <= cd.best_performance * 1.0001
+
+    def test_suggests_more_than_cd(self, diamond_graph, mini_machine):
+        space = SearchSpace(diamond_graph, mini_machine)
+        cd_oracle = make_oracle(diamond_graph, mini_machine)
+        CoordinateDescent().search(space, cd_oracle, RngStream(1))
+        ccd_oracle = make_oracle(diamond_graph, mini_machine)
+        ConstrainedCoordinateDescent().search(space, ccd_oracle, RngStream(1))
+        assert ccd_oracle.suggested > cd_oracle.suggested
+
+    def test_one_rotation_equals_cd(self, diamond_graph, mini_machine):
+        space = SearchSpace(diamond_graph, mini_machine)
+        a = make_oracle(diamond_graph, mini_machine)
+        cd = CoordinateDescent().search(space, a, RngStream(1))
+        b = make_oracle(diamond_graph, mini_machine)
+        one = ConstrainedCoordinateDescent(rotations=1).search(
+            space, b, RngStream(1)
+        )
+        # One CCD rotation prunes everything immediately after; its single
+        # rotation still uses constraints, so only the best is compared.
+        assert one.best_performance <= cd.best_performance * 1.05
+
+    def test_invalid_rotations_rejected(self):
+        with pytest.raises(ValueError):
+            ConstrainedCoordinateDescent(rotations=0)
+
+    def test_valid_suggestions_only(self, diamond_graph, mini_machine):
+        oracle = make_oracle(diamond_graph, mini_machine)
+        ConstrainedCoordinateDescent().search(
+            SearchSpace(diamond_graph, mini_machine), oracle, RngStream(1)
+        )
+        assert oracle.invalid_suggestions == 0
+
+
+class TestExhaustive:
+    def test_finds_global_optimum(self, mini_machine):
+        from repro.taskgraph import GraphBuilder, Privilege
+
+        b = GraphBuilder("tiny")
+        c = b.collection("c", nbytes=1 << 22)
+        k1 = b.task_kind("k1", slots=[("c", Privilege.READ_WRITE)])
+        k2 = b.task_kind("k2", slots=[("c", Privilege.READ)])
+        b.launch(k1, [c], size=2, flops=5e7)
+        b.launch(k2, [c], size=2, flops=5e7)
+        graph = b.build()
+        space = SearchSpace(graph, mini_machine)
+        oracle = make_oracle(graph, mini_machine)
+        result = ExhaustiveSearch().search(space, oracle, RngStream(1))
+        # CCD must be within the exhaustive optimum (no noise here).
+        oracle2 = make_oracle(graph, mini_machine)
+        ccd = ConstrainedCoordinateDescent().search(
+            space, oracle2, RngStream(1)
+        )
+        assert result.best_performance <= ccd.best_performance * 1.0001
+
+    def test_size_guard(self, diamond_graph, mini_machine):
+        space = SearchSpace(diamond_graph, mini_machine)
+        with pytest.raises(ValueError):
+            ExhaustiveSearch(max_size=10).search(
+                space, make_oracle(diamond_graph, mini_machine), RngStream(1)
+            )
+
+
+class TestRandom:
+    def test_returns_best_seen(self, diamond_graph, mini_machine):
+        oracle = make_oracle(
+            diamond_graph, mini_machine, max_evaluations=30
+        )
+        result = RandomSearch().search(
+            SearchSpace(diamond_graph, mini_machine), oracle, RngStream(3)
+        )
+        assert result.found
+        best = min(
+            r.mean for r in oracle.profiles.all_records() if r.samples
+        )
+        assert result.best_performance == pytest.approx(best)
+
+    def test_max_draws(self, diamond_graph, mini_machine):
+        oracle = make_oracle(diamond_graph, mini_machine)
+        RandomSearch(max_draws=5).search(
+            SearchSpace(diamond_graph, mini_machine), oracle, RngStream(3)
+        )
+        assert oracle.suggested <= 6

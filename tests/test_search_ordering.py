@@ -1,0 +1,60 @@
+"""Unit tests for Algorithm 1's orderings (tasks by runtime, collections
+by size) and the search-result plumbing."""
+
+import pytest
+
+from repro.core import OracleConfig, SimulationOracle
+from repro.mapping import SearchSpace
+from repro.runtime import SimConfig, Simulator
+from repro.search.base import SearchAlgorithm
+from repro.taskgraph import GraphBuilder, Privilege
+
+
+def make_graph():
+    """Two kinds with very different work, slots of different sizes."""
+    b = GraphBuilder("order")
+    big = b.collection("big", nbytes=1 << 24)
+    small = b.collection("small", nbytes=1 << 12)
+    heavy = b.task_kind(
+        "heavy", slots=[("small", Privilege.READ), ("big", Privilege.READ_WRITE)]
+    )
+    light = b.task_kind("light", slots=[("small", Privilege.READ_WRITE)])
+    b.launch(heavy, [small, big], size=2, flops=5e9)
+    b.launch(light, [small], size=2, flops=1e6)
+    return b.build()
+
+
+class TestOrderings:
+    def test_tasks_ordered_by_runtime_desc(self, mini_machine):
+        graph = make_graph()
+        sim = Simulator(graph, mini_machine, SimConfig(noise_sigma=0))
+        oracle = SimulationOracle(sim, OracleConfig(runs_per_eval=1))
+        space = SearchSpace(graph, mini_machine)
+        order = SearchAlgorithm.ordered_kinds(
+            space, oracle, space.default_mapping()
+        )
+        assert order == ["heavy", "light"]
+
+    def test_slots_ordered_by_size_desc(self, mini_machine):
+        graph = make_graph()
+        space = SearchSpace(graph, mini_machine)
+        slots = SearchAlgorithm.ordered_slots(space, "heavy")
+        # Slot 1 binds the 16 MiB collection, slot 0 the 4 KiB one.
+        assert slots == [1, 0]
+
+    def test_order_deterministic_tiebreak(self, mini_machine):
+        b = GraphBuilder("tie")
+        c = b.collection("c", nbytes=1 << 12)
+        ka = b.task_kind("a_kind", slots=[("c", Privilege.READ)])
+        kb = b.task_kind("b_kind", slots=[("c", Privilege.READ)])
+        b.launch(ka, [c], size=1, flops=1e6)
+        b.launch(kb, [c], size=1, flops=1e6)
+        graph = b.build()
+        sim = Simulator(graph, mini_machine, SimConfig(noise_sigma=0))
+        oracle = SimulationOracle(sim, OracleConfig(runs_per_eval=1))
+        space = SearchSpace(graph, mini_machine)
+        order = SearchAlgorithm.ordered_kinds(
+            space, oracle, space.default_mapping()
+        )
+        # Equal runtimes fall back to name order — stable across runs.
+        assert order == ["a_kind", "b_kind"]

@@ -1,0 +1,60 @@
+"""Unit tests for repro.util.serialization."""
+
+import dataclasses
+import enum
+
+import numpy as np
+import pytest
+
+from repro.util.serialization import dump_json, load_json, to_jsonable
+
+
+class Color(enum.Enum):
+    RED = "red"
+
+
+@dataclasses.dataclass
+class Point:
+    x: int
+    y: float
+    tags: tuple
+
+
+class TestToJsonable:
+    def test_primitives_passthrough(self):
+        for value in (None, True, 3, 2.5, "s"):
+            assert to_jsonable(value) == value
+
+    def test_enum(self):
+        assert to_jsonable(Color.RED) == "red"
+
+    def test_dataclass(self):
+        assert to_jsonable(Point(1, 2.0, ("a",))) == {
+            "x": 1,
+            "y": 2.0,
+            "tags": ["a"],
+        }
+
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(3)) == 3
+        assert to_jsonable(np.float64(2.5)) == 2.5
+
+    def test_numpy_array(self):
+        assert to_jsonable(np.array([1, 2])) == [1, 2]
+
+    def test_nested(self):
+        doc = {"a": [Point(0, 0.0, ()), {1, 2}], (3, 4): "v"}
+        out = to_jsonable(doc)
+        assert out["a"][0] == {"x": 0, "y": 0.0, "tags": []}
+        assert out["a"][1] == [1, 2]
+        assert out["[3, 4]"] == "v"
+
+    def test_unserializable_raises(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+
+def test_dump_load_roundtrip(tmp_path):
+    path = tmp_path / "sub" / "doc.json"
+    dump_json({"k": [1, 2, 3]}, path)
+    assert load_json(path) == {"k": [1, 2, 3]}

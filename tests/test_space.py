@@ -1,0 +1,159 @@
+"""Unit tests for the SearchSpace (sizes, codecs, fixed kinds, files)."""
+
+import math
+
+import pytest
+
+from repro.machine import shepard, single_node
+from repro.machine.kinds import MemKind, ProcKind
+from repro.mapping import MappingDecision, SearchSpace, is_valid
+
+
+class TestSizes:
+    def test_single_node_collapses_distribution(self, diamond_graph, mini_machine):
+        space = SearchSpace(diamond_graph, mini_machine)
+        for name in space.kind_names():
+            assert space.dims(name).distribute_options == (True,)
+
+    def test_multi_node_has_distribution(self, diamond_graph, shepard2):
+        space = SearchSpace(diamond_graph, shepard2)
+        assert space.dims("source").distribute_options == (True, False)
+
+    def test_size_formula(self, diamond_graph, mini_machine):
+        space = SearchSpace(diamond_graph, mini_machine)
+        # Per kind with s slots: 2 procs x 2 mems^s (no distribution dim).
+        expected = 1
+        for name in space.kind_names():
+            s = space.dims(name).num_slots
+            expected *= 2 * 2**s + 0  # GPU options + ...
+        # source:1, left:2, right:2, sink:3 slots
+        manual = (2 * 2) * (2 * 4) * (2 * 4) * (2 * 8)
+        assert space.size() == manual
+
+    def test_log2_size(self, diamond_graph, mini_machine):
+        space = SearchSpace(diamond_graph, mini_machine)
+        assert space.log2_size() == pytest.approx(math.log2(space.size()))
+
+    def test_unconstrained_larger(self, diamond_graph, shepard2):
+        space = SearchSpace(diamond_graph, shepard2)
+        assert space.unconstrained_size() > space.size()
+
+
+class TestCanonicalMappings:
+    def test_default_is_gpu_framebuffer(self, diamond_space):
+        mapping = diamond_space.default_mapping()
+        for name in diamond_space.kind_names():
+            decision = mapping.decision(name)
+            assert decision.proc_kind is ProcKind.GPU
+            assert all(m is MemKind.FRAMEBUFFER for m in decision.mem_kinds)
+            assert decision.distribute
+
+    def test_random_valid(self, diamond_space, diamond_graph, mini_machine, rng):
+        for i in range(25):
+            mapping = diamond_space.random_mapping(rng.fork(str(i)))
+            assert is_valid(diamond_graph, mini_machine, mapping)
+
+    def test_random_invalid_mode_produces_invalid(self, diamond_space, rng):
+        # With memory kinds drawn from all three, invalid mappings appear.
+        from repro.mapping.validate import is_valid as valid
+
+        seen_invalid = False
+        for i in range(50):
+            mapping = diamond_space.random_mapping(
+                rng.fork("inv", str(i)), valid=False
+            )
+            if not valid(
+                diamond_space.graph, diamond_space.machine, mapping
+            ):
+                seen_invalid = True
+                break
+        assert seen_invalid
+
+    def test_enumerate_matches_size(self, diamond_graph, mini_machine):
+        space = SearchSpace(diamond_graph, mini_machine)
+        count = sum(1 for _ in space.enumerate_valid())
+        assert count == space.size()
+
+    def test_enumerate_all_distinct_and_valid(self, diamond_graph, mini_machine):
+        space = SearchSpace(diamond_graph, mini_machine)
+        seen = set()
+        for mapping in space.enumerate_valid():
+            assert is_valid(diamond_graph, mini_machine, mapping)
+            seen.add(mapping.key())
+        assert len(seen) == space.size()
+
+
+class TestVectorCodec:
+    def test_roundtrip(self, diamond_space, rng):
+        mapping = diamond_space.random_mapping(rng)
+        vec = diamond_space.encode(mapping)
+        assert diamond_space.decode(vec) == mapping
+
+    def test_dims_shape(self, diamond_space):
+        dims = diamond_space.vector_dims()
+        # Per kind: dist + proc + one per slot; slots = 1+2+2+3 = 8.
+        assert len(dims) == 2 * 4 + 8
+
+    def test_decode_wraps_out_of_range(self, diamond_space):
+        dims = diamond_space.vector_dims()
+        vec = [d * 3 + 1 for d in dims]
+        mapping = diamond_space.decode(vec)  # no raise
+        assert len(mapping) == 4
+
+    def test_wrong_length_rejected(self, diamond_space):
+        with pytest.raises(ValueError):
+            diamond_space.decode([0])
+
+
+class TestFixedDecisions:
+    def test_fixed_excluded_from_search(self, diamond_graph, mini_machine):
+        fixed = {
+            "source": MappingDecision(
+                True, ProcKind.GPU, (MemKind.FRAMEBUFFER,)
+            )
+        }
+        space = SearchSpace(diamond_graph, mini_machine, fixed_decisions=fixed)
+        assert "source" not in space.kind_names()
+        assert not space.is_tunable("source")
+        assert space.num_tasks == 3
+
+    def test_fixed_present_in_mappings(self, diamond_graph, mini_machine, rng):
+        fixed = {
+            "source": MappingDecision(
+                True, ProcKind.GPU, (MemKind.ZERO_COPY,)
+            )
+        }
+        space = SearchSpace(diamond_graph, mini_machine, fixed_decisions=fixed)
+        for mapping in (
+            space.default_mapping(),
+            space.random_mapping(rng),
+            space.decode(space.encode(space.default_mapping())),
+        ):
+            assert mapping.decision("source").mem_kinds[0] is MemKind.ZERO_COPY
+
+    def test_unknown_fixed_kind_rejected(self, diamond_graph, mini_machine):
+        with pytest.raises(ValueError, match="unknown task kind"):
+            SearchSpace(
+                diamond_graph,
+                mini_machine,
+                fixed_decisions={
+                    "ghost": MappingDecision(
+                        True, ProcKind.CPU, (MemKind.SYSTEM,)
+                    )
+                },
+            )
+
+
+class TestSpaceFileIO:
+    def test_roundtrip(self, diamond_space, tmp_path):
+        path = tmp_path / "space.json"
+        diamond_space.to_file(path)
+        doc = SearchSpace.summary_from_file(path)
+        assert doc["graph"] == "diamond"
+        assert len(doc["kinds"]) == 4
+
+    def test_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError):
+            SearchSpace.summary_from_file(path)

@@ -1,0 +1,91 @@
+"""Unit tests for repro.util.timer with a fake clock."""
+
+import pytest
+
+from repro.util.timer import Budget, Stopwatch
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        clock = FakeClock()
+        watch = Stopwatch(clock).start()
+        clock.advance(2.0)
+        assert watch.elapsed == pytest.approx(2.0)
+        watch.stop()
+        clock.advance(5.0)
+        assert watch.elapsed == pytest.approx(2.0)
+        watch.start()
+        clock.advance(1.0)
+        assert watch.elapsed == pytest.approx(3.0)
+
+    def test_reset(self):
+        clock = FakeClock()
+        watch = Stopwatch(clock).start()
+        clock.advance(1.0)
+        watch.reset()
+        assert watch.elapsed == 0.0
+        assert not watch.running
+
+    def test_double_start_is_noop(self):
+        clock = FakeClock()
+        watch = Stopwatch(clock).start().start()
+        clock.advance(1.0)
+        assert watch.elapsed == pytest.approx(1.0)
+
+
+class TestBudget:
+    def test_time_limit(self):
+        clock = FakeClock()
+        budget = Budget(max_seconds=10.0, clock=clock)
+        assert not budget.exhausted
+        clock.advance(10.1)
+        assert budget.exhausted
+
+    def test_eval_limit(self):
+        budget = Budget(max_evaluations=2)
+        with budget.evaluation():
+            pass
+        assert not budget.exhausted
+        with budget.evaluation():
+            pass
+        assert budget.exhausted
+        assert budget.evaluations == 2
+
+    def test_unlimited(self):
+        clock = FakeClock()
+        budget = Budget(clock=clock)
+        clock.advance(1e9)
+        assert not budget.exhausted
+        assert budget.remaining_evaluations == float("inf")
+
+    def test_evaluation_fraction(self):
+        clock = FakeClock()
+        budget = Budget(clock=clock)
+        with budget.evaluation():
+            clock.advance(3.0)
+        clock.advance(1.0)
+        assert budget.evaluation_fraction == pytest.approx(0.75)
+
+    def test_failed_evaluation_not_counted(self):
+        budget = Budget()
+        with pytest.raises(RuntimeError):
+            with budget.evaluation():
+                raise RuntimeError("boom")
+        assert budget.evaluations == 0
+
+    def test_negative_limits_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(max_seconds=-1)
+        with pytest.raises(ValueError):
+            Budget(max_evaluations=-1)

@@ -1,0 +1,64 @@
+"""Unit tests for channel-path routing."""
+
+import pytest
+
+from repro.machine import Topology, lassen, shepard
+from repro.util.units import MIB
+
+
+@pytest.fixture
+def topo2():
+    return Topology(shepard(2))
+
+
+class TestCopyPath:
+    def test_self_path_free(self, topo2):
+        path = topo2.copy_path("n0.fb0", "n0.fb0")
+        assert path is not None
+        assert path.hops == ()
+        assert path.transfer_time(10 * MIB) == 0.0
+
+    def test_direct_channel(self, topo2):
+        path = topo2.copy_path("n0.fb0", "n0.zc")
+        assert path is not None
+        assert len(path.hops) == 1
+
+    def test_cross_node_routed(self, topo2):
+        path = topo2.copy_path("n0.fb0", "n1.fb0")
+        assert path is not None
+        assert len(path.hops) >= 2  # fb -> host -> network -> ... -> fb
+
+    def test_bottleneck_bandwidth(self, topo2):
+        path = topo2.copy_path("n0.fb0", "n1.fb0")
+        assert path.bandwidth == min(h.bandwidth for h in path.hops)
+
+    def test_latency_sums(self, topo2):
+        path = topo2.copy_path("n0.fb0", "n1.zc")
+        assert path.latency == pytest.approx(
+            sum(h.latency for h in path.hops)
+        )
+
+    def test_transfer_time_monotone_in_bytes(self, topo2):
+        t1 = topo2.transfer_time("n0.fb0", "n1.zc", MIB)
+        t2 = topo2.transfer_time("n0.fb0", "n1.zc", 64 * MIB)
+        assert t2 > t1
+
+    def test_cross_node_slower_than_local(self, topo2):
+        local = topo2.transfer_time("n0.fb0", "n0.zc", 64 * MIB)
+        remote = topo2.transfer_time("n0.fb0", "n1.zc", 64 * MIB)
+        assert remote > local
+
+    def test_connected(self, topo2):
+        assert topo2.connected()
+
+    def test_lassen_peer_gpu_copies(self):
+        topo = Topology(lassen(1))
+        path = topo.copy_path("n0.fb0", "n0.fb3")
+        assert path is not None
+        # Peer channel exists -> one hop.
+        assert len(path.hops) == 1
+
+    def test_caching_returns_same_object(self, topo2):
+        a = topo2.copy_path("n0.fb0", "n1.zc")
+        b = topo2.copy_path("n0.fb0", "n1.zc")
+        assert a is b

@@ -1,0 +1,80 @@
+"""Unit tests for repro.util.units."""
+
+import pytest
+
+from repro.util.units import (
+    GIB,
+    KIB,
+    MIB,
+    format_bytes,
+    format_rate,
+    format_time,
+    parse_bytes,
+)
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_kib(self):
+        assert format_bytes(2 * KIB) == "2.0 KiB"
+
+    def test_gib(self):
+        assert format_bytes(16 * GIB) == "16.0 GiB"
+
+    def test_fractional(self):
+        assert format_bytes(1536) == "1.5 KiB"
+
+    def test_negative(self):
+        assert format_bytes(-MIB) == "-1.0 MiB"
+
+    def test_zero(self):
+        assert format_bytes(0) == "0 B"
+
+
+class TestParseBytes:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("512", 512),
+            ("512B", 512),
+            ("2 KiB", 2 * KIB),
+            ("2kb", 2 * KIB),
+            ("16 GiB", 16 * GIB),
+            ("1.5 MiB", int(1.5 * MIB)),
+        ],
+    )
+    def test_roundtrip(self, text, expected):
+        assert parse_bytes(text) == expected
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            parse_bytes("sixteen gigabytes")
+
+    def test_parse_format_roundtrip(self):
+        assert parse_bytes(format_bytes(4 * GIB)) == 4 * GIB
+
+
+class TestFormatTime:
+    def test_seconds(self):
+        assert format_time(1.5) == "1.50 s"
+
+    def test_millis(self):
+        assert format_time(1.24e-3) == "1.24 ms"
+
+    def test_micros(self):
+        assert format_time(3.2e-6) == "3.20 us"
+
+    def test_nanos(self):
+        assert "ns" in format_time(5e-9)
+
+    def test_minutes(self):
+        assert format_time(90.0) == "1m30.0s"
+
+    def test_negative(self):
+        assert format_time(-0.5).startswith("-")
+
+
+def test_format_rate():
+    assert format_rate(2 * GIB) == "2.0 GiB/s"

@@ -1,0 +1,67 @@
+"""Unit tests for the text visualisation helpers."""
+
+import pytest
+
+from repro.machine.kinds import MemKind, ProcKind
+from repro.viz import Table, render_mapping, render_mapping_diff
+
+
+class TestRenderMapping:
+    def test_contains_kinds_and_marks(self, diamond_graph, diamond_space):
+        mapping = diamond_space.default_mapping()
+        text = render_mapping(diamond_graph, mapping, title="demo")
+        assert "demo" in text
+        for kind in ("source", "left", "right", "sink"):
+            assert kind in text
+        assert "GPU" in text
+        assert " F " in text  # frame-buffer marker
+        assert "Frame-Buffer" in text
+
+    def test_bars_scale_with_size(self, diamond_graph, diamond_space):
+        mapping = diamond_space.default_mapping()
+        text = render_mapping(diamond_graph, mapping)
+        lines = [l for l in text.splitlines() if "█" in l]
+        grid_line = next(l for l in lines if l.strip().startswith("grid"))
+        acc_line = next(l for l in lines if l.strip().startswith("acc"))
+        assert grid_line.count("█") > acc_line.count("█")
+
+
+class TestRenderDiff:
+    def test_identical(self, diamond_graph, diamond_space):
+        mapping = diamond_space.default_mapping()
+        assert "identical" in render_mapping_diff(
+            diamond_graph, mapping, mapping
+        )
+
+    def test_shows_changes_only(self, diamond_graph, diamond_space):
+        base = diamond_space.default_mapping()
+        other = base.with_proc("sink", ProcKind.CPU).with_mem(
+            "sink", 0, MemKind.SYSTEM
+        )
+        text = render_mapping_diff(diamond_graph, base, other)
+        assert "sink" in text
+        assert "gpu -> cpu" in text
+        assert "source" not in text
+
+
+class TestTable:
+    def test_render_aligned(self):
+        t = Table(["a", "bbbb"])
+        t.add_row(["x", 1.5])
+        t.add_row(["longer", 2.0])
+        text = t.render(title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(
+            len(line) == len(lines[1]) for line in lines[1:]
+        )
+        assert "1.50" in text
+
+    def test_row_arity_checked(self):
+        t = Table(["a"])
+        with pytest.raises(ValueError):
+            t.add_row([1, 2])
+
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            Table([])
