@@ -8,14 +8,12 @@ custom mapper, fixed strategies) are measured with the final protocol.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, Optional
 
 from repro.apps.base import App
 from repro.core import AutoMapDriver, OracleConfig
-from repro.machine import shepard
 from repro.machine.model import Machine
-from repro.mapping.mapping import Mapping
 from repro.runtime import SimConfig
 
 #: One fixed seed per harness run keeps every figure reproducible.
@@ -24,6 +22,17 @@ SEED = 2023
 #: Suggestion cap for generic tuners (the paper's OpenTuner runs suggest
 #: ~157k mappings; quick mode uses a smaller but same-regime cap).
 MAX_SUGGESTIONS = {"quick": 20_000, "full": 160_000}
+
+
+def bench_workers() -> int:
+    """Process-pool size for candidate evaluation during figure
+    reproduction.  Parallel evaluation is bit-identical to serial
+    (see :mod:`repro.parallel`), so the figures are unchanged; set
+    ``REPRO_BENCH_WORKERS=N`` to use N worker processes."""
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    if workers < 1:
+        raise ValueError("REPRO_BENCH_WORKERS must be >= 1")
+    return workers
 
 
 @dataclass
@@ -55,6 +64,7 @@ def make_driver(
         ),
         sim_config=SimConfig(noise_sigma=0.04, seed=seed, spill=spill),
         space=app.space(machine),
+        workers=bench_workers(),
     )
 
 

@@ -8,7 +8,6 @@ similarly to CD."  This ablation sweeps the rotation count on Pennant
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import register_result
 from benchmarks._common import MAX_SUGGESTIONS, SEED

@@ -12,7 +12,6 @@ nodes; ``REPRO_BENCH_SCALE=full`` reproduces the whole grid.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import register_result
 from benchmarks._common import fig6_inputs, fig6_node_counts, run_panel_point

@@ -10,7 +10,6 @@ GPU's frame-buffer bandwidth to dominate.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import register_result
 from benchmarks._common import fig6_inputs, fig6_node_counts, run_panel_point

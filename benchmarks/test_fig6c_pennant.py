@@ -9,10 +9,9 @@ GPU takes over; the custom mapper stays near 1.0 (0.92-1.05).
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import register_result
-from benchmarks._common import fig6_inputs, fig6_node_counts, make_driver, run_panel_point
+from benchmarks._common import fig6_inputs, fig6_node_counts, make_driver
 from repro.apps import PennantApp
 from repro.machine import shepard
 from repro.machine.kinds import ProcKind

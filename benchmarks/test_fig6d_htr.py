@@ -9,7 +9,6 @@ slightly above 1.0 at small grids and at/below 1.0 at large ones.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import register_result
 from benchmarks._common import fig6_inputs, fig6_node_counts, make_driver

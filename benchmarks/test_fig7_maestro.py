@@ -13,7 +13,6 @@ resolution) point; AutoMap matches or beats both everywhere.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import register_result
 from benchmarks._common import make_driver

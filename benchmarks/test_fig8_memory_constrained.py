@@ -14,7 +14,6 @@ placements.  Discovered mappings get slower as the input grows.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import register_result
 from benchmarks._common import make_driver

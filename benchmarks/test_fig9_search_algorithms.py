@@ -10,7 +10,6 @@ per-suggestion overhead — matching the paper's wall-clock search time.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import register_result
 from benchmarks._common import make_driver

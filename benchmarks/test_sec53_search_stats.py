@@ -9,7 +9,6 @@ candidates; OpenTuner 13-45 %.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import register_result
 from benchmarks._common import make_driver

@@ -17,12 +17,11 @@ observes.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.machine.kinds import MemKind, ProcKind
 from repro.machine.model import Machine
-from repro.mapping.decision import MappingDecision
 from repro.mapping.mapping import Mapping
 from repro.mapping.space import SearchSpace
 from repro.taskgraph.builder import GraphBuilder

@@ -24,10 +24,10 @@ bandwidth), the behaviour visible in Figure 6a.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Sequence
 
 from repro.apps.base import App, KindSpec, RootSpec, SlotSpec
-from repro.machine.kinds import MemKind, ProcKind
+from repro.machine.kinds import MemKind
 from repro.machine.model import Machine
 from repro.mapping.mapping import Mapping
 from repro.taskgraph.task import Privilege, ShardPattern

@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.apps.base import App, KindSpec, RootSpec, SlotSpec
-from repro.machine.kinds import MemKind, ProcKind
+from repro.machine.kinds import MemKind
 from repro.machine.model import Machine
 from repro.mapping.mapping import Mapping
 from repro.taskgraph.task import Privilege, ShardPattern

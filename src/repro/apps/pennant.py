@@ -23,7 +23,7 @@ Pennant inputs run best with many kinds on the CPU (Figure 6c).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 from repro.apps.base import App, KindSpec, RootSpec, SlotSpec
 from repro.machine.kinds import MemKind, ProcKind

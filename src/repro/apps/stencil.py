@@ -24,7 +24,6 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.apps.base import App, KindSpec, RootSpec, SlotSpec
-from repro.machine.model import Machine
 from repro.taskgraph.task import Privilege, ShardPattern
 
 __all__ = ["StencilApp"]

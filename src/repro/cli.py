@@ -103,6 +103,13 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument(
         "--max-suggestions", type=int, default=20_000
     )
+    tune.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for parallel candidate evaluation "
+        "(1 = serial; results are identical either way)",
+    )
     tune.add_argument("--workdir", default=None)
     tune.add_argument(
         "--no-spill",
@@ -136,6 +143,7 @@ def _cmd_tune(args) -> int:
             noise_sigma=0.04, seed=args.seed, spill=not args.no_spill
         ),
         space=app.space(machine),
+        workers=args.workers,
     )
     default = session.default_mapping()
     t_default = session.measure(default)

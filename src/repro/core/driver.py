@@ -16,6 +16,7 @@ from typing import List, Optional, Tuple, Union
 
 from repro.core.oracle import OracleConfig, SimulationOracle
 from repro.core.profiles import ProfileDatabase
+from repro.parallel.batch import BatchOracle
 from repro.machine.model import Machine
 from repro.mapping.mapping import Mapping
 from repro.mapping.space import SearchSpace
@@ -112,6 +113,7 @@ class AutoMapDriver:
         final_candidates: int = FINAL_CANDIDATES,
         final_runs: int = FINAL_RUNS,
         space: Optional[SearchSpace] = None,
+        workers: int = 1,
     ) -> None:
         self.graph = graph
         self.machine = machine
@@ -129,13 +131,17 @@ class AutoMapDriver:
         # decisions, §3.3) — e.g. Maestro tunes only the LF ensemble.
         self.space = space or SearchSpace(graph, machine)
         self.simulator = Simulator(graph, machine, self.sim_config)
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
 
     # ------------------------------------------------------------------
     def tune(self, start: Optional[Mapping] = None) -> TuningReport:
         """Run the full search + final re-evaluation protocol."""
         profiles = ProfileDatabase()
-        oracle = SimulationOracle(
-            self.simulator, self.oracle_config, profiles
+        oracle = BatchOracle(
+            SimulationOracle(self.simulator, self.oracle_config, profiles),
+            workers=self.workers,
         )
         rng = RngStream(self.seed).fork("search", self.algorithm.name)
         _LOG.info(
@@ -145,21 +151,27 @@ class AutoMapDriver:
                 machine=self.machine.name,
                 algorithm=self.algorithm.name,
                 space_log2=round(self.space.log2_size(), 1),
+                workers=self.workers,
             )
         )
-        result = self.algorithm.search(self.space, oracle, rng, start=start)
-
-        # Final step (§5): re-measure the top candidates with more runs
-        # and report the fastest average.
-        finalists: List[Tuple[Mapping, float, float, int]] = []
-        for record in profiles.best(self.final_candidates):
-            extra = max(0, self.final_runs - record.count)
-            if extra:
-                oracle.measure_more(record.mapping, extra)
-            finalists.append(
-                (record.mapping, record.mean, record.stddev, record.count)
+        try:
+            result = self.algorithm.search(
+                self.space, oracle, rng, start=start
             )
-        finalists.sort(key=lambda item: item[1])
+
+            # Final step (§5): re-measure the top candidates with more
+            # runs and report the fastest average.
+            finalists: List[Tuple[Mapping, float, float, int]] = []
+            for record in profiles.best(self.final_candidates):
+                extra = max(0, self.final_runs - record.count)
+                if extra:
+                    oracle.measure_more(record.mapping, extra)
+                finalists.append(
+                    (record.mapping, record.mean, record.stddev, record.count)
+                )
+            finalists.sort(key=lambda item: item[1])
+        finally:
+            oracle.close()
 
         if finalists:
             best_mapping, best_mean, best_stddev, _ = finalists[0]

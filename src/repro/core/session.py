@@ -50,6 +50,7 @@ class AutoMapSession:
         sim_config: Optional[SimConfig] = None,
         seed: int = 0,
         space=None,
+        workers: int = 1,
     ) -> None:
         self.graph = graph
         self.machine = machine
@@ -62,6 +63,7 @@ class AutoMapSession:
             sim_config=sim_config,
             seed=seed,
             space=space,
+            workers=workers,
         )
 
     # ------------------------------------------------------------------

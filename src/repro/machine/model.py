@@ -14,7 +14,7 @@ for memories, and bandwidth/latency for access links and channels.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.machine.kinds import ADDRESSABLE, MemKind, ProcKind
 from repro.util.units import format_bytes

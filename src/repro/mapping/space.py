@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.machine.kinds import MemKind, ProcKind, addressable_mem_kinds
+from repro.machine.kinds import MemKind, ProcKind
 from repro.machine.model import Machine
 from repro.mapping.decision import MappingDecision
 from repro.mapping.mapping import Mapping

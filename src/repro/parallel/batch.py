@@ -1,0 +1,229 @@
+"""Parallel batch evaluation of candidate mappings.
+
+:class:`BatchOracle` wraps a :class:`~repro.core.oracle.SimulationOracle`
+and fans the expensive part of evaluation — the deterministic simulation
+of previously-unseen valid mappings — out over a process pool, while
+keeping every observable result bit-identical to the serial oracle.
+
+The trick is a strict split between *computing* and *accounting*:
+
+* :meth:`prefetch` runs the deterministic simulations of a batch's cache
+  misses in worker processes and absorbs the results into the driver-side
+  simulator's memo cache.  It touches no oracle state — no suggestion
+  counters, no search clock, no trace.
+* :meth:`evaluate_many` prefetches, then replays the batch through the
+  wrapped oracle's ordinary :meth:`~repro.core.oracle.SimulationOracle.
+  evaluate` in submission order.  Every replayed evaluation is now a pure
+  cache hit plus noise draws (noise is a pure function of seed, mapping
+  key, and run index), so the accounting — ``suggested``, ``evaluated``,
+  ``sim_elapsed``, the §5.3 trace — advances exactly as the serial path
+  would have advanced it.
+
+With ``workers=1`` the pool is never created and every call degrades to
+the serial path, so a single code path in the search layer serves both
+modes.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
+
+from repro.mapping.mapping import Mapping
+from repro.mapping.validate import explain_invalid
+from repro.parallel.spec import SimulatorSpec, init_worker, run_mapping
+from repro.search.base import INFEASIBLE, EvalOutcome
+from repro.util.logging import get_logger, kv
+
+if TYPE_CHECKING:  # import cycle: repro.core.driver uses BatchOracle
+    from repro.core.oracle import SimulationOracle
+
+__all__ = ["BatchOracle"]
+
+_LOG = get_logger("parallel.batch")
+
+#: Batch capacity per worker: deep enough to amortise pool dispatch,
+#: shallow enough that speculative batches rarely outrun the budget.
+BATCH_DEPTH = 8
+
+
+class BatchOracle:
+    """A batching, process-parallel front-end over the serial oracle.
+
+    Satisfies the :class:`repro.search.base.Oracle` protocol (single
+    evaluations delegate to the wrapped oracle) and adds the batch API
+    the search layer discovers by duck typing: ``batch_size``,
+    ``prefetch``, ``evaluate_many``, and ``peek``.
+    """
+
+    def __init__(
+        self,
+        oracle: "SimulationOracle",
+        workers: int = 1,
+        batch_depth: int = BATCH_DEPTH,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.oracle = oracle
+        self.workers = workers
+        self.batch_depth = batch_depth
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # Oracle protocol: single-candidate path delegates untouched.
+    # ------------------------------------------------------------------
+    def evaluate(self, mapping: Mapping) -> EvalOutcome:
+        return self.oracle.evaluate(mapping)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.oracle.exhausted
+
+    def kind_runtimes(self, mapping: Mapping) -> dict:
+        return self.oracle.kind_runtimes(mapping)
+
+    def __getattr__(self, name: str):
+        # Statistics, profiles, measure_more, ... — read-through to the
+        # wrapped oracle so the driver can treat both interchangeably.
+        return getattr(self.oracle, name)
+
+    # ------------------------------------------------------------------
+    # Batch API
+    # ------------------------------------------------------------------
+    @property
+    def batch_size(self) -> int:
+        """How many candidates the search layer should group per batch
+        (1 = serial; algorithms fall back to one-at-a-time loops)."""
+        if self.workers <= 1:
+            return 1
+        return self.workers * self.batch_depth
+
+    def peek(self, mapping: Mapping) -> Optional[float]:
+        """The performance this oracle *would* report for ``mapping`` if
+        it is already decided — recorded profile or validity rejection —
+        without consuming any budget or touching any statistic.  Returns
+        None for candidates that would need an execution.  Used by
+        speculative batch generation (e.g. the ensemble tuner predicting
+        a generation ahead)."""
+        simulator = self.oracle.simulator
+        if explain_invalid(simulator.graph, simulator.machine, mapping):
+            return INFEASIBLE
+        record = self.oracle.profiles.lookup(mapping)
+        if record is None:
+            return None
+        return INFEASIBLE if record.failed else record.mean
+
+    def prefetch(self, mappings: Iterable[Mapping]) -> int:
+        """Execute the batch's cache misses in worker processes and
+        absorb their deterministic results into the simulator cache.
+
+        Deduplicates within the batch, skips invalid candidates and
+        candidates already known to the profiles database or the
+        simulator cache, and trims to the remaining suggestion /
+        evaluation budget so a speculative batch cannot run far past the
+        search's end.  Returns the number of mappings executed in
+        workers (0 with ``workers=1`` — the serial path computes
+        lazily).  Mappings that fail with out-of-memory in a worker are
+        left uncached; the replay reproduces the failure from the
+        driver's own memory planner.
+        """
+        if self.workers <= 1:
+            return 0
+        simulator = self.oracle.simulator
+        budget = self._remaining_budget()
+        todo: List[Mapping] = []
+        seen = set()
+        for mapping in mappings:
+            if budget is not None and len(todo) >= budget:
+                break
+            key = mapping.key()
+            if key in seen:
+                continue
+            seen.add(key)
+            if simulator.cached(mapping) is not None:
+                continue
+            if self.oracle.profiles.lookup(mapping) is not None:
+                continue
+            if explain_invalid(simulator.graph, simulator.machine, mapping):
+                continue
+            todo.append(mapping)
+        if not todo:
+            return 0
+
+        pool = self._ensure_pool()
+        # Chunked dispatch amortises IPC for cheap simulations; ~4 chunks
+        # per worker keeps the tail balanced when run times vary.
+        chunksize = max(1, math.ceil(len(todo) / (self.workers * 4)))
+        preloaded = 0
+        for mapping, result in zip(
+            todo, pool.map(run_mapping, todo, chunksize=chunksize)
+        ):
+            if result.ok and simulator.preload(mapping, result.to_sim_result()):
+                preloaded += 1
+        _LOG.debug(
+            kv("prefetch", submitted=len(todo), preloaded=preloaded)
+        )
+        return len(todo)
+
+    def evaluate_many(
+        self, mappings: Sequence[Mapping]
+    ) -> List[EvalOutcome]:
+        """Evaluate a batch of candidates, results identical to calling
+        :meth:`evaluate` in a loop — same outcomes, same accounting, same
+        trace order.  Stops once the budget is exhausted (mirroring the
+        serial loops' between-candidate checks), so the returned list may
+        be shorter than the input."""
+        self.prefetch(mappings)
+        outcomes: List[EvalOutcome] = []
+        for mapping in mappings:
+            if self.oracle.exhausted:
+                break
+            outcomes.append(self.oracle.evaluate(mapping))
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _remaining_budget(self) -> Optional[int]:
+        """Upper bound on evaluations the search can still pay for, from
+        the wrapped oracle's suggestion/evaluation limits (None =
+        unbounded)."""
+        cfg = self.oracle.config
+        bounds = []
+        if cfg.max_suggestions is not None:
+            bounds.append(cfg.max_suggestions - self.oracle.suggested)
+        if cfg.max_evaluations is not None:
+            bounds.append(cfg.max_evaluations - self.oracle.evaluated)
+        if not bounds:
+            return None
+        return max(0, min(bounds))
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            spec = SimulatorSpec.of(self.oracle.simulator)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=init_worker,
+                initargs=(spec,),
+            )
+            _LOG.info(kv("pool-start", workers=self.workers))
+        return self._pool
+
+    @property
+    def pool_started(self) -> bool:
+        """Whether worker processes were ever spawned (False for the
+        ``workers=1`` fallback)."""
+        return self._pool is not None
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "BatchOracle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

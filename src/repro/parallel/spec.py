@@ -1,0 +1,104 @@
+"""Picklable simulator specs and the worker-process entry points.
+
+A :class:`SimulatorSpec` captures everything needed to rebuild a
+:class:`~repro.runtime.simulator.Simulator` in another process: the task
+graph, the machine model, and the simulator configuration — all plain
+picklable data.  Worker processes receive the spec once (through the
+pool initializer), rebuild the simulator, and then serve per-mapping
+execution requests, returning only the deterministic part of the result
+(makespan, execution report, executed mapping).  Noise draws stay on the
+driver process: :class:`~repro.runtime.noise.NoiseModel` is a pure
+function of (seed, context, run index), so sampling after the fact is
+bit-identical to sampling inline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.machine.model import Machine
+from repro.mapping.mapping import Mapping
+from repro.runtime.executor import ExecutionReport
+from repro.runtime.memory import OOMError
+from repro.runtime.simulator import SimConfig, SimResult, Simulator
+from repro.taskgraph.graph import TaskGraph
+
+__all__ = ["SimulatorSpec", "WorkerResult"]
+
+
+@dataclass(frozen=True)
+class SimulatorSpec:
+    """Everything a worker needs to rebuild the driver's simulator."""
+
+    graph: TaskGraph
+    machine: Machine
+    sim_config: SimConfig
+
+    @staticmethod
+    def of(simulator: Simulator) -> "SimulatorSpec":
+        return SimulatorSpec(
+            graph=simulator.graph,
+            machine=simulator.machine,
+            sim_config=simulator.config,
+        )
+
+    def build(self) -> Simulator:
+        return Simulator(self.graph, self.machine, self.sim_config)
+
+
+@dataclass(frozen=True)
+class WorkerResult:
+    """The deterministic outcome of simulating one mapping in a worker.
+
+    ``oom_reason`` is set (and the result fields are None) when the
+    mapping overflowed a memory with spill disabled; the driver-side
+    replay reproduces the :class:`OOMError` from its own memory planner.
+    """
+
+    makespan: Optional[float] = None
+    executed_mapping: Optional[Mapping] = None
+    report: Optional[ExecutionReport] = None
+    oom_reason: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.oom_reason is None
+
+    def to_sim_result(self) -> SimResult:
+        assert self.ok
+        return SimResult(
+            makespan=self.makespan,
+            executed_mapping=self.executed_mapping,
+            report=self.report,
+        )
+
+
+#: Per-worker-process simulator, built once by :func:`init_worker`.
+_WORKER_SIMULATOR: Optional[Simulator] = None
+
+
+def init_worker(spec: SimulatorSpec) -> None:
+    """Pool initializer: rebuild the simulator once per worker process."""
+    global _WORKER_SIMULATOR
+    _WORKER_SIMULATOR = spec.build()
+
+
+def run_mapping(mapping: Mapping) -> WorkerResult:
+    """Simulate one mapping in the worker's rebuilt simulator.
+
+    Only called with mappings the driver already validated, so
+    :class:`~repro.mapping.validate.MappingError` is a programming error
+    and propagates; out-of-memory failures are expected outcomes and are
+    returned as data.
+    """
+    assert _WORKER_SIMULATOR is not None, "worker used before init_worker"
+    try:
+        result = _WORKER_SIMULATOR.run(mapping)
+    except OOMError as exc:
+        return WorkerResult(oom_reason=str(exc))
+    return WorkerResult(
+        makespan=result.makespan,
+        executed_mapping=result.executed_mapping,
+        report=result.report,
+    )

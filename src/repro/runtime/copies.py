@@ -11,7 +11,6 @@ mapping trade-offs live.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 from repro.machine.topology import Topology
 from repro.runtime.events import TimelinePool

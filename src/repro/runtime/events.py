@@ -16,8 +16,8 @@ hundreds of mappings.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 __all__ = ["ResourceTimeline", "TimelinePool"]
 

@@ -26,7 +26,7 @@ physical instances.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.machine.kinds import MemKind, addressable_mem_kinds
 from repro.machine.model import Machine

@@ -128,6 +128,33 @@ class Simulator:
         )
 
     # ------------------------------------------------------------------
+    # Deterministic-result cache plumbing (used by repro.parallel to
+    # absorb results computed in worker processes).
+    # ------------------------------------------------------------------
+    def cached(self, mapping: Mapping) -> Optional[SimResult]:
+        """The memoised deterministic result for ``mapping``, if any."""
+        return self._cache.get(mapping.key())
+
+    def preload(self, mapping: Mapping, result: SimResult) -> bool:
+        """Insert an externally-computed deterministic result into the
+        memo cache, so a later :meth:`run` of the same mapping is a pure
+        cache hit (plus noise draws).  The result must have been produced
+        by an identically-configured simulator — e.g. by a worker process
+        that rebuilt this simulator from its picklable spec.  Counts as
+        one execution when actually inserted; returns False when the
+        mapping was already cached."""
+        key = mapping.key()
+        if key in self._cache:
+            return False
+        self._cache[key] = SimResult(
+            makespan=result.makespan,
+            executed_mapping=result.executed_mapping,
+            report=result.report,
+        )
+        self.executions += 1
+        return True
+
+    # ------------------------------------------------------------------
     def memory_demand(self, mapping: Mapping):
         """Static footprint report for ``mapping`` (no execution)."""
         validate(self.graph, self.machine, mapping)

@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 from math import log, sqrt
-from typing import Deque, Dict, List, Sequence
+from typing import Deque, Dict, Sequence
 
 __all__ = ["AUCBandit"]
 

@@ -19,7 +19,6 @@ contract encodes three behaviours every algorithm relies on:
 from __future__ import annotations
 
 import abc
-import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Protocol, runtime_checkable
 

@@ -10,7 +10,7 @@ collection arguments.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.machine.kinds import ADDRESSABLE
 from repro.mapping.mapping import Mapping
@@ -82,45 +82,118 @@ class CoordinateDescent(SearchAlgorithm):
         colgraph: Optional[CollectionGraph],
     ) -> Tuple[Mapping, float]:
         """OptimizeTask (Alg. 1 lines 10-19); ``colgraph`` enables the
-        co-location constraints of line 17."""
+        co-location constraints of line 17.
+
+        Each phase's move-set is materialised up front so a batching
+        oracle can speculatively evaluate the whole coordinate in
+        parallel (the moves are independent given the incumbent); the
+        accept/reject walk itself stays strictly serial, so results are
+        identical to the one-at-a-time path.
+        """
+        # Lines 11-12: the distribution setting.
+        current, performance = self._descend(
+            oracle,
+            current,
+            performance,
+            self._distribute_moves(space, kind_name),
+        )
+        # Lines 13-18: processor kind x (collection x memory kind).
+        current, performance = self._descend(
+            oracle,
+            current,
+            performance,
+            self._placement_moves(space, kind_name, colgraph),
+        )
+        return current, performance
+
+    def _distribute_moves(
+        self, space: SearchSpace, kind_name: str
+    ) -> List[Callable[[Mapping], Mapping]]:
+        """Move builders for Alg. 1 lines 11-12 (one per distribution
+        option); each builds a candidate from a given incumbent."""
+        return [
+            lambda m, d=distribute: m.with_distribute(kind_name, d)
+            for distribute in space.dims(kind_name).distribute_options
+        ]
+
+    def _placement_moves(
+        self,
+        space: SearchSpace,
+        kind_name: str,
+        colgraph: Optional[CollectionGraph],
+    ) -> List[Callable[[Mapping], Mapping]]:
+        """Move builders for Alg. 1 lines 13-18, in the serial visit
+        order: processor kind x (slot, largest first) x memory kind."""
         dims = space.dims(kind_name)
 
-        # Lines 11-12: the distribution setting.
-        for distribute in dims.distribute_options:
-            if oracle.exhausted:
-                return current, performance
-            candidate = current.with_distribute(kind_name, distribute)
-            current, performance = self._test(
-                oracle, candidate, current, performance
-            )
+        def build(
+            m: Mapping,
+            proc_kind=None,
+            slot_index=None,
+            mem_kind=None,
+        ) -> Mapping:
+            candidate = m.with_proc(kind_name, proc_kind)
+            candidate = candidate.with_mem(kind_name, slot_index, mem_kind)
+            if colgraph is not None:
+                return apply_colocation_constraints(
+                    space,
+                    colgraph,
+                    candidate,
+                    kind_name,
+                    slot_index,
+                    proc_kind,
+                    mem_kind,
+                )
+            return self._legalize_kind(space, candidate, kind_name)
 
-        # Lines 13-18: processor kind x (collection x memory kind).
+        moves: List[Callable[[Mapping], Mapping]] = []
+        slot_order = self.ordered_slots(space, kind_name)
         for proc_kind in dims.proc_options:
-            for slot_index in self.ordered_slots(space, kind_name):
+            for slot_index in slot_order:
                 for mem_kind in dims.mem_options[proc_kind]:
-                    if oracle.exhausted:
-                        return current, performance
-                    candidate = current.with_proc(kind_name, proc_kind)
-                    candidate = candidate.with_mem(
-                        kind_name, slot_index, mem_kind
-                    )
-                    if colgraph is not None:
-                        candidate = apply_colocation_constraints(
-                            space,
-                            colgraph,
-                            candidate,
-                            kind_name,
-                            slot_index,
-                            proc_kind,
-                            mem_kind,
+                    moves.append(
+                        lambda m, p=proc_kind, s=slot_index, k=mem_kind: (
+                            build(m, proc_kind=p, slot_index=s, mem_kind=k)
                         )
-                    else:
-                        candidate = self._legalize_kind(
-                            space, candidate, kind_name
-                        )
-                    current, performance = self._test(
-                        oracle, candidate, current, performance
                     )
+        return moves
+
+    def _descend(
+        self,
+        oracle: Oracle,
+        current: Mapping,
+        performance: float,
+        moves: List[Callable[[Mapping], Mapping]],
+    ) -> Tuple[Mapping, float]:
+        """Serially test each move against the incumbent, keeping strict
+        improvements (TestMapping, Alg. 1 lines 20-24).
+
+        When the oracle supports batching, the move-set built from the
+        incumbent is prefetched so the serial walk mostly hits the cache;
+        an accepted move invalidates the speculation for the remaining
+        moves, so the tail is re-prefetched from the new incumbent.  The
+        walk itself — and therefore the result and every search
+        statistic — is independent of whether prefetching happened.
+        """
+        if oracle.exhausted:
+            return current, performance
+        prefetch = getattr(oracle, "prefetch", None)
+        batching = (
+            prefetch is not None and getattr(oracle, "batch_size", 1) > 1
+        )
+        if batching:
+            prefetch([build(current) for build in moves])
+        for index, build in enumerate(moves):
+            if oracle.exhausted:
+                break
+            previous = current
+            current, performance = self._test(
+                oracle, build(current), current, performance
+            )
+            if batching and current is not previous:
+                prefetch(
+                    [build(current) for build in moves[index + 1 :]]
+                )
         return current, performance
 
     @staticmethod

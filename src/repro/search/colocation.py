@@ -25,7 +25,7 @@ legalisation sweep guarantees the returned mapping satisfies constraint
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import Optional, Set
 
 from repro.machine.kinds import ADDRESSABLE, MemKind, ProcKind
 from repro.mapping.mapping import Mapping

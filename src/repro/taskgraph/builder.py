@@ -19,7 +19,7 @@ privileges at runtime — the dynamic analysis AutoMap piggybacks on.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.machine.kinds import ProcKind
 from repro.taskgraph.collection import Collection, overlapping

@@ -16,8 +16,7 @@ overlap map ``O[(t, c)]`` iterates over.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.taskgraph.collection import overlap_bytes
 from repro.taskgraph.graph import TaskGraph

@@ -16,8 +16,8 @@ collections (one per slot).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
 
 from repro.machine.kinds import ProcKind
 from repro.taskgraph.collection import Collection

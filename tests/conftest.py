@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.machine import Machine, lassen, shepard, single_node
-from repro.machine.kinds import MemKind, ProcKind
 from repro.mapping import SearchSpace
 from repro.runtime import SimConfig, Simulator
 from repro.taskgraph import ArgSlot, GraphBuilder, Privilege, ShardPattern

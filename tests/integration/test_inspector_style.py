@@ -8,7 +8,6 @@ inspector) followed by executing the remainder under the selected
 mapping, and checks the combined run beats staying on the default.
 """
 
-import pytest
 
 from repro.apps import StencilApp
 from repro.core import AutoMapDriver, OracleConfig

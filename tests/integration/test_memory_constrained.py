@@ -6,7 +6,6 @@ from repro.apps import PennantApp
 from repro.core import AutoMapDriver, OracleConfig
 from repro.machine import shepard
 from repro.machine.kinds import MemKind
-from repro.mapping import SearchSpace
 from repro.runtime import SimConfig
 from repro.runtime.memory import MemoryPlanner, OOMError
 

@@ -10,7 +10,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.machine import single_node
-from repro.machine.kinds import ADDRESSABLE, MemKind, ProcKind
+from repro.machine.kinds import ADDRESSABLE, ProcKind
 from repro.mapping import SearchSpace, is_valid
 from repro.search.colocation import apply_colocation_constraints
 from repro.taskgraph import GraphBuilder, Privilege, induced_collection_graph

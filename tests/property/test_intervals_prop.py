@@ -1,6 +1,6 @@
 """Property-based tests for IntervalSet (set-algebra laws)."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.runtime.intervals import IntervalSet

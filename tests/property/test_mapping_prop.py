@@ -1,10 +1,10 @@
 """Property-based tests on mappings and the search-space codec."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.machine import single_node
-from repro.machine.kinds import MemKind, ProcKind
+from repro.machine.kinds import MemKind
 from repro.mapping import SearchSpace, is_valid
 from repro.taskgraph import GraphBuilder, Privilege
 from repro.util.rng import RngStream

@@ -5,7 +5,7 @@ from hypothesis import strategies as st
 
 from repro.machine import single_node
 from repro.mapping import SearchSpace, is_valid
-from repro.runtime.memory import MemoryPlanner, OOMError
+from repro.runtime.memory import MemoryPlanner
 from repro.taskgraph import GraphBuilder, Privilege
 from repro.util.rng import RngStream
 from repro.util.units import MIB

@@ -6,12 +6,11 @@ from repro.core import (
     AutoMapDriver,
     AutoMapMapper,
     AutoMapSession,
-    OracleConfig,
     generate_space_file,
     load_space_file,
 )
 from repro.core.driver import make_algorithm
-from repro.machine.kinds import MemKind, ProcKind
+from repro.machine.kinds import MemKind
 from repro.mapping import SearchSpace
 from repro.runtime import SimConfig
 

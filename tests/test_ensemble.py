@@ -13,7 +13,6 @@ from repro.search.techniques import (
     PatternSearch,
     TunerState,
     UniformRandom,
-    default_techniques,
 )
 from repro.util.rng import RngStream
 

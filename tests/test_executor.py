@@ -7,7 +7,7 @@ from repro.machine.kinds import MemKind, ProcKind
 from repro.mapping import SearchSpace
 from repro.mapping.validate import MappingError
 from repro.runtime import OOMError, SimConfig, Simulator
-from repro.taskgraph import ArgSlot, GraphBuilder, Privilege, ShardPattern
+from repro.taskgraph import GraphBuilder, Privilege
 from repro.util.units import MIB
 
 
@@ -49,7 +49,7 @@ class TestExecutorSemantics:
         split = base.with_proc("cons", ProcKind.CPU).with_mem(
             "cons", 0, MemKind.SYSTEM
         )
-        r_same = sim.run(base)
+        sim.run(base)
         r_split = sim.run(split)
         assert r_split.report.copy_stats.num_copies > 0
         assert r_split.report.copy_stats.bytes_moved > 0

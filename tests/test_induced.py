@@ -1,6 +1,5 @@
 """Unit tests for the induced collection graph C (paper §4.2)."""
 
-import pytest
 
 from repro.taskgraph import GraphBuilder, Privilege, induced_collection_graph
 from repro.taskgraph.induced import CollectionGraph

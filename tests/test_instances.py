@@ -1,6 +1,5 @@
 """Unit tests for the coherence layer (segments, caches, invalidation)."""
 
-import pytest
 
 from repro.runtime.instances import CoherenceState, SegmentMap
 

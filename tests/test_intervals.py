@@ -1,6 +1,5 @@
 """Unit tests for the interval-set substrate."""
 
-import pytest
 
 from repro.runtime.intervals import IntervalSet
 

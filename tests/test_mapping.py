@@ -110,8 +110,7 @@ class TestValidation:
             validate(diamond_graph, mini_machine, partial)
 
     def test_missing_variant_invalid(self, mini_machine):
-        from tests.conftest import build_diamond_graph
-        from repro.taskgraph import ArgSlot, GraphBuilder, Privilege
+        from repro.taskgraph import GraphBuilder, Privilege
 
         b = GraphBuilder("cpu_only")
         c = b.collection("c", nbytes=1 << 10)

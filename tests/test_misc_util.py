@@ -45,7 +45,6 @@ class TestCopyEngine:
     def test_duration_includes_dma_efficiency(self, engine):
         need = CopyNeed(src_mem="n0.fb0", lo=0, hi=64 * MIB, src_time=0.0)
         done = engine.execute(need, "n0.zc", ready=0.0)
-        machine = shepard(1)
         link_bw = 1.2e10  # host-device channel
         expected = 1e-5 + 64 * MIB / (link_bw * DMA_EFFICIENCY)
         assert done == pytest.approx(expected, rel=1e-6)

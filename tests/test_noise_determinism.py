@@ -6,8 +6,12 @@ identically-seeded experiments produced different measurements in
 different runs.  The fix derives the stream from ``repr(context)``.
 """
 
+import os
 import subprocess
 import sys
+from pathlib import Path
+
+import repro
 
 SNIPPET = r"""
 from repro.runtime.noise import NoiseModel
@@ -18,11 +22,22 @@ print(repr([noise.sample(1.0, context, i) for i in range(3)]))
 
 
 def run_subprocess(hash_seed: str) -> str:
+    # A minimal env isolates the hash-seed override, but the subprocess
+    # still needs to find the repro package: put the directory we
+    # imported it from (plus any caller-configured PYTHONPATH) back.
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    python_path = os.pathsep.join(
+        [src_dir] + [p for p in [os.environ.get("PYTHONPATH")] if p]
+    )
     result = subprocess.run(
         [sys.executable, "-c", SNIPPET],
         capture_output=True,
         text=True,
-        env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+        env={
+            "PYTHONHASHSEED": hash_seed,
+            "PATH": os.environ.get("PATH", "/usr/bin:/bin"),
+            "PYTHONPATH": python_path,
+        },
         check=True,
     )
     return result.stdout.strip()

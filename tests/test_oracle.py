@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import OracleConfig, SimulationOracle
-from repro.machine.kinds import MemKind, ProcKind
+from repro.machine.kinds import ProcKind
 from repro.mapping import SearchSpace
 from repro.runtime import SimConfig, Simulator
 from repro.search.base import INFEASIBLE
@@ -144,6 +144,6 @@ class TestMeasureMore:
     def test_fresh_draws(self, oracle, diamond_space):
         mapping = diamond_space.default_mapping()
         oracle.evaluate(mapping)
-        more = oracle.measure_more(mapping, 10)
+        oracle.measure_more(mapping, 10)
         record = oracle.profiles.lookup(mapping)
         assert len(set(record.samples)) == record.count  # all distinct

@@ -9,8 +9,8 @@ from repro.runtime.events import ResourceTimeline, TimelinePool
 from repro.runtime.memory import MemoryPlanner, OOMError
 from repro.runtime.noise import NoiseModel
 from repro.runtime.placement import Placer
-from repro.taskgraph import ArgSlot, GraphBuilder, Privilege
-from repro.util.units import GIB, MIB
+from repro.taskgraph import GraphBuilder, Privilege
+from repro.util.units import MIB
 
 
 class TestResourceTimeline:

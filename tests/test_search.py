@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import OracleConfig, SimulationOracle
-from repro.machine.kinds import ADDRESSABLE, MemKind, ProcKind
+from repro.machine.kinds import MemKind, ProcKind
 from repro.mapping import SearchSpace, is_valid
 from repro.runtime import SimConfig, Simulator
 from repro.search import (
@@ -13,7 +13,6 @@ from repro.search import (
     RandomSearch,
     apply_colocation_constraints,
 )
-from repro.search.base import INFEASIBLE
 from repro.taskgraph import induced_collection_graph
 from repro.util.rng import RngStream
 
@@ -107,7 +106,7 @@ class TestCD:
         oracle = make_oracle(
             diamond_graph, mini_machine, max_evaluations=3
         )
-        result = CoordinateDescent().search(
+        CoordinateDescent().search(
             SearchSpace(diamond_graph, mini_machine), oracle, RngStream(1)
         )
         assert oracle.evaluated <= 4  # start + budget slack of one

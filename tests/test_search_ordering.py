@@ -1,7 +1,6 @@
 """Unit tests for Algorithm 1's orderings (tasks by runtime, collections
 by size) and the search-result plumbing."""
 
-import pytest
 
 from repro.core import OracleConfig, SimulationOracle
 from repro.mapping import SearchSpace

@@ -4,7 +4,6 @@ import math
 
 import pytest
 
-from repro.machine import shepard, single_node
 from repro.machine.kinds import MemKind, ProcKind
 from repro.mapping import MappingDecision, SearchSpace, is_valid
 

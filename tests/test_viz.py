@@ -20,9 +20,9 @@ class TestRenderMapping:
     def test_bars_scale_with_size(self, diamond_graph, diamond_space):
         mapping = diamond_space.default_mapping()
         text = render_mapping(diamond_graph, mapping)
-        lines = [l for l in text.splitlines() if "█" in l]
-        grid_line = next(l for l in lines if l.strip().startswith("grid"))
-        acc_line = next(l for l in lines if l.strip().startswith("acc"))
+        lines = [line for line in text.splitlines() if "█" in line]
+        grid_line = next(line for line in lines if line.strip().startswith("grid"))
+        acc_line = next(line for line in lines if line.strip().startswith("acc"))
         assert grid_line.count("█") > acc_line.count("█")
 
 
