@@ -1,0 +1,66 @@
+"""The ``repro analyze`` entry point: run all static passes.
+
+Combines the task-graph sanitizer, the canonicalization analysis, the
+dead-coordinate feasibility scan, and (when a concrete mapping is
+given) the validity checker and whole-mapping feasibility proof into
+one :class:`~repro.analysis.diagnostics.DiagnosticReport`.  This is
+what the CLI subcommand and the CI lint gate call; the search pipeline
+instead wires the individual passes into the oracle and the search
+space (see :class:`repro.core.driver.AutoMapDriver`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.analysis.canonical import Canonicalizer
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.memfeas import StaticMemoryFeasibility
+from repro.analysis.sanitizer import sanitize_graph
+from repro.analysis.validity import check_mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine.model import Machine
+    from repro.mapping.mapping import Mapping
+    from repro.mapping.space import SearchSpace
+    from repro.taskgraph.graph import TaskGraph
+
+__all__ = ["analyze"]
+
+
+def analyze(
+    graph: "TaskGraph",
+    machine: "Machine",
+    space: Optional["SearchSpace"] = None,
+    mapping: Optional["Mapping"] = None,
+    sanitize: bool = True,
+) -> DiagnosticReport:
+    """Run every static pass over the graph/machine pair.
+
+    ``space`` defaults to the full :class:`SearchSpace` of the pair and
+    is scanned for dead/foldable coordinates; a concrete ``mapping`` is
+    additionally validity-checked and, when valid, proven to fit (or
+    not) in memory.  The sanitizer can be skipped for repeated calls on
+    an already-sanitized graph.
+    """
+    report = DiagnosticReport()
+    if sanitize:
+        report.extend(sanitize_graph(graph))
+
+    if space is None:
+        from repro.mapping.space import SearchSpace
+
+        space = SearchSpace(graph, machine)
+
+    canonicalizer = Canonicalizer(graph, machine)
+    report.extend(canonicalizer.diagnose_space(space))
+
+    feasibility = StaticMemoryFeasibility(graph, machine)
+    report.extend(feasibility.diagnose_space(space))
+
+    if mapping is not None:
+        validity = check_mapping(graph, machine, mapping)
+        report.extend(validity)
+        if not validity:
+            report.extend(feasibility.diagnose_mapping(mapping))
+    return report

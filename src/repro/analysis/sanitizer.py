@@ -1,0 +1,263 @@
+"""Pass 3 — task-graph sanitizer (race/dependence checker).
+
+The entire reproduction rests on builder-derived dependence graphs: the
+simulator schedules launches respecting exactly the ``Dependence`` edges
+present, so a missing edge silently turns a data race into bogus extra
+parallelism and an overly tight makespan.  This pass re-derives, from
+the declared privileges and shard patterns alone, which launch pairs
+*must* be ordered, and checks the edge set against that ground truth:
+
+* **AM301** (error): launch ``A`` writes bytes that a later launch ``B``
+  reads or writes (RAW/WAW on overlapping root intervals), but ``B`` is
+  not reachable from ``A`` through dependence edges.  Transitive
+  coverage counts — the builder's last-writer chains are fine.
+* **AM302** (warning): a dependence edge whose endpoints have no
+  read-write interval conflict at all — spurious ordering that costs
+  parallelism.
+* **AM303** (error): two point tasks of one group launch write
+  overlapping bytes through the same slot.  Point tasks of a group are
+  concurrent by definition (§3.1), and no snapshot semantics can make
+  two writers of one cell deterministic.
+* **AM304** (info): a ``READ_WRITE`` + ``REPLICATED`` slot — the
+  all-points-update-a-shared-scalar reduction idiom (e.g. Pennant's
+  ``dt`` minimum).  Reported for visibility, not as a race: runtimes
+  implement this as a reduction.
+
+Write-after-read pairs are deliberately *not* required to be ordered:
+the builder defaults to ``anti_dependences=False`` because a
+versioning runtime (à la Legion) renames instances instead of blocking
+readers, and cross-point read/write overlap inside one launch is
+well-defined under the executor's launch-start snapshot semantics
+(coherence copies are planned before any point runs).
+
+Reachability is computed with ancestor bitsets over a topological
+order, so sanitizing stays near-linear in edges for the bundled apps.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Span
+from repro.runtime.intervals import IntervalSet
+from repro.taskgraph.task import Privilege, ShardPattern
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.taskgraph.graph import TaskGraph
+    from repro.taskgraph.task import TaskLaunch
+
+__all__ = ["sanitize_graph"]
+
+#: root name -> union of byte intervals accessed by a whole launch.
+_Access = Dict[str, IntervalSet]
+
+
+def _launch_accesses(launch: "TaskLaunch") -> Tuple[_Access, _Access]:
+    """Launch-level (reads, writes) interval unions per root."""
+    reads: _Access = {}
+    writes: _Access = {}
+    for slot_index, slot in enumerate(launch.kind.slots):
+        root = launch.args[slot_index].root
+        assert root is not None
+        for for_write, accesses in ((False, reads), (True, writes)):
+            if for_write and not slot.privilege.writes:
+                continue
+            if not for_write and not slot.privilege.reads:
+                continue
+            acc = accesses.get(root, IntervalSet.empty())
+            for point in range(launch.size):
+                lo, hi = launch.shard_interval(
+                    slot_index, point, for_write=for_write
+                )
+                if hi > lo:
+                    acc = acc.union(IntervalSet.single(lo, hi))
+            accesses[root] = acc
+    return reads, writes
+
+
+def _conflicts(
+    a_reads: _Access, a_writes: _Access, b_reads: _Access, b_writes: _Access
+) -> List[Tuple[str, str, int, int]]:
+    """RAW/WAW conflicts between an earlier launch ``a`` and a later
+    launch ``b``: (root, kind-of-conflict, lo, hi) samples."""
+    out: List[Tuple[str, str, int, int]] = []
+    for root, written in a_writes.items():
+        for label, b_acc in (("read", b_reads), ("write", b_writes)):
+            other = b_acc.get(root)
+            if other is None:
+                continue
+            overlap = written.intersection(other)
+            if overlap.total > 0:
+                lo, hi = next(iter(overlap))
+                out.append((root, label, lo, hi))
+    return out
+
+
+def _any_conflict(
+    a_reads: _Access, a_writes: _Access, b_reads: _Access, b_writes: _Access
+) -> bool:
+    """Whether the pair conflicts in *any* direction (RAW, WAW, or WAR)
+    — the justification test for an existing dependence edge."""
+    if _conflicts(a_reads, a_writes, b_reads, b_writes):
+        return True
+    # WAR: a reads what b writes.  Not required to be ordered, but an
+    # edge claiming to order it is at least not spurious.
+    for root, read in a_reads.items():
+        written = b_writes.get(root)
+        if written is not None and read.intersection(written).total > 0:
+            return True
+    return False
+
+
+def _intra_group_diagnostics(graph: "TaskGraph") -> List[Diagnostic]:
+    """AM303/AM304 over individual launches."""
+    out: List[Diagnostic] = []
+    reported_reductions = set()
+    for launch in graph.launches:
+        for slot_index, slot in enumerate(launch.kind.slots):
+            if not slot.privilege.writes:
+                continue
+            if (
+                slot.pattern is ShardPattern.REPLICATED
+                and slot.privilege is Privilege.READ_WRITE
+            ):
+                key = (launch.kind.name, slot.name)
+                if key not in reported_reductions:
+                    reported_reductions.add(key)
+                    out.append(
+                        Diagnostic(
+                            "AM304",
+                            f"{launch.kind.name}[{slot.name}] is "
+                            f"read_write+replicated: all points update "
+                            f"the whole collection (reduction idiom)",
+                            Span(
+                                kind=launch.kind.name,
+                                slot=slot.name,
+                                collection=launch.args[slot_index].name,
+                            ),
+                        )
+                    )
+                continue
+            if launch.size <= 1:
+                continue
+            union = IntervalSet.empty()
+            total = 0
+            for point in range(launch.size):
+                lo, hi = launch.shard_interval(
+                    slot_index, point, for_write=True
+                )
+                if hi > lo:
+                    union = union.union(IntervalSet.single(lo, hi))
+                    total += hi - lo
+            if total > union.total:
+                out.append(
+                    Diagnostic(
+                        "AM303",
+                        f"{launch.uid}: point tasks write "
+                        f"{total - union.total} overlapping byte(s) "
+                        f"through slot {slot.name!r}; concurrent points "
+                        f"of one group launch race on them",
+                        Span(
+                            kind=launch.kind.name,
+                            slot=slot.name,
+                            launch=launch.uid,
+                        ),
+                    )
+                )
+    return out
+
+
+def sanitize_graph(graph: "TaskGraph") -> List[Diagnostic]:
+    """Race/dependence-check ``graph``; returns all findings.
+
+    An empty list (or only ``AM304`` infos) means every RAW/WAW overlap
+    between launches is covered by a dependence path, no edge is
+    spurious, and no group launch races against itself.
+    """
+    out: List[Diagnostic] = list(_intra_group_diagnostics(graph))
+
+    order = graph.topological_order()
+    position = {launch.uid: i for i, launch in enumerate(order)}
+    accesses: Dict[str, Tuple[_Access, _Access]] = {
+        launch.uid: _launch_accesses(launch) for launch in order
+    }
+
+    # Ancestor bitsets: bit j of ancestors[uid] set iff order[j] can
+    # reach uid through dependence edges.
+    ancestors: Dict[str, int] = {}
+    for launch in order:
+        bits = 0
+        for dep in graph.predecessors(launch.uid):
+            bits |= ancestors[dep.src] | (1 << position[dep.src])
+        ancestors[launch.uid] = bits
+
+    # AM301: every RAW/WAW overlap needs a covering dependence path.
+    # Launch pairs are bucketed by shared root to avoid the full O(n^2)
+    # scan over unrelated launches.
+    by_root: Dict[str, List[str]] = {}
+    for launch in order:
+        reads, writes = accesses[launch.uid]
+        for root in set(reads) | set(writes):
+            by_root.setdefault(root, []).append(launch.uid)
+
+    reported_pairs = set()
+    for root, uids in by_root.items():
+        uids.sort(key=lambda uid: position[uid])
+        for i, a_uid in enumerate(uids):
+            a_reads, a_writes = accesses[a_uid]
+            if root not in a_writes:
+                continue
+            for b_uid in uids[i + 1 :]:
+                if (a_uid, b_uid) in reported_pairs:
+                    continue
+                if ancestors[b_uid] & (1 << position[a_uid]):
+                    continue
+                b_reads, b_writes = accesses[b_uid]
+                conflicts = _conflicts(
+                    {root: a_reads.get(root, IntervalSet.empty())}
+                    if root in a_reads
+                    else {},
+                    {root: a_writes[root]},
+                    {root: b_reads[root]} if root in b_reads else {},
+                    {root: b_writes[root]} if root in b_writes else {},
+                )
+                if not conflicts:
+                    continue
+                reported_pairs.add((a_uid, b_uid))
+                _root, label, lo, hi = conflicts[0]
+                out.append(
+                    Diagnostic(
+                        "AM301",
+                        f"{b_uid} {label}s bytes [{lo}, {hi}) of root "
+                        f"{root!r} written by {a_uid}, but no dependence "
+                        f"path orders them; add a Dependence("
+                        f"src={a_uid!r}, dst={b_uid!r}) or make one "
+                        f"transitive",
+                        Span(
+                            kind=graph.launch(b_uid).kind.name,
+                            launch=b_uid,
+                            collection=root,
+                        ),
+                    )
+                )
+
+    # AM302: edges whose endpoints never conflict.
+    for dep in graph.dependences:
+        a_reads, a_writes = accesses[dep.src]
+        b_reads, b_writes = accesses[dep.dst]
+        if not _any_conflict(a_reads, a_writes, b_reads, b_writes):
+            out.append(
+                Diagnostic(
+                    "AM302",
+                    f"edge {dep.src} -> {dep.dst} (via "
+                    f"{dep.collection!r}) orders launches with no "
+                    f"read-write interval conflict; it only costs "
+                    f"parallelism",
+                    Span(
+                        kind=graph.launch(dep.dst).kind.name,
+                        launch=dep.dst,
+                        collection=dep.collection,
+                    ),
+                )
+            )
+    return out

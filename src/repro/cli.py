@@ -116,12 +116,53 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fail (instead of demoting) mappings that exceed capacity",
     )
+    tune.add_argument(
+        "--no-static-prune",
+        action="store_true",
+        help="disable the static analysis layer (memory feasibility "
+        "short-circuit, equivalence canonicalization, search-space "
+        "pruning); results are identical, just slower",
+    )
     tune.add_argument("--verbose", action="store_true")
 
     inspect = sub.add_parser(
         "inspect", help="print the application's graph and search space"
     )
     add_common(inspect)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="run the static analysis passes (sanitizer, equivalence, "
+        "memory feasibility) without searching",
+    )
+    analyze.add_argument("--app", choices=sorted(APP_REGISTRY))
+    analyze.add_argument(
+        "--input", default=None, help="paper-style input label"
+    )
+    analyze.add_argument(
+        "--machine", default="shepard", choices=sorted(_MACHINES)
+    )
+    analyze.add_argument("--nodes", type=int, default=1)
+    analyze.add_argument(
+        "--mapping",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="mapping JSON file(s) to lint against the graph/machine "
+        "(repeatable)",
+    )
+    analyze.add_argument(
+        "--fail-on",
+        default="error",
+        choices=["info", "warning", "error"],
+        help="exit non-zero when a diagnostic at or above this severity "
+        "is reported (default: error)",
+    )
+    analyze.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the diagnostic rule registry and exit",
+    )
 
     sub.add_parser("machines", help="list bundled machine models")
     return parser
@@ -144,6 +185,7 @@ def _cmd_tune(args) -> int:
         ),
         space=app.space(machine),
         workers=args.workers,
+        static_prune=not args.no_static_prune,
     )
     default = session.default_mapping()
     t_default = session.measure(default)
@@ -176,6 +218,44 @@ def _cmd_inspect(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    from repro.analysis import Severity, analyze, rule_table
+
+    if args.list_rules:
+        print(rule_table().render())
+        return 0
+    if args.app is None:
+        raise SystemExit("repro analyze: --app is required "
+                         "(or use --list-rules)")
+    machine = _MACHINES[args.machine](args.nodes)
+    app = make_app(args.app, **parse_app_input(args.app, args.input))
+    graph = app.graph(machine)
+    space = app.space(machine)
+
+    report = analyze(graph, machine, space=space)
+    print(f"-- {graph.name} on {machine.name}")
+    print(report.render())
+    for path in args.mapping:
+        from repro.mapping.io import load_mapping
+
+        mapping = load_mapping(path)
+        lint = analyze(graph, machine, space=space, mapping=mapping,
+                       sanitize=False)
+        print()
+        print(f"-- {path}")
+        print(lint.render())
+        report.extend(lint)
+
+    threshold = Severity.parse(args.fail_on)
+    flagged = report.at_least(threshold)
+    if flagged:
+        print()
+        print(f"FAIL: {len(flagged)} diagnostic(s) at severity "
+              f">= {threshold}")
+        return 1
+    return 0
+
+
 def _cmd_machines(_args) -> int:
     for name, builder in sorted(_MACHINES.items()):
         print(builder(1).describe())
@@ -189,6 +269,8 @@ def main(argv=None) -> int:
         return _cmd_tune(args)
     if args.command == "inspect":
         return _cmd_inspect(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     if args.command == "machines":
         return _cmd_machines(args)
     raise SystemExit(2)  # pragma: no cover

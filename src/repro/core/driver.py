@@ -79,6 +79,12 @@ class TuningReport:
     #: Simulated search-clock seconds and the fraction spent evaluating.
     search_seconds: float = 0.0
     evaluation_fraction: float = 0.0
+    #: Static-analysis pruning statistics (0 with --no-static-prune).
+    static_oom_pruned: int = 0
+    canonical_folds: int = 0
+    #: Novel mappings the runtime machinery processed (deterministic
+    #: executions plus in-planner OOM discoveries).
+    simulations: int = 0
 
     def describe(self) -> str:
         lines = [
@@ -91,6 +97,9 @@ class TuningReport:
             f"{self.failed_evaluations} failed)",
             f"  search time {self.search_seconds:.1f} s simulated, "
             f"{self.evaluation_fraction:.0%} evaluating",
+            f"  static analysis: {self.simulations} simulations run, "
+            f"{self.static_oom_pruned} OOM proven statically, "
+            f"{self.canonical_folds} suggestions folded",
         ]
         if self.best_mapping is not None:
             lines.append("  best mapping:")
@@ -114,6 +123,7 @@ class AutoMapDriver:
         final_runs: int = FINAL_RUNS,
         space: Optional[SearchSpace] = None,
         workers: int = 1,
+        static_prune: bool = True,
     ) -> None:
         self.graph = graph
         self.machine = machine
@@ -135,12 +145,37 @@ class AutoMapDriver:
             raise ValueError("workers must be >= 1")
         self.workers = workers
 
+        # Static pre-simulation pruning (repro.analysis).  The
+        # canonicalizer is placement-exact and always safe; the memory
+        # feasibility pass proves the *failure* the oracle would report,
+        # which only exists when overflow fails instead of spilling, so
+        # it is gated on ``spill=False``.
+        self.static_prune = static_prune
+        self.canonicalizer = None
+        self.feasibility = None
+        if static_prune:
+            from repro.analysis.canonical import Canonicalizer
+            from repro.analysis.memfeas import StaticMemoryFeasibility
+
+            self.canonicalizer = Canonicalizer(graph, machine)
+            if not self.sim_config.spill:
+                self.feasibility = StaticMemoryFeasibility(graph, machine)
+            self.space = self.space.prune_infeasible(
+                feasibility=self.feasibility, canonicalizer=self.canonicalizer
+            )
+
     # ------------------------------------------------------------------
     def tune(self, start: Optional[Mapping] = None) -> TuningReport:
         """Run the full search + final re-evaluation protocol."""
         profiles = ProfileDatabase()
         oracle = BatchOracle(
-            SimulationOracle(self.simulator, self.oracle_config, profiles),
+            SimulationOracle(
+                self.simulator,
+                self.oracle_config,
+                profiles,
+                canonicalizer=self.canonicalizer,
+                feasibility=self.feasibility,
+            ),
             workers=self.workers,
         )
         rng = RngStream(self.seed).fork("search", self.algorithm.name)
@@ -195,6 +230,11 @@ class AutoMapDriver:
             failed_evaluations=oracle.failed_evaluations,
             search_seconds=oracle.sim_elapsed,
             evaluation_fraction=oracle.evaluation_fraction,
+            static_oom_pruned=oracle.static_oom_pruned,
+            canonical_folds=oracle.canonical_folds,
+            simulations=(
+                self.simulator.executions + self.simulator.oom_attempts
+            ),
         )
         _LOG.info(
             kv(

@@ -85,14 +85,32 @@ class SimulationOracle:
         simulator: Simulator,
         config: Optional[OracleConfig] = None,
         profiles: Optional[ProfileDatabase] = None,
+        canonicalizer=None,
+        feasibility=None,
     ) -> None:
         self.simulator = simulator
         self.config = config or OracleConfig()
         self.profiles = profiles if profiles is not None else ProfileDatabase()
+        #: optional :class:`repro.analysis.canonical.Canonicalizer`:
+        #: valid candidates are folded onto their canonical equivalence
+        #: representative before lookup/execution, so equivalent
+        #: suggestions share one profile record.
+        self.canonicalizer = canonicalizer
+        #: optional :class:`repro.analysis.memfeas.StaticMemoryFeasibility`:
+        #: candidates statically proven to overflow memory short-circuit
+        #: to the same failed outcome the runtime OOM would produce,
+        #: without paying for a simulation.  Only sound when the
+        #: simulator fails (rather than spills) on overflow, so the
+        #: driver gates it on ``spill=False``.
+        self.feasibility = feasibility
         self.suggested = 0
         self.evaluated = 0
         self.invalid_suggestions = 0
         self.failed_evaluations = 0
+        #: suggestions folded onto a different canonical mapping.
+        self.canonical_folds = 0
+        #: failed evaluations proven statically (no simulation paid).
+        self.static_oom_pruned = 0
         #: simulated search clock (seconds).
         self.sim_elapsed = 0.0
         #: simulated seconds spent executing candidates (vs suggesting).
@@ -131,6 +149,13 @@ class SimulationOracle:
             return 0.0
         return self.sim_evaluating / self.sim_elapsed
 
+    def canonical(self, mapping: Mapping) -> Mapping:
+        """The representative actually measured for ``mapping`` (the
+        mapping itself without a canonicalizer)."""
+        if self.canonicalizer is None:
+            return mapping
+        return self.canonicalizer.canonical(mapping)
+
     # ------------------------------------------------------------------
     def evaluate(self, mapping: Mapping) -> EvalOutcome:
         """Measure one candidate per the protocol described above."""
@@ -146,6 +171,11 @@ class SimulationOracle:
                 performance=INFEASIBLE, invalid=True, reason=reason
             )
 
+        canonical = self.canonical(mapping)
+        if canonical.key() != mapping.key():
+            self.canonical_folds += 1
+        mapping = canonical
+
         record = self.profiles.lookup(mapping)
         if record is not None:
             if record.failed:
@@ -156,6 +186,18 @@ class SimulationOracle:
                     reason=record.reason,
                 )
             return EvalOutcome(performance=record.mean, cached=True)
+
+        if self.feasibility is not None:
+            oom = self.feasibility.oom_reason(mapping)
+            if oom is not None:
+                # Same accounting and (byte-identical) reason as the
+                # runtime OOM below — just without the simulation.
+                self.failed_evaluations += 1
+                self.static_oom_pruned += 1
+                self.profiles.record(mapping, [], failed=True, reason=oom)
+                return EvalOutcome(
+                    performance=INFEASIBLE, failed=True, reason=oom
+                )
 
         try:
             result = self.simulator.run(mapping)
@@ -196,6 +238,7 @@ class SimulationOracle:
         """Per-kind busy seconds under ``mapping`` — the profiling signal
         used to order tasks by runtime (Alg. 1 line 6).  Falls back to
         total FLOPs when the mapping cannot execute."""
+        mapping = self.canonical(mapping)
         try:
             result = self.simulator.run(mapping)
         except OOMError:
@@ -205,6 +248,7 @@ class SimulationOracle:
     def measure_more(self, mapping: Mapping, runs: int) -> List[float]:
         """Additional measurement runs for final reporting (§5: the top
         5 mappings are re-run 30+ times)."""
+        mapping = self.canonical(mapping)
         result = self.simulator.run(mapping)
         record = self.profiles.lookup(mapping)
         offset = record.count if record is not None else 0

@@ -51,6 +51,7 @@ class AutoMapSession:
         seed: int = 0,
         space=None,
         workers: int = 1,
+        static_prune: bool = True,
     ) -> None:
         self.graph = graph
         self.machine = machine
@@ -64,6 +65,7 @@ class AutoMapSession:
             seed=seed,
             space=space,
             workers=workers,
+            static_prune=static_prune,
         )
 
     # ------------------------------------------------------------------

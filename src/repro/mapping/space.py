@@ -98,6 +98,12 @@ class SearchSpace:
         machine_proc_kinds = set(machine.proc_kinds())
         all_mem_kinds = machine.mem_kinds()
 
+        # Static-analysis pruning tables (see :meth:`prune_infeasible`).
+        # Empty on a freshly built space: every dimension is searched.
+        self._dead_mems: Dict[Tuple[str, ProcKind, int], Tuple[MemKind, ...]] = {}
+        self._canonical_mems: Dict[Tuple[str, ProcKind, int], MemKind] = {}
+        self._dead_distribute: frozenset = frozenset()
+
         self._dims: Dict[str, KindDimensions] = {}
         for kind in graph.task_kinds:
             procs = tuple(
@@ -134,7 +140,99 @@ class SearchSpace:
     # Dimensions
     # ------------------------------------------------------------------
     def dims(self, kind_name: str) -> KindDimensions:
+        """The *full* dimensions of a kind.
+
+        Always unpruned: the Figure 5 size estimates, the §4.1 default
+        mapping, legalization, and co-location all reason over the real
+        space.  Move enumeration should use :meth:`searched_mem_options`
+        and :meth:`searched_distribute_options`, which respect
+        :meth:`prune_infeasible`.
+        """
         return self._dims[kind_name]
+
+    def searched_distribute_options(self, kind_name: str) -> Tuple[bool, ...]:
+        """Distribute options the search should enumerate for a kind."""
+        if kind_name in self._dead_distribute:
+            return (True,)
+        return self._dims[kind_name].distribute_options
+
+    def searched_mem_options(
+        self, kind_name: str, proc: ProcKind, slot_index: int
+    ) -> Tuple[MemKind, ...]:
+        """Memory options the search should enumerate for one slot
+        given a processor-kind choice.
+
+        On a pruned view this drops options a static pass proved dead
+        (``AM101``: any containing mapping overflows) or runtime-
+        equivalent to the canonical choice (``AM202``); never empty.
+        """
+        options = self._dims[kind_name].mem_options[proc]
+        key = (kind_name, proc, slot_index)
+        canonical = self._canonical_mems.get(key)
+        if canonical is not None:
+            return (canonical,)
+        dead = self._dead_mems.get(key)
+        if dead:
+            kept = tuple(m for m in options if m not in dead)
+            if kept:
+                return kept
+        return options
+
+    @property
+    def is_pruned(self) -> bool:
+        """Whether this view carries static-analysis pruning tables."""
+        return bool(
+            self._dead_mems or self._canonical_mems or self._dead_distribute
+        )
+
+    def prune_infeasible(
+        self, feasibility=None, canonicalizer=None
+    ) -> "SearchSpace":
+        """A constrained view of this space for move enumeration.
+
+        Returns a new :class:`SearchSpace` whose ``searched_*`` methods
+        skip provably-dead coordinates: memory options whose footprint
+        contribution alone overflows some memory under every distribute
+        choice (from
+        :class:`repro.analysis.memfeas.StaticMemoryFeasibility`), and —
+        when a :class:`repro.analysis.canonical.Canonicalizer` is given
+        — coordinates that fold onto a canonical representative, whose
+        re-evaluation could never beat the incumbent's cached result.
+
+        ``dims()`` and everything built on it (sizes, default/random
+        mappings, codecs) are unchanged, so pruning cannot alter the
+        §4.1 starting mapping, legalization, or reported space sizes.
+
+        Called with no arguments, a fresh feasibility pass is built;
+        passing ``feasibility=None`` alongside an explicit
+        ``canonicalizer`` skips feasibility pruning (the driver does
+        this when spill mode turns overflow into demotion rather than
+        failure, making overflowing options live again).
+        """
+        if feasibility is None and canonicalizer is None:
+            from repro.analysis.memfeas import StaticMemoryFeasibility
+
+            feasibility = StaticMemoryFeasibility(self.graph, self.machine)
+        pruned = SearchSpace(self.graph, self.machine, self._fixed)
+        if feasibility is not None:
+            pruned._dead_mems = dict(feasibility.dead_slot_options(self))
+        if canonicalizer is not None:
+            pruned._dead_distribute = frozenset(
+                canonicalizer.dead_distribute_kinds()
+            )
+            canonical_mems: Dict[Tuple[str, ProcKind, int], MemKind] = {}
+            for kind_name, dims in self._dims.items():
+                for proc in dims.proc_options:
+                    for slot_index in range(dims.num_slots):
+                        target = canonicalizer.canonical_mem(
+                            kind_name, slot_index, proc
+                        )
+                        if target is not None:
+                            canonical_mems[(kind_name, proc, slot_index)] = (
+                                target
+                            )
+            pruned._canonical_mems = canonical_mems
+        return pruned
 
     def kind_names(self) -> Tuple[str, ...]:
         """The *searched* task kinds (fixed kinds excluded)."""

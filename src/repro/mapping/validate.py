@@ -6,13 +6,17 @@ processor kind, a task must have a variant for that processor kind").
 Validity here is *kind-level*: capacity violations are a runtime matter —
 a valid mapping may still fail with OOM at execution (§3.1), which the
 evaluation oracle reports separately.
+
+The actual checking lives in :mod:`repro.analysis.validity` (one shared
+implementation, also used by the parallel workers and ``repro analyze``);
+this module keeps the historical exception-and-string API.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
-from repro.machine.kinds import ADDRESSABLE
+from repro.analysis.validity import explain_problems
 from repro.machine.model import Machine
 from repro.mapping.mapping import Mapping
 from repro.taskgraph.graph import TaskGraph
@@ -24,69 +28,21 @@ class MappingError(ValueError):
     """Raised when a mapping violates a kind-level validity constraint."""
 
 
-def _problems(graph: TaskGraph, machine: Machine, mapping: Mapping) -> List[str]:
-    problems: List[str] = []
-    machine_proc_kinds = set(machine.proc_kinds())
-    machine_mem_kinds = set(machine.mem_kinds())
-
-    for kind in graph.task_kinds:
-        if kind.name not in mapping:
-            problems.append(f"task kind {kind.name!r} has no decision")
-            continue
-        decision = mapping.decision(kind.name)
-        if decision.num_slots != kind.num_slots:
-            problems.append(
-                f"{kind.name}: decision covers {decision.num_slots} slots, "
-                f"kind has {kind.num_slots}"
-            )
-            continue
-        if decision.proc_kind not in kind.variants:
-            problems.append(
-                f"{kind.name}: no {decision.proc_kind.value} variant"
-            )
-        if decision.proc_kind not in machine_proc_kinds:
-            problems.append(
-                f"{kind.name}: machine has no "
-                f"{decision.proc_kind.value} processors"
-            )
-        for slot_index, mem_kind in enumerate(decision.mem_kinds):
-            if mem_kind not in machine_mem_kinds:
-                problems.append(
-                    f"{kind.name}[{kind.slots[slot_index].name}]: machine "
-                    f"has no {mem_kind.value} memory"
-                )
-            elif (decision.proc_kind, mem_kind) not in ADDRESSABLE:
-                problems.append(
-                    f"{kind.name}[{kind.slots[slot_index].name}]: "
-                    f"{mem_kind.value} not addressable from "
-                    f"{decision.proc_kind.value}"
-                )
-
-    covered = set(mapping.kind_names())
-    graph_kinds = {k.name for k in graph.task_kinds}
-    for extra in sorted(covered - graph_kinds):
-        problems.append(f"decision for unknown task kind {extra!r}")
-    return problems
-
-
 def validate(graph: TaskGraph, machine: Machine, mapping: Mapping) -> None:
     """Raise :class:`MappingError` if ``mapping`` is invalid for the
     graph/machine pair."""
-    problems = _problems(graph, machine, mapping)
-    if problems:
-        raise MappingError("; ".join(problems))
+    reason = explain_problems(graph, machine, mapping)
+    if reason is not None:
+        raise MappingError(reason)
 
 
 def is_valid(graph: TaskGraph, machine: Machine, mapping: Mapping) -> bool:
     """Whether ``mapping`` satisfies all kind-level constraints."""
-    return not _problems(graph, machine, mapping)
+    return explain_problems(graph, machine, mapping) is None
 
 
 def explain_invalid(
     graph: TaskGraph, machine: Machine, mapping: Mapping
 ) -> Optional[str]:
     """Human-readable reason the mapping is invalid, or ``None`` if valid."""
-    problems = _problems(graph, machine, mapping)
-    if not problems:
-        return None
-    return "; ".join(problems)
+    return explain_problems(graph, machine, mapping)

@@ -109,10 +109,14 @@ class BatchOracle:
         simulator = self.oracle.simulator
         if explain_invalid(simulator.graph, simulator.machine, mapping):
             return INFEASIBLE
+        mapping = self.oracle.canonical(mapping)
         record = self.oracle.profiles.lookup(mapping)
-        if record is None:
-            return None
-        return INFEASIBLE if record.failed else record.mean
+        if record is not None:
+            return INFEASIBLE if record.failed else record.mean
+        feasibility = self.oracle.feasibility
+        if feasibility is not None and not feasibility.is_feasible(mapping):
+            return INFEASIBLE
+        return None
 
     def prefetch(self, mappings: Iterable[Mapping]) -> int:
         """Execute the batch's cache misses in worker processes and
@@ -131,12 +135,19 @@ class BatchOracle:
         if self.workers <= 1:
             return 0
         simulator = self.oracle.simulator
+        feasibility = self.oracle.feasibility
         budget = self._remaining_budget()
         todo: List[Mapping] = []
         seen = set()
         for mapping in mappings:
             if budget is not None and len(todo) >= budget:
                 break
+            if explain_invalid(simulator.graph, simulator.machine, mapping):
+                continue
+            # Workers simulate the canonical representative — the same
+            # mapping the replay will execute — so equivalent candidates
+            # collapse to one worker run and one cache entry.
+            mapping = self.oracle.canonical(mapping)
             key = mapping.key()
             if key in seen:
                 continue
@@ -145,7 +156,9 @@ class BatchOracle:
                 continue
             if self.oracle.profiles.lookup(mapping) is not None:
                 continue
-            if explain_invalid(simulator.graph, simulator.machine, mapping):
+            if feasibility is not None and not feasibility.is_feasible(mapping):
+                # The replay proves the OOM statically; a worker
+                # simulation would be discarded anyway.
                 continue
             todo.append(mapping)
         if not todo:

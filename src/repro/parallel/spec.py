@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.analysis.validity import explain_problems
 from repro.machine.model import Machine
 from repro.mapping.mapping import Mapping
 from repro.runtime.executor import ExecutionReport
@@ -54,16 +55,20 @@ class WorkerResult:
     ``oom_reason`` is set (and the result fields are None) when the
     mapping overflowed a memory with spill disabled; the driver-side
     replay reproduces the :class:`OOMError` from its own memory planner.
+    ``invalid_reason`` is set when the mapping fails the shared
+    kind-level validity checker; the replay reproduces the rejection
+    from the same checker.
     """
 
     makespan: Optional[float] = None
     executed_mapping: Optional[Mapping] = None
     report: Optional[ExecutionReport] = None
     oom_reason: Optional[str] = None
+    invalid_reason: Optional[str] = None
 
     @property
     def ok(self) -> bool:
-        return self.oom_reason is None
+        return self.oom_reason is None and self.invalid_reason is None
 
     def to_sim_result(self) -> SimResult:
         assert self.ok
@@ -87,12 +92,18 @@ def init_worker(spec: SimulatorSpec) -> None:
 def run_mapping(mapping: Mapping) -> WorkerResult:
     """Simulate one mapping in the worker's rebuilt simulator.
 
-    Only called with mappings the driver already validated, so
-    :class:`~repro.mapping.validate.MappingError` is a programming error
-    and propagates; out-of-memory failures are expected outcomes and are
-    returned as data.
+    Invalid mappings (per the shared kind-level checker in
+    :mod:`repro.analysis.validity` — the same one the driver's oracle
+    consults) and out-of-memory failures are expected outcomes and are
+    returned as data, never as exceptions, so a stray candidate cannot
+    poison the process pool.
     """
     assert _WORKER_SIMULATOR is not None, "worker used before init_worker"
+    invalid = explain_problems(
+        _WORKER_SIMULATOR.graph, _WORKER_SIMULATOR.machine, mapping
+    )
+    if invalid is not None:
+        return WorkerResult(invalid_reason=invalid)
     try:
         result = _WORKER_SIMULATOR.run(mapping)
     except OOMError as exc:

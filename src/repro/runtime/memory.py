@@ -64,6 +64,16 @@ class MemoryDemand:
             lines.append(f"{uid}: {format_bytes(demand)}{marker}")
         return "\n".join(lines)
 
+    def oom_message(self) -> str:
+        """The canonical OOM reason for this demand.  Shared by the
+        runtime planner and the static feasibility pass so a statically
+        proven OOM carries a byte-identical reason string."""
+        details = ", ".join(
+            f"{uid} needs {format_bytes(need)} of {format_bytes(cap)}"
+            for uid, (need, cap) in sorted(self.overflows.items())
+        )
+        return f"mapping exceeds memory capacity: {details}"
+
 
 class _FootprintAccumulator:
     """Incremental union-of-intervals footprint per (memory, root)."""
@@ -134,11 +144,7 @@ class MemoryPlanner:
         """Raise :class:`OOMError` if the mapping overflows any memory."""
         demand = self.check(mapping)
         if not demand.ok:
-            details = ", ".join(
-                f"{uid} needs {format_bytes(need)} of {format_bytes(cap)}"
-                for uid, (need, cap) in sorted(demand.overflows.items())
-            )
-            raise OOMError(f"mapping exceeds memory capacity: {details}")
+            raise OOMError(demand.oom_message())
 
     # ------------------------------------------------------------------
     def apply_spill(self, mapping: Mapping) -> Mapping:

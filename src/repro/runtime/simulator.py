@@ -87,6 +87,11 @@ class Simulator:
         #: Deterministic executions performed (cache misses) — used by
         #: search-efficiency statistics.
         self.executions = 0
+        #: Cache-miss runs that died in the memory planner (spill
+        #: disabled).  ``executions + oom_attempts`` is the number of
+        #: novel mappings the runtime machinery had to process — the
+        #: quantity the static feasibility pass exists to reduce.
+        self.oom_attempts = 0
 
     # ------------------------------------------------------------------
     def run(self, mapping: Mapping, runs: int = 0) -> SimResult:
@@ -107,7 +112,11 @@ class Simulator:
             if self.config.spill:
                 executed = self._planner.apply_spill(mapping)
             else:
-                self._planner.ensure_fits(mapping)
+                try:
+                    self._planner.ensure_fits(mapping)
+                except OOMError:
+                    self.oom_attempts += 1
+                    raise
             report = self._executor.run(executed)
             cached = SimResult(
                 makespan=report.makespan,

@@ -110,10 +110,17 @@ class CoordinateDescent(SearchAlgorithm):
         self, space: SearchSpace, kind_name: str
     ) -> List[Callable[[Mapping], Mapping]]:
         """Move builders for Alg. 1 lines 11-12 (one per distribution
-        option); each builds a candidate from a given incumbent."""
+        option); each builds a candidate from a given incumbent.
+
+        Enumeration goes through ``searched_distribute_options`` so a
+        statically pruned space view can skip provably-unobservable
+        options; a move whose result canonicalizes onto the incumbent
+        evaluates to the incumbent's cached result and can never be a
+        strict improvement, so skipping it leaves the walk unchanged.
+        """
         return [
             lambda m, d=distribute: m.with_distribute(kind_name, d)
-            for distribute in space.dims(kind_name).distribute_options
+            for distribute in space.searched_distribute_options(kind_name)
         ]
 
     def _placement_moves(
@@ -150,7 +157,12 @@ class CoordinateDescent(SearchAlgorithm):
         slot_order = self.ordered_slots(space, kind_name)
         for proc_kind in dims.proc_options:
             for slot_index in slot_order:
-                for mem_kind in dims.mem_options[proc_kind]:
+                # A pruned space view drops options that are provably
+                # OOM (never a strict improvement over anything) or
+                # that canonicalize onto another searched option.
+                for mem_kind in space.searched_mem_options(
+                    kind_name, proc_kind, slot_index
+                ):
                     moves.append(
                         lambda m, p=proc_kind, s=slot_index, k=mem_kind: (
                             build(m, proc_kind=p, slot_index=s, mem_kind=k)

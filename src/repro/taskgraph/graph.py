@@ -97,7 +97,9 @@ class TaskGraph:
 
     # ------------------------------------------------------------------
     def _check_acyclic(self) -> None:
-        """Kahn's algorithm; raises on cycles."""
+        """Kahn's algorithm; raises on cycles, naming the launches and
+        edges stuck on the cycle so the offending builder code can be
+        found without bisecting the graph."""
         indegree = {uid: len(self._preds[uid]) for uid in self._by_uid}
         ready = [uid for uid, deg in indegree.items() if deg == 0]
         seen = 0
@@ -109,7 +111,27 @@ class TaskGraph:
                 if indegree[dep.dst] == 0:
                     ready.append(dep.dst)
         if seen != len(self._by_uid):
-            raise ValueError(f"task graph {self.name!r} contains a cycle")
+            stuck = sorted(
+                (uid for uid, deg in indegree.items() if deg > 0),
+                key=lambda u: self._by_uid[u].sequence,
+            )
+            shown = ", ".join(stuck[:6]) + (
+                f", ... ({len(stuck)} launches total)" if len(stuck) > 6 else ""
+            )
+            stuck_set = set(stuck)
+            edges = [
+                f"{dep.src}->{dep.dst} (via {dep.collection!r})"
+                for dep in self.dependences
+                if dep.src in stuck_set and dep.dst in stuck_set
+            ]
+            edge_note = "; ".join(edges[:6]) + (
+                f"; ... ({len(edges)} edges total)" if len(edges) > 6 else ""
+            )
+            raise ValueError(
+                f"task graph {self.name!r} contains a cycle through "
+                f"launches: {shown}; cycle edges: {edge_note} — remove or "
+                f"reverse one of these dependences"
+            )
 
     # ------------------------------------------------------------------
     # Lookups

@@ -21,15 +21,37 @@ class Table:
     input    | speedup
     ---------+--------
     n50w200  | 2.41
+
+    Columns holding numbers read better right-justified::
+
+    >>> t = Table(["rule", "count"], align=["left", "right"])
+    >>> t.add_row(["AM301", 7])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    rule  | count
+    ------+------
+    AM301 |     7
     """
 
     def __init__(
-        self, columns: Sequence[str], float_format: str = "{:.2f}"
+        self,
+        columns: Sequence[str],
+        float_format: str = "{:.2f}",
+        align: Optional[Sequence[str]] = None,
     ) -> None:
         if not columns:
             raise ValueError("a table needs at least one column")
         self.columns = [str(c) for c in columns]
         self.float_format = float_format
+        if align is None:
+            align = ["left"] * len(self.columns)
+        if len(align) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} alignments, got {len(align)}"
+            )
+        for a in align:
+            if a not in ("left", "right"):
+                raise ValueError(f"unknown alignment {a!r}")
+        self.align = list(align)
         self._rows: List[List[str]] = []
 
     def add_row(self, values: Sequence[Any]) -> None:
@@ -57,14 +79,23 @@ class Table:
         lines: List[str] = []
         if title:
             lines.append(title)
+        def fit(cell: str, width: int, alignment: str) -> str:
+            if alignment == "right":
+                return cell.rjust(width)
+            return cell.ljust(width)
+
         header = " | ".join(
-            c.ljust(w) for c, w in zip(self.columns, widths)
+            fit(c, w, a)
+            for c, w, a in zip(self.columns, widths, self.align)
         )
         lines.append(header)
         lines.append("-+-".join("-" * w for w in widths))
         for row in self._rows:
             lines.append(
-                " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+                " | ".join(
+                    fit(cell, w, a)
+                    for cell, w, a in zip(row, widths, self.align)
+                )
             )
         return "\n".join(lines)
 

@@ -1,0 +1,145 @@
+"""Tests for equivalence canonicalization (pass 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Canonicalizer
+from repro.machine import shepard, single_node
+from repro.machine.kinds import MemKind, ProcKind
+from repro.mapping import SearchSpace
+from repro.runtime import SimConfig, Simulator
+from repro.taskgraph import ArgSlot, GraphBuilder, Privilege
+from repro.util.rng import RngStream
+from tests.conftest import build_diamond_graph
+
+
+def build_zero_byte_graph():
+    """One kind with a data slot and a zero-byte slot."""
+    b = GraphBuilder("zb")
+    data = b.collection("data", nbytes=1 << 20)
+    empty = b.collection("empty", nbytes=0)
+    k = b.task_kind(
+        "k",
+        slots=[
+            ArgSlot("d", Privilege.READ_WRITE),
+            ArgSlot("e", Privilege.READ),
+        ],
+    )
+    b.launch(k, [data, empty], size=4, flops=1e6)
+    return b.build()
+
+
+def test_single_node_kills_every_distribute_bit():
+    graph = build_diamond_graph()
+    machine = single_node(cpus=4, gpus=1)
+    canon = Canonicalizer(graph, machine)
+    assert canon.dead_distribute_kinds() == {
+        k.name for k in graph.task_kinds
+    }
+
+
+def test_multi_node_kills_only_size_one_kinds():
+    graph = build_diamond_graph()
+    canon = Canonicalizer(graph, shepard(2))
+    # Only 'sink' launches with group size 1.
+    assert canon.dead_distribute_kinds() == {"sink"}
+
+
+def test_canonical_folds_distribute_to_true():
+    graph = build_diamond_graph()
+    machine = single_node(cpus=4, gpus=1)
+    canon = Canonicalizer(graph, machine)
+    space = SearchSpace(graph, machine)
+    base = space.default_mapping()
+    variant = base.with_distribute("left", False)
+    folded = canon.canonical(variant)
+    assert folded.decision("left").distribute is True
+    assert folded.key() == canon.canonical(base).key()
+    assert canon.folded >= 1
+
+
+def test_canonical_is_idempotent_and_memoized():
+    graph = build_diamond_graph()
+    machine = single_node(cpus=4, gpus=1)
+    canon = Canonicalizer(graph, machine)
+    space = SearchSpace(graph, machine)
+    for seed in range(20):
+        m = space.random_mapping(RngStream(seed))
+        once = canon.canonical(m)
+        twice = canon.canonical(once)
+        assert twice.key() == once.key()
+        assert canon.canonical(m) is once  # memoized
+
+
+def test_zero_byte_slot_memory_choice_folds():
+    graph = build_zero_byte_graph()
+    machine = shepard(2)
+    canon = Canonicalizer(graph, machine)
+    assert canon.canonical_mem("k", 1, ProcKind.GPU) is MemKind.FRAMEBUFFER
+    assert canon.canonical_mem("k", 1, ProcKind.CPU) is MemKind.SYSTEM
+    # The data slot is observable: no fold.
+    assert canon.canonical_mem("k", 0, ProcKind.GPU) is None
+    assert not canon.is_identity()
+
+    space = SearchSpace(graph, machine)
+    m = space.default_mapping().with_mem("k", 1, MemKind.ZERO_COPY)
+    folded = canon.canonical(m)
+    assert folded.decision("k").mem_kinds[1] is MemKind.FRAMEBUFFER
+
+
+def test_folding_preserves_simulated_runtime():
+    graph = build_zero_byte_graph()
+    machine = shepard(2)
+    canon = Canonicalizer(graph, machine)
+    sim = Simulator(graph, machine, SimConfig(noise_sigma=0.0, spill=False))
+    space = SearchSpace(graph, machine)
+    checked = 0
+    for seed in range(15):
+        m = space.random_mapping(RngStream(seed))
+        folded = canon.canonical(m)
+        if folded.key() == m.key():
+            continue
+        assert (
+            sim.run(m).makespan == sim.run(folded).makespan
+        ), "canonicalization must be runtime-preserving"
+        checked += 1
+    assert checked > 0
+
+
+def test_diagnose_space_reports_folds():
+    graph = build_zero_byte_graph()
+    machine = shepard(2)
+    canon = Canonicalizer(graph, machine)
+    space = SearchSpace(graph, machine)
+    diags = canon.diagnose_space(space)
+    am202 = [d for d in diags if d.rule_id == "AM202"]
+    assert am202 and all("unobservable" in d.message for d in am202)
+
+
+def test_pruned_space_searches_single_distribute_option():
+    graph = build_diamond_graph()
+    machine = single_node(cpus=4, gpus=1)
+    canon = Canonicalizer(graph, machine)
+    space = SearchSpace(graph, machine)
+    pruned = space.prune_infeasible(canonicalizer=canon)
+    for kind_name in pruned.kind_names():
+        assert pruned.searched_distribute_options(kind_name) == (True,)
+    # The base space is untouched.
+    assert space.searched_distribute_options("left") == space.dims(
+        "left"
+    ).distribute_options
+
+
+def test_pruned_space_searches_canonical_mem_only():
+    graph = build_zero_byte_graph()
+    machine = shepard(2)
+    canon = Canonicalizer(graph, machine)
+    pruned = SearchSpace(graph, machine).prune_infeasible(
+        canonicalizer=canon
+    )
+    assert pruned.searched_mem_options("k", ProcKind.GPU, 1) == (
+        MemKind.FRAMEBUFFER,
+    )
+    # Observable slots keep the full menu.
+    assert len(pruned.searched_mem_options("k", ProcKind.GPU, 0)) > 1

@@ -1,0 +1,102 @@
+"""Unit tests for the diagnostic framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    RULES,
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+    Span,
+    rule_table,
+)
+
+
+def test_severity_ordering_and_parse():
+    assert Severity.INFO < Severity.WARNING < Severity.ERROR
+    assert Severity.parse("error") is Severity.ERROR
+    assert Severity.parse("WARNING") is Severity.WARNING
+    with pytest.raises(ValueError, match="unknown severity"):
+        Severity.parse("fatal")
+    assert str(Severity.ERROR) == "error"
+
+
+def test_span_rendering():
+    assert str(Span()) == "-"
+    assert str(Span(kind="leapfrog")) == "leapfrog"
+    assert str(Span(kind="leapfrog", slot="state")) == "leapfrog[state]"
+    assert "collection grid" in str(Span(collection="grid"))
+    assert "memory gpu0-fb" in str(Span(memory="gpu0-fb"))
+
+
+def test_rule_registry_covers_all_families():
+    for rule_id in ("AM001", "AM101", "AM201", "AM301"):
+        assert rule_id in RULES
+    assert RULES["AM301"].severity is Severity.ERROR
+    assert RULES["AM302"].severity is Severity.WARNING
+    assert RULES["AM304"].severity is Severity.INFO
+
+
+def test_rule_table_lists_every_rule():
+    rendered = rule_table().render()
+    for rule_id in RULES:
+        assert rule_id in rendered
+
+
+def test_diagnostic_defaults_severity_from_registry():
+    d = Diagnostic("AM302", "spurious edge")
+    assert d.severity is Severity.WARNING
+    # explicit override wins
+    d2 = Diagnostic("AM302", "promoted", severity=Severity.ERROR)
+    assert d2.severity is Severity.ERROR
+    assert "AM302" in str(d)
+
+
+def test_diagnostic_rejects_unregistered_rule():
+    with pytest.raises(ValueError, match="unregistered rule id"):
+        Diagnostic("AM999", "nope")
+
+
+def _sample_report() -> DiagnosticReport:
+    report = DiagnosticReport()
+    report.add(Diagnostic("AM301", "race", Span(kind="a")))
+    report.extend(
+        [
+            Diagnostic("AM302", "spurious", Span(kind="b")),
+            Diagnostic("AM304", "reduction", Span(kind="c")),
+        ]
+    )
+    return report
+
+
+def test_report_queries():
+    report = _sample_report()
+    assert len(report) == 3
+    assert bool(report)
+    assert not bool(DiagnosticReport())
+    assert [d.rule_id for d in report.errors] == ["AM301"]
+    assert [d.rule_id for d in report.at_least(Severity.WARNING)] == [
+        "AM301",
+        "AM302",
+    ]
+    assert [d.rule_id for d in report.by_rule("AM304")] == ["AM304"]
+    assert report.max_severity() is Severity.ERROR
+    assert DiagnosticReport().max_severity() is None
+    counts = report.counts()
+    assert counts[Severity.ERROR] == 1
+    assert counts[Severity.WARNING] == 1
+    assert counts[Severity.INFO] == 1
+
+
+def test_report_render_counts_and_filtering():
+    report = _sample_report()
+    rendered = report.render()
+    assert "1 error" in rendered and "1 warning" in rendered
+    assert "AM304" in rendered
+    only_errors = report.to_table(min_severity=Severity.ERROR).render()
+    assert "AM301" in only_errors
+    assert "AM304" not in only_errors
+    assert DiagnosticReport().render() == "no diagnostics"
+    assert DiagnosticReport().render(title="clean") == "clean: no diagnostics"

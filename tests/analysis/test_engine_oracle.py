@@ -1,0 +1,115 @@
+"""Tests for the analyze() entry point and the oracle's static layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Canonicalizer, StaticMemoryFeasibility, analyze
+from repro.analysis.diagnostics import Severity
+from repro.core.oracle import OracleConfig, SimulationOracle
+from repro.machine import single_node
+from repro.mapping import SearchSpace
+from repro.runtime import SimConfig, Simulator
+from repro.search.base import INFEASIBLE
+from repro.util.rng import RngStream
+from repro.util.units import MIB
+from tests.conftest import build_diamond_graph
+
+
+@pytest.fixture
+def cramped():
+    graph = build_diamond_graph()
+    machine = single_node(
+        cpus=4,
+        gpus=1,
+        framebuffer_capacity=4 * MIB,
+        sysmem_capacity=512 * MIB,
+        zero_copy_capacity=512 * MIB,
+    )
+    return graph, machine
+
+
+def _oracle(graph, machine, static: bool):
+    simulator = Simulator(
+        graph, machine, SimConfig(noise_sigma=0.02, seed=3, spill=False)
+    )
+    kwargs = {}
+    if static:
+        kwargs = dict(
+            canonicalizer=Canonicalizer(graph, machine),
+            feasibility=StaticMemoryFeasibility(graph, machine),
+        )
+    return SimulationOracle(simulator, OracleConfig(), **kwargs)
+
+
+def test_static_oom_short_circuit_matches_runtime(cramped):
+    graph, machine = cramped
+    space = SearchSpace(graph, machine)
+    plain = _oracle(graph, machine, static=False)
+    static = _oracle(graph, machine, static=True)
+    for seed in range(25):
+        mapping = space.random_mapping(RngStream(seed))
+        a = plain.evaluate(mapping)
+        b = static.evaluate(mapping)
+        assert a.performance == b.performance
+        assert a.failed == b.failed
+        if a.failed:
+            assert a.reason == b.reason, "OOM reasons must be byte-equal"
+    assert static.static_oom_pruned > 0
+    # The static oracle never sent the doomed candidates into the
+    # runtime machinery; the plain one paid an OOM attempt for each.
+    assert static.simulator.oom_attempts == 0
+    assert plain.simulator.oom_attempts == static.static_oom_pruned
+    # Canonical folds can only reduce distinct executions further.
+    assert static.simulator.executions <= plain.simulator.executions
+    # Both count them as failed (cheap) evaluations, §5.3 style.
+    assert plain.failed_evaluations == static.failed_evaluations
+
+
+def test_canonical_folds_share_profile_records(cramped):
+    graph, machine = cramped
+    # single_node: every distribute bit is dead, so flipped variants
+    # fold onto one profile record.
+    oracle = _oracle(graph, machine, static=True)
+    space = SearchSpace(graph, machine)
+    base = space.default_mapping()
+    flipped = base.with_distribute("left", False)
+    first = oracle.evaluate(base)
+    second = oracle.evaluate(flipped)
+    assert oracle.canonical_folds == 1
+    assert second.cached
+    assert second.performance == first.performance
+    assert oracle.simulator.executions <= 1
+
+
+def test_evaluate_without_passes_is_unchanged(cramped):
+    graph, machine = cramped
+    oracle = _oracle(graph, machine, static=False)
+    mapping = SearchSpace(graph, machine).default_mapping()
+    assert oracle.canonical(mapping) is mapping
+    outcome = oracle.evaluate(mapping)
+    assert outcome.performance != INFEASIBLE or outcome.failed
+
+
+def test_analyze_combines_all_passes(cramped):
+    graph, machine = cramped
+    space = SearchSpace(graph, machine)
+    report = analyze(graph, machine, space=space)
+    rules = {d.rule_id for d in report}
+    assert any(r.startswith("AM1") for r in rules)  # dead coordinates
+    # The clean diamond graph has no races.
+    assert not any(r in ("AM301", "AM303") for r in rules)
+
+
+def test_analyze_mapping_validity_gates_feasibility(cramped):
+    graph, machine = cramped
+    space = SearchSpace(graph, machine)
+    mapping = space.default_mapping()
+    report = analyze(
+        graph, machine, space=space, mapping=mapping, sanitize=False
+    )
+    # Default = GPU + framebuffer everywhere: provably OOM on the
+    # cramped machine, reported as AM102 errors.
+    am102 = report.by_rule("AM102")
+    assert am102
+    assert report.max_severity() is Severity.ERROR

@@ -1,0 +1,130 @@
+"""Tests for the shared kind-level validity checker and its wrappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import check_mapping
+from repro.analysis.validity import explain_problems, validity_problems
+from repro.machine import single_node
+from repro.machine.kinds import MemKind, ProcKind
+from repro.mapping import SearchSpace
+from repro.mapping.decision import MappingDecision
+from repro.mapping.mapping import Mapping
+from repro.mapping.validate import (
+    MappingError,
+    explain_invalid,
+    is_valid,
+    validate,
+)
+from tests.conftest import build_diamond_graph
+
+
+@pytest.fixture
+def setup():
+    graph = build_diamond_graph()
+    machine = single_node(cpus=4, gpus=1)
+    space = SearchSpace(graph, machine)
+    return graph, machine, space.default_mapping()
+
+
+def test_valid_mapping_has_no_diagnostics(setup):
+    graph, machine, mapping = setup
+    assert check_mapping(graph, machine, mapping) == []
+    assert validity_problems(graph, machine, mapping) == []
+    assert explain_problems(graph, machine, mapping) is None
+    assert is_valid(graph, machine, mapping)
+    assert explain_invalid(graph, machine, mapping) is None
+    validate(graph, machine, mapping)  # no raise
+
+
+def test_missing_decision_is_am001(setup):
+    graph, machine, mapping = setup
+    partial = Mapping(
+        {k: d for k, d in mapping.items() if k != "sink"}
+    )
+    diags = check_mapping(graph, machine, partial)
+    assert [d.rule_id for d in diags] == ["AM001"]
+    assert diags[0].span.kind == "sink"
+    assert explain_invalid(graph, machine, partial) == diags[0].message
+
+
+def test_unknown_kind_is_am007(setup):
+    graph, machine, mapping = setup
+    decisions = dict(mapping.items())
+    decisions["phantom"] = MappingDecision(
+        distribute=True,
+        proc_kind=ProcKind.CPU,
+        mem_kinds=(MemKind.SYSTEM,),
+    )
+    extra = Mapping(decisions)
+    diags = check_mapping(graph, machine, extra)
+    assert [d.rule_id for d in diags] == ["AM007"]
+
+
+def test_unaddressable_memory_is_am006(setup):
+    graph, machine, mapping = setup
+    bad = mapping.with_proc("left", ProcKind.GPU).with_mem(
+        "left", 0, MemKind.SYSTEM
+    )
+    rules = [d.rule_id for d in check_mapping(graph, machine, bad)]
+    assert rules == ["AM006"]
+    reason = explain_invalid(graph, machine, bad)
+    assert reason is not None and "not addressable" in reason
+    with pytest.raises(MappingError, match="not addressable"):
+        validate(graph, machine, bad)
+
+
+def test_slot_count_mismatch_no_longer_hides_other_problems(setup):
+    """Historically the validator ``continue``-d after a slot-count
+    mismatch, hiding addressability problems on the same kind.  The
+    shared checker reports both."""
+    graph, machine, mapping = setup
+    # 'left' has 2 slots; give it one decision slot carrying an
+    # unaddressable (GPU, system) combination.
+    bad = mapping.with_decision(
+        "left",
+        MappingDecision(
+            distribute=True,
+            proc_kind=ProcKind.GPU,
+            mem_kinds=(MemKind.SYSTEM,),
+        ),
+    )
+    rules = [d.rule_id for d in check_mapping(graph, machine, bad)]
+    assert "AM002" in rules and "AM006" in rules
+    # Both messages surface in the joined explanation, in order.
+    reason = explain_invalid(graph, machine, bad)
+    assert "covers 1 slots" in reason
+    assert "not addressable" in reason
+
+
+def test_extra_decision_slots_are_named_generically(setup):
+    graph, machine, mapping = setup
+    bad = mapping.with_decision(
+        "sink",
+        MappingDecision(
+            distribute=True,
+            proc_kind=ProcKind.CPU,
+            mem_kinds=(MemKind.SYSTEM,) * 5,
+        ),
+    )
+    diags = check_mapping(graph, machine, bad)
+    assert [d.rule_id for d in diags] == ["AM002"]
+    # 5 mem kinds vs 3 kind slots: per-slot checks still ran over all 5
+    # without crashing; unknown slots would be labelled slot3/slot4.
+
+
+def test_explain_invalid_joins_all_problems(setup):
+    graph, machine, mapping = setup
+    bad = mapping.with_decision(
+        "left",
+        MappingDecision(
+            distribute=True,
+            proc_kind=ProcKind.GPU,
+            mem_kinds=(MemKind.SYSTEM, MemKind.SYSTEM, MemKind.SYSTEM),
+        ),
+    )
+    reason = explain_invalid(graph, machine, bad)
+    # slot-count mismatch + 3 unaddressable slots, semicolon-joined.
+    assert reason.count(";") >= 3
+    assert not is_valid(graph, machine, bad)

@@ -1,0 +1,85 @@
+"""Property-based tests: canonicalization is idempotent and
+runtime-preserving (``simulate(m) == simulate(canonical(m))``)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import Canonicalizer
+from repro.machine import shepard, single_node
+from repro.mapping import SearchSpace
+from repro.runtime import SimConfig, Simulator
+from repro.taskgraph import ArgSlot, GraphBuilder, Privilege
+from repro.util.rng import RngStream
+
+_MACHINES = {
+    "single": single_node(cpus=4, gpus=1),
+    "shepard2": shepard(2),
+}
+
+
+def _graph(sizes, zero_byte_slot):
+    """A chain of kinds with configurable group sizes; optionally the
+    last kind carries an extra zero-byte argument (a foldable memory
+    coordinate)."""
+    b = GraphBuilder("prop")
+    data = b.collection("data", nbytes=1 << 20)
+    extra = (
+        b.collection("empty", nbytes=0) if zero_byte_slot else None
+    )
+    for i, size in enumerate(sizes):
+        slots = [ArgSlot("d", Privilege.READ_WRITE)]
+        args = [data]
+        if zero_byte_slot and i == len(sizes) - 1:
+            slots.append(ArgSlot("e", Privilege.READ))
+            args.append(extra)
+        kind = b.task_kind(f"k{i}", slots=slots)
+        b.launch(kind, args, size=size, flops=1e6)
+    return b.build()
+
+
+graph_st = st.tuples(
+    st.lists(
+        st.integers(min_value=1, max_value=4), min_size=1, max_size=4
+    ),
+    st.booleans(),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    graph_st,
+    st.sampled_from(sorted(_MACHINES)),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_canonical_is_idempotent(params, machine_name, seed):
+    sizes, zero_byte = params
+    machine = _MACHINES[machine_name]
+    graph = _graph(sizes, zero_byte)
+    canon = Canonicalizer(graph, machine)
+    mapping = SearchSpace(graph, machine).random_mapping(RngStream(seed))
+    once = canon.canonical(mapping)
+    assert canon.canonical(once).key() == once.key()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    graph_st,
+    st.sampled_from(sorted(_MACHINES)),
+    st.integers(min_value=0, max_value=2**31),
+    st.booleans(),
+)
+def test_canonical_preserves_simulated_runtime(
+    params, machine_name, seed, spill
+):
+    sizes, zero_byte = params
+    machine = _MACHINES[machine_name]
+    graph = _graph(sizes, zero_byte)
+    canon = Canonicalizer(graph, machine)
+    mapping = SearchSpace(graph, machine).random_mapping(RngStream(seed))
+    folded = canon.canonical(mapping)
+    sim = Simulator(
+        graph, machine, SimConfig(noise_sigma=0.0, spill=spill)
+    )
+    assert sim.run(mapping).makespan == sim.run(folded).makespan
