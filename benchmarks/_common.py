@@ -35,6 +35,27 @@ def bench_workers() -> int:
     return workers
 
 
+def bench_checkpoint_kwargs(label: str) -> dict:
+    """Checkpointing knobs for long benchmark sweeps.
+
+    Set ``REPRO_BENCH_CHECKPOINT_DIR=/path`` to checkpoint each tuning
+    run to ``<dir>/<label>.checkpoint.json`` (atomically replaced) every
+    ``REPRO_BENCH_CHECKPOINT_EVERY`` evaluations (default 200), so a
+    killed full-scale figure run loses at most one checkpoint interval.
+    Checkpointing never changes results — it only snapshots state."""
+    directory = os.environ.get("REPRO_BENCH_CHECKPOINT_DIR")
+    if not directory:
+        return {}
+    every = int(os.environ.get("REPRO_BENCH_CHECKPOINT_EVERY", "200"))
+    safe = label.replace("/", "-").replace(" ", "_")
+    return {
+        "checkpoint_path": os.path.join(
+            directory, f"{safe}.checkpoint.json"
+        ),
+        "checkpoint_every": every,
+    }
+
+
 @dataclass
 class PanelPoint:
     """One x-axis point of a Figure 6-style panel."""
@@ -54,6 +75,7 @@ def make_driver(
     spill: bool = True,
     seed: int = SEED,
 ) -> AutoMapDriver:
+    label = f"{app.name}-{app.input_label()}-{machine.name}-{algorithm}"
     return AutoMapDriver(
         app.graph(machine),
         machine,
@@ -65,6 +87,7 @@ def make_driver(
         sim_config=SimConfig(noise_sigma=0.04, seed=seed, spill=spill),
         space=app.space(machine),
         workers=bench_workers(),
+        **bench_checkpoint_kwargs(label),
     )
 
 

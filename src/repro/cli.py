@@ -112,6 +112,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tune.add_argument("--workdir", default=None)
     tune.add_argument(
+        "--resume",
+        default=None,
+        metavar="WORKDIR",
+        help="resume a checkpointed tuning run from WORKDIR (implies "
+        "--workdir WORKDIR); the resumed search replays the "
+        "checkpoint deterministically and finishes bit-identically "
+        "to an uninterrupted run with the same seed",
+    )
+    tune.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=25,
+        metavar="N",
+        help="with a workdir, snapshot the full search state to "
+        "checkpoint.json every N evaluations (atomically replaced; "
+        "0 = only at interrupt and at the end)",
+    )
+    tune.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-candidate wall-clock limit for worker-pool results; "
+        "a hung worker is terminated, the pool rebuilt, and the "
+        "candidate retried (default: wait forever)",
+    )
+    tune.add_argument(
         "--no-spill",
         action="store_true",
         help="fail (instead of demoting) mappings that exceed capacity",
@@ -171,6 +198,14 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_tune(args) -> int:
     if args.verbose:
         configure_logging()
+    workdir = args.workdir
+    if args.resume is not None:
+        if workdir is not None and workdir != args.resume:
+            raise SystemExit(
+                "--resume WORKDIR conflicts with --workdir: resume "
+                "continues inside the original working directory"
+            )
+        workdir = args.resume
     machine = _MACHINES[args.machine](args.nodes)
     app = make_app(args.app, **parse_app_input(args.app, args.input))
     graph = app.graph(machine)
@@ -178,7 +213,7 @@ def _cmd_tune(args) -> int:
         graph,
         machine,
         algorithm=args.algorithm,
-        workdir=args.workdir,
+        workdir=workdir,
         oracle_config=OracleConfig(max_suggestions=args.max_suggestions),
         sim_config=SimConfig(
             noise_sigma=0.04, seed=args.seed, spill=not args.no_spill
@@ -186,6 +221,9 @@ def _cmd_tune(args) -> int:
         space=app.space(machine),
         workers=args.workers,
         static_prune=not args.no_static_prune,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume is not None,
+        worker_timeout=args.worker_timeout,
     )
     default = session.default_mapping()
     t_default = session.measure(default)
@@ -265,14 +303,25 @@ def _cmd_machines(_args) -> int:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "tune":
-        return _cmd_tune(args)
-    if args.command == "inspect":
-        return _cmd_inspect(args)
-    if args.command == "analyze":
-        return _cmd_analyze(args)
-    if args.command == "machines":
-        return _cmd_machines(args)
+    try:
+        if args.command == "tune":
+            return _cmd_tune(args)
+        if args.command == "inspect":
+            return _cmd_inspect(args)
+        if args.command == "analyze":
+            return _cmd_analyze(args)
+        if args.command == "machines":
+            return _cmd_machines(args)
+    except KeyboardInterrupt:
+        # A tune in progress has already flushed a final checkpoint
+        # (the driver catches the interrupt, saves, and re-raises), so
+        # the run is resumable; exit with the conventional 128+SIGINT.
+        print(
+            "\ninterrupted — if a --workdir was set, continue with "
+            "`repro tune --resume <workdir>`",
+            file=sys.stderr,
+        )
+        return 130
     raise SystemExit(2)  # pragma: no cover
 
 

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple, Union
 
 from repro.core.oracle import OracleConfig, SimulationOracle
 from repro.core.profiles import ProfileDatabase
@@ -20,6 +21,8 @@ from repro.parallel.batch import BatchOracle
 from repro.machine.model import Machine
 from repro.mapping.mapping import Mapping
 from repro.mapping.space import SearchSpace
+from repro.resilience.checkpoint import CheckpointManager, TuningCheckpoint
+from repro.resilience.supervisor import SupervisorStats
 from repro.runtime.simulator import SimConfig, Simulator
 from repro.search.base import SearchAlgorithm, SearchResult
 from repro.search.ccd import ConstrainedCoordinateDescent
@@ -83,8 +86,18 @@ class TuningReport:
     static_oom_pruned: int = 0
     canonical_folds: int = 0
     #: Novel mappings the runtime machinery processed (deterministic
-    #: executions plus in-planner OOM discoveries).
+    #: executions plus in-planner OOM discoveries).  After a resume this
+    #: counts only the work done since the restart — checkpointed
+    #: evaluations replay without touching the runtime machinery.
     simulations: int = 0
+    #: Fault-tolerance accounting (repro.resilience).
+    resumed: bool = False
+    #: Evaluations reconstructed from the checkpoint's replay ledger.
+    replayed: int = 0
+    #: Checkpoints written during this run.
+    checkpoints_written: int = 0
+    #: Worker-pool recovery events (timeouts, rebuilds, retries, ...).
+    recovery: SupervisorStats = field(default_factory=SupervisorStats)
 
     def describe(self) -> str:
         lines = [
@@ -101,6 +114,17 @@ class TuningReport:
             f"{self.static_oom_pruned} OOM proven statically, "
             f"{self.canonical_folds} suggestions folded",
         ]
+        if self.resumed or self.replayed:
+            lines.append(
+                f"  resume: {self.replayed} evaluations replayed from "
+                f"checkpoint"
+            )
+        if self.checkpoints_written:
+            lines.append(
+                f"  checkpoints: {self.checkpoints_written} written"
+            )
+        if self.recovery.any_events:
+            lines.append(f"  recovery: {self.recovery.describe()}")
         if self.best_mapping is not None:
             lines.append("  best mapping:")
             for line in self.best_mapping.describe().splitlines():
@@ -124,6 +148,13 @@ class AutoMapDriver:
         space: Optional[SearchSpace] = None,
         workers: int = 1,
         static_prune: bool = True,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 0,
+        resume_checkpoint: Optional[TuningCheckpoint] = None,
+        worker_timeout: Optional[float] = None,
+        observers: Optional[
+            List[Callable[[SimulationOracle], None]]
+        ] = None,
     ) -> None:
         self.graph = graph
         self.machine = machine
@@ -144,6 +175,24 @@ class AutoMapDriver:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+
+        # Fault tolerance (repro.resilience): periodic checkpoints of
+        # the full search state, deterministic replay on resume, and
+        # the per-candidate timeout for worker supervision.
+        self.checkpoint_path = (
+            None if checkpoint_path is None else Path(checkpoint_path)
+        )
+        self.checkpoint_every = checkpoint_every
+        self.worker_timeout = worker_timeout
+        self.observers = list(observers or [])
+        if resume_checkpoint is not None:
+            resume_checkpoint.verify_matches(
+                graph.name,
+                machine.name,
+                self.algorithm.name,
+                seed,
+            )
+        self.resume_checkpoint = resume_checkpoint
 
         # Static pre-simulation pruning (repro.analysis).  The
         # canonicalizer is placement-exact and always safe; the memory
@@ -166,19 +215,58 @@ class AutoMapDriver:
 
     # ------------------------------------------------------------------
     def tune(self, start: Optional[Mapping] = None) -> TuningReport:
-        """Run the full search + final re-evaluation protocol."""
+        """Run the full search + final re-evaluation protocol.
+
+        When a checkpoint path is configured, the search state is
+        snapshotted atomically every ``checkpoint_every`` evaluations
+        and on :class:`KeyboardInterrupt` (which is then re-raised), so
+        a killed run can be continued with ``resume_checkpoint`` — to a
+        bit-identical result (see :mod:`repro.resilience.checkpoint`).
+        """
         profiles = ProfileDatabase()
+        serial_oracle = SimulationOracle(
+            self.simulator,
+            self.oracle_config,
+            profiles,
+            canonicalizer=self.canonicalizer,
+            feasibility=self.feasibility,
+        )
         oracle = BatchOracle(
-            SimulationOracle(
-                self.simulator,
-                self.oracle_config,
-                profiles,
-                canonicalizer=self.canonicalizer,
-                feasibility=self.feasibility,
-            ),
+            serial_oracle,
             workers=self.workers,
+            timeout=self.worker_timeout,
         )
         rng = RngStream(self.seed).fork("search", self.algorithm.name)
+
+        if self.resume_checkpoint is not None:
+            serial_oracle.install_replay(
+                self.resume_checkpoint.replay_ledger()
+            )
+            _LOG.info(
+                kv(
+                    "resume",
+                    records=len(self.resume_checkpoint.entries),
+                    evaluated=self.resume_checkpoint.evaluated,
+                    cursor=str(self.resume_checkpoint.cursor),
+                )
+            )
+
+        manager: Optional[CheckpointManager] = None
+        if self.checkpoint_path is not None:
+            manager = CheckpointManager(
+                self.checkpoint_path,
+                serial_oracle,
+                application=self.graph.name,
+                machine_name=self.machine.name,
+                algorithm_name=self.algorithm.name,
+                seed=self.seed,
+                every=self.checkpoint_every,
+                rng=rng,
+                algorithm=self.algorithm,
+            )
+            serial_oracle.observers.append(manager.on_evaluation)
+        serial_oracle.observers.extend(self.observers)
+
         _LOG.info(
             kv(
                 "tune-start",
@@ -187,6 +275,7 @@ class AutoMapDriver:
                 algorithm=self.algorithm.name,
                 space_log2=round(self.space.log2_size(), 1),
                 workers=self.workers,
+                resume=self.resume_checkpoint is not None,
             )
         )
         try:
@@ -205,8 +294,20 @@ class AutoMapDriver:
                     (record.mapping, record.mean, record.stddev, record.count)
                 )
             finalists.sort(key=lambda item: item[1])
+        except KeyboardInterrupt:
+            # Ctrl-C / SIGINT mid-tune: flush a final checkpoint so the
+            # interrupted session is resumable, then let the interrupt
+            # propagate (the CLI turns it into exit status 130).
+            if manager is not None:
+                manager.flush()
+                _LOG.info(
+                    kv("interrupt-checkpoint", path=str(manager.path))
+                )
+            raise
         finally:
             oracle.close()
+        if manager is not None:
+            manager.flush()
 
         if finalists:
             best_mapping, best_mean, best_stddev, _ = finalists[0]
@@ -235,6 +336,10 @@ class AutoMapDriver:
             simulations=(
                 self.simulator.executions + self.simulator.oom_attempts
             ),
+            resumed=self.resume_checkpoint is not None,
+            replayed=serial_oracle.replayed,
+            checkpoints_written=0 if manager is None else manager.saves,
+            recovery=oracle.stats,
         )
         _LOG.info(
             kv(

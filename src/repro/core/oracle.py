@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.resilience.checkpoint import ReplayEntry
 from repro.runtime.executor import ExecutionReport
 
 from repro.core.profiles import ProfileDatabase
@@ -119,6 +120,14 @@ class SimulationOracle:
         self.best_mapping: Optional[Mapping] = None
         self.trace: List[TracePoint] = []
         self._wall = Budget(max_seconds=self.config.max_wall_seconds)
+        #: Post-evaluation hooks (checkpoint managers, test probes);
+        #: each is called with the oracle after every ``evaluate``.
+        self.observers: List[Callable[["SimulationOracle"], None]] = []
+        #: Resume support: evaluations reconstructed from a checkpoint,
+        #: consumed the first time the replayed search re-suggests them.
+        self._replay: Dict[tuple, ReplayEntry] = {}
+        #: Evaluations served from the replay ledger (reporting only).
+        self.replayed = 0
 
     # ------------------------------------------------------------------
     @property
@@ -157,8 +166,83 @@ class SimulationOracle:
         return self.canonicalizer.canonical(mapping)
 
     # ------------------------------------------------------------------
+    # Resume: the replay ledger (see repro.resilience.checkpoint)
+    # ------------------------------------------------------------------
+    def install_replay(self, entries: Dict[tuple, ReplayEntry]) -> None:
+        """Install checkpointed evaluations for deterministic replay.
+
+        When the resumed search first re-suggests a ledgered mapping,
+        the oracle reproduces the original execution from the entry —
+        identical samples, clock advance, counters, and trace point —
+        without running the simulator.  Because every search algorithm
+        is a deterministic function of the oracle's answers, the
+        replayed run retraces the original trajectory exactly and then
+        seamlessly continues past the checkpoint.
+        """
+        self._replay = dict(entries)
+
+    def replay_pending(self, mapping: Mapping) -> bool:
+        """Whether ``mapping`` has a not-yet-consumed ledger entry (the
+        batch layer skips prefetching those — replay is free)."""
+        return bool(self._replay) and mapping.key() in self._replay
+
+    def pending_replay_entries(self) -> List[ReplayEntry]:
+        """Ledger entries the replayed search has not reached yet
+        (carried forward when a resumed run is checkpointed again)."""
+        return list(self._replay.values())
+
+    def _replay_execution(
+        self, mapping: Mapping, entry: ReplayEntry
+    ) -> EvalOutcome:
+        """Reproduce one checkpointed execution, advancing every piece
+        of accounting exactly as the original execution did."""
+        self.replayed += 1
+        if entry.failed:
+            self.failed_evaluations += 1
+            if entry.static_oom:
+                self.static_oom_pruned += 1
+            self.profiles.record(
+                mapping,
+                [],
+                failed=True,
+                reason=entry.reason,
+                static_oom=entry.static_oom,
+            )
+            return EvalOutcome(
+                performance=INFEASIBLE, failed=True, reason=entry.reason
+            )
+        samples = list(entry.samples)
+        eval_seconds = entry.makespan * self.config.runs_per_eval
+        self.sim_elapsed += eval_seconds
+        self.sim_evaluating += eval_seconds
+        self.evaluated += 1
+        performance = sum(samples) / len(samples)
+        self.profiles.record(mapping, samples, makespan=entry.makespan)
+        if performance < self.best_performance:
+            self.best_performance = performance
+            self.best_mapping = mapping
+        self.trace.append(
+            TracePoint(
+                elapsed=self.sim_elapsed,
+                evaluations=self.evaluated,
+                suggested=self.suggested,
+                best_performance=self.best_performance,
+            )
+        )
+        return EvalOutcome(performance=performance)
+
+    def _notify(self) -> None:
+        for observer in self.observers:
+            observer(self)
+
+    # ------------------------------------------------------------------
     def evaluate(self, mapping: Mapping) -> EvalOutcome:
         """Measure one candidate per the protocol described above."""
+        outcome = self._evaluate(mapping)
+        self._notify()
+        return outcome
+
+    def _evaluate(self, mapping: Mapping) -> EvalOutcome:
         self.suggested += 1
         self.sim_elapsed += self.config.suggestion_overhead
 
@@ -187,6 +271,11 @@ class SimulationOracle:
                 )
             return EvalOutcome(performance=record.mean, cached=True)
 
+        if self._replay:
+            entry = self._replay.pop(mapping.key(), None)
+            if entry is not None:
+                return self._replay_execution(mapping, entry)
+
         if self.feasibility is not None:
             oom = self.feasibility.oom_reason(mapping)
             if oom is not None:
@@ -194,7 +283,9 @@ class SimulationOracle:
                 # runtime OOM below — just without the simulation.
                 self.failed_evaluations += 1
                 self.static_oom_pruned += 1
-                self.profiles.record(mapping, [], failed=True, reason=oom)
+                self.profiles.record(
+                    mapping, [], failed=True, reason=oom, static_oom=True
+                )
                 return EvalOutcome(
                     performance=INFEASIBLE, failed=True, reason=oom
                 )
@@ -216,7 +307,7 @@ class SimulationOracle:
         self.sim_evaluating += eval_seconds
         self.evaluated += 1
         performance = sum(samples) / len(samples)
-        self.profiles.record(mapping, samples)
+        self.profiles.record(mapping, samples, makespan=result.makespan)
         if performance < self.best_performance:
             self.best_performance = performance
             self.best_mapping = mapping

@@ -4,7 +4,9 @@ Every mapping the driver evaluates is recorded with its raw measurement
 samples so that (a) re-suggesting a mapping returns the stored result
 without re-execution — the dedup behind §5.3's suggested-vs-evaluated
 gap — and (b) the final report can re-rank the top mappings with more
-samples.  The database persists to JSON for offline inspection.
+samples.  The database persists to JSON — atomically, and with fully
+round-trippable mappings, so a crashed tuning session can be reloaded
+and resumed (see :mod:`repro.resilience`).
 """
 
 from __future__ import annotations
@@ -19,6 +21,13 @@ from repro.util.serialization import dump_json, load_json
 
 __all__ = ["ProfileRecord", "ProfileDatabase"]
 
+#: Current on-disk format.  v1 stored mappings only as describe() text
+#: and key strings (not reloadable); v2 adds the round-trippable
+#: ``kinds`` document plus the deterministic makespan and the
+#: static-OOM flag needed for crash-safe resume.
+_FORMAT = "automap-profiles-v2"
+_LEGACY_FORMATS = ("automap-profiles-v1",)
+
 
 @dataclass
 class ProfileRecord:
@@ -28,6 +37,13 @@ class ProfileRecord:
     samples: List[float] = field(default_factory=list)
     failed: bool = False
     reason: Optional[str] = None
+    #: Deterministic (noise-free) makespan of the mapping's execution;
+    #: None until the mapping has actually executed (or for failures).
+    #: Needed to replay the simulated search clock on resume.
+    makespan: Optional[float] = None
+    #: True when the failure was proven by the static feasibility pass
+    #: rather than discovered by the runtime memory planner.
+    static_oom: bool = False
 
     @property
     def count(self) -> int:
@@ -72,6 +88,8 @@ class ProfileDatabase:
         samples: List[float],
         failed: bool = False,
         reason: Optional[str] = None,
+        makespan: Optional[float] = None,
+        static_oom: bool = False,
     ) -> ProfileRecord:
         """Add samples for a mapping (creates or extends its record)."""
         key = mapping.key()
@@ -85,6 +103,9 @@ class ProfileDatabase:
         record.failed = record.failed or failed
         if reason and not record.reason:
             record.reason = reason
+        if makespan is not None and record.makespan is None:
+            record.makespan = makespan
+        record.static_oom = record.static_oom or static_oom
         return record
 
     def __len__(self) -> int:
@@ -109,18 +130,28 @@ class ProfileDatabase:
     # Persistence
     # ------------------------------------------------------------------
     def save(self, path: Union[str, Path]) -> None:
-        """Persist means/samples (not full Mapping objects — mappings are
-        stored via their human-readable description and canonical key)."""
+        """Persist the database (written atomically).
+
+        Each record stores the full round-trippable mapping (the
+        ``kinds`` document of :mod:`repro.mapping.io`) alongside the
+        human-readable description, so :meth:`load` can rebuild an
+        equivalent in-memory database — the property crash-safe resume
+        relies on.
+        """
+        from repro.mapping.io import mapping_to_doc
+
         doc = {
-            "format": "automap-profiles-v1",
+            "format": _FORMAT,
             "records": [
                 {
-                    "key": [list(map(str, k)) for k in record.mapping.key()],
+                    "kinds": mapping_to_doc(record.mapping),
                     "mapping": record.mapping.describe(),
                     "samples": record.samples,
                     "mean": None if not record.samples else record.mean,
                     "failed": record.failed,
                     "reason": record.reason,
+                    "makespan": record.makespan,
+                    "static_oom": record.static_oom,
                 }
                 for record in self._records.values()
             ],
@@ -128,9 +159,35 @@ class ProfileDatabase:
         dump_json(doc, path)
 
     @staticmethod
-    def load_summary(path: Union[str, Path]) -> List[dict]:
-        """Load the persisted record summaries (read-only view)."""
+    def load(path: Union[str, Path]) -> "ProfileDatabase":
+        """Rebuild a database saved by :meth:`save` (v2 format only —
+        the v1 format did not store reloadable mappings)."""
+        from repro.mapping.io import mapping_from_doc
+
         doc = load_json(path)
-        if doc.get("format") != "automap-profiles-v1":
+        if doc.get("format") != _FORMAT:
+            raise ValueError(
+                f"cannot reload profiles from {path}: format "
+                f"{doc.get('format')!r} is not round-trippable "
+                f"(need {_FORMAT!r})"
+            )
+        db = ProfileDatabase()
+        for entry in doc["records"]:
+            db.record(
+                mapping_from_doc(entry["kinds"]),
+                list(entry["samples"]),
+                failed=entry["failed"],
+                reason=entry["reason"],
+                makespan=entry.get("makespan"),
+                static_oom=entry.get("static_oom", False),
+            )
+        return db
+
+    @staticmethod
+    def load_summary(path: Union[str, Path]) -> List[dict]:
+        """Load the persisted record summaries (read-only view; accepts
+        the legacy v1 format as well)."""
+        doc = load_json(path)
+        if doc.get("format") not in (_FORMAT, *_LEGACY_FORMATS):
             raise ValueError(f"not a profiles file: {path}")
         return doc["records"]

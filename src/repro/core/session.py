@@ -19,9 +19,11 @@ from repro.core.profiles import ProfileDatabase
 from repro.core.spacefile import generate_space_file
 from repro.machine.model import Machine
 from repro.mapping.mapping import Mapping
+from repro.resilience.checkpoint import CHECKPOINT_FILENAME, load_checkpoint
 from repro.runtime.simulator import SimConfig
 from repro.taskgraph.graph import TaskGraph
 from repro.util.logging import get_logger
+from repro.util.serialization import atomic_write_text
 
 __all__ = ["AutoMapSession"]
 
@@ -52,10 +54,35 @@ class AutoMapSession:
         space=None,
         workers: int = 1,
         static_prune: bool = True,
+        checkpoint_every: int = 0,
+        resume: bool = False,
+        worker_timeout: Optional[float] = None,
     ) -> None:
         self.graph = graph
         self.machine = machine
         self.workdir = Path(workdir) if workdir is not None else None
+
+        # Fault tolerance: with a working directory, the search state is
+        # checkpointed to ``<workdir>/checkpoint.json`` (periodically
+        # when ``checkpoint_every > 0``, and always on interrupt / at
+        # the end).  ``resume=True`` reloads that checkpoint and
+        # continues the run — bit-identically, see repro.resilience.
+        checkpoint_path = None
+        resume_checkpoint = None
+        if self.workdir is not None:
+            checkpoint_path = self.workdir / CHECKPOINT_FILENAME
+        if resume:
+            if checkpoint_path is None:
+                raise ValueError(
+                    "resume=True requires a working directory holding "
+                    "the checkpoint to resume from"
+                )
+            if not checkpoint_path.exists():
+                raise FileNotFoundError(
+                    f"no checkpoint to resume at {checkpoint_path}"
+                )
+            resume_checkpoint = load_checkpoint(checkpoint_path)
+
         self.driver = AutoMapDriver(
             graph,
             machine,
@@ -66,6 +93,10 @@ class AutoMapSession:
             space=space,
             workers=workers,
             static_prune=static_prune,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            resume_checkpoint=resume_checkpoint,
+            worker_timeout=worker_timeout,
         )
 
     # ------------------------------------------------------------------
@@ -100,8 +131,8 @@ class AutoMapSession:
             # driver's database during the run).
             profiles.record(mapping, [mean] * min(count, 1))
         profiles.save(self.workdir / "finalists.json")
-        (self.workdir / "report.txt").write_text(
-            report.describe() + "\n", encoding="utf-8"
+        atomic_write_text(
+            report.describe() + "\n", self.workdir / "report.txt"
         )
         _LOG.info("artifacts written to %s", self.workdir)
 

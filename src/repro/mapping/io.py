@@ -18,9 +18,40 @@ from repro.mapping.mapping import Mapping
 from repro.taskgraph.graph import TaskGraph
 from repro.util.serialization import dump_json, load_json
 
-__all__ = ["save_mapping", "load_mapping"]
+__all__ = [
+    "save_mapping",
+    "load_mapping",
+    "mapping_to_doc",
+    "mapping_from_doc",
+]
 
 _FORMAT = "automap-mapping-v1"
+
+
+def mapping_to_doc(mapping: Mapping) -> Dict[str, dict]:
+    """Encode a mapping as the plain-JSON ``kinds`` document (one entry
+    per task kind) shared by mapping files, the profiles database, and
+    tuning checkpoints."""
+    return {
+        name: {
+            "distribute": decision.distribute,
+            "proc_kind": decision.proc_kind.value,
+            "mem_kinds": [m.value for m in decision.mem_kinds],
+        }
+        for name, decision in mapping.items()
+    }
+
+
+def mapping_from_doc(doc: Dict[str, dict]) -> Mapping:
+    """Decode a ``kinds`` document produced by :func:`mapping_to_doc`."""
+    decisions: Dict[str, MappingDecision] = {}
+    for name, entry in doc.items():
+        decisions[name] = MappingDecision(
+            distribute=bool(entry["distribute"]),
+            proc_kind=ProcKind(entry["proc_kind"]),
+            mem_kinds=tuple(MemKind(m) for m in entry["mem_kinds"]),
+        )
+    return Mapping(decisions)
 
 
 def save_mapping(
@@ -28,7 +59,8 @@ def save_mapping(
     path: Union[str, Path],
     application: Optional[str] = None,
 ) -> None:
-    """Write ``mapping`` to ``path`` as JSON.
+    """Write ``mapping`` to ``path`` as JSON (atomically — see
+    :func:`repro.util.serialization.dump_json`).
 
     ``application`` (e.g. the task graph's name) is stored so loads can
     be checked against the graph they are applied to.
@@ -36,14 +68,7 @@ def save_mapping(
     doc = {
         "format": _FORMAT,
         "application": application,
-        "kinds": {
-            name: {
-                "distribute": decision.distribute,
-                "proc_kind": decision.proc_kind.value,
-                "mem_kinds": [m.value for m in decision.mem_kinds],
-            }
-            for name, decision in mapping.items()
-        },
+        "kinds": mapping_to_doc(mapping),
     }
     dump_json(doc, path)
 
@@ -62,14 +87,7 @@ def load_mapping(
     doc = load_json(path)
     if doc.get("format") != _FORMAT:
         raise ValueError(f"not an AutoMap mapping file: {path}")
-    decisions: Dict[str, MappingDecision] = {}
-    for name, entry in doc["kinds"].items():
-        decisions[name] = MappingDecision(
-            distribute=bool(entry["distribute"]),
-            proc_kind=ProcKind(entry["proc_kind"]),
-            mem_kinds=tuple(MemKind(m) for m in entry["mem_kinds"]),
-        )
-    mapping = Mapping(decisions)
+    mapping = mapping_from_doc(doc["kinds"])
 
     if graph is not None:
         stored_app = doc.get("application")

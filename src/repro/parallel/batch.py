@@ -22,17 +22,30 @@ The trick is a strict split between *computing* and *accounting*:
 With ``workers=1`` the pool is never created and every call degrades to
 the serial path, so a single code path in the search layer serves both
 modes.
+
+**Worker supervision.**  Because prefetching only ever warms the cache,
+every worker failure is recoverable without touching results: the batch
+is supervised with a per-candidate timeout, bounded retries with
+exponential backoff, a pool rebuild whenever the pool breaks (worker
+crash) or a candidate hangs, and — when workers keep dying — graceful
+degradation to fully serial evaluation.  A candidate whose worker never
+delivered is simply computed by the driver-side replay.  Every recovery
+event is counted in :class:`repro.resilience.supervisor.SupervisorStats`
+and surfaced in the tuning report.
 """
 
 from __future__ import annotations
 
-import math
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
 
 from repro.mapping.mapping import Mapping
 from repro.mapping.validate import explain_invalid
-from repro.parallel.spec import SimulatorSpec, init_worker, run_mapping
+from repro.parallel.spec import SimulatorSpec, WorkerResult, init_worker, run_mapping
+from repro.resilience.supervisor import SupervisorStats
 from repro.search.base import INFEASIBLE, EvalOutcome
 from repro.util.logging import get_logger, kv
 
@@ -46,6 +59,13 @@ _LOG = get_logger("parallel.batch")
 #: Batch capacity per worker: deep enough to amortise pool dispatch,
 #: shallow enough that speculative batches rarely outrun the budget.
 BATCH_DEPTH = 8
+
+#: Default supervision limits: how many re-submission rounds a failed
+#: batch gets, and how many pool rebuilds the run tolerates before
+#: degrading to serial evaluation for good.
+MAX_RETRIES = 2
+MAX_POOL_REBUILDS = 3
+RETRY_BACKOFF = 0.05
 
 
 class BatchOracle:
@@ -62,13 +82,28 @@ class BatchOracle:
         oracle: "SimulationOracle",
         workers: int = 1,
         batch_depth: int = BATCH_DEPTH,
+        timeout: Optional[float] = None,
+        max_retries: int = MAX_RETRIES,
+        max_pool_rebuilds: int = MAX_POOL_REBUILDS,
+        retry_backoff: float = RETRY_BACKOFF,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
         self.oracle = oracle
         self.workers = workers
         self.batch_depth = batch_depth
+        #: Per-candidate wall-clock limit for a worker result (None =
+        #: wait forever).  A breach marks the pool as wedged: it is
+        #: torn down (hung processes terminated) and rebuilt.
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.max_pool_rebuilds = max_pool_rebuilds
+        self.retry_backoff = retry_backoff
+        self.stats = SupervisorStats()
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._serial_only = False
 
     # ------------------------------------------------------------------
     # Oracle protocol: single-candidate path delegates untouched.
@@ -86,6 +121,15 @@ class BatchOracle:
     def __getattr__(self, name: str):
         # Statistics, profiles, measure_more, ... — read-through to the
         # wrapped oracle so the driver can treat both interchangeably.
+        # Underscore-prefixed names (including dunders the object
+        # protocol probes for: __getstate__, __deepcopy__, __fspath__,
+        # ...) must NOT be delegated: answering them with the wrapped
+        # oracle's implementations silently corrupts pickling/copying
+        # of the BatchOracle itself.
+        if name.startswith("_"):
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute {name!r}"
+            )
         return getattr(self.oracle, name)
 
     # ------------------------------------------------------------------
@@ -105,7 +149,13 @@ class BatchOracle:
         without consuming any budget or touching any statistic.  Returns
         None for candidates that would need an execution.  Used by
         speculative batch generation (e.g. the ensemble tuner predicting
-        a generation ahead)."""
+        a generation ahead).
+
+        Replay-pending candidates (checkpoint resume) also report None:
+        the serial oracle answered None for them before the original
+        run's execution, and diverging here would steer a resumed
+        speculation differently from the uninterrupted run.
+        """
         simulator = self.oracle.simulator
         if explain_invalid(simulator.graph, simulator.machine, mapping):
             return INFEASIBLE
@@ -113,6 +163,8 @@ class BatchOracle:
         record = self.oracle.profiles.lookup(mapping)
         if record is not None:
             return INFEASIBLE if record.failed else record.mean
+        if self.oracle.replay_pending(mapping):
+            return None
         feasibility = self.oracle.feasibility
         if feasibility is not None and not feasibility.is_feasible(mapping):
             return INFEASIBLE
@@ -123,16 +175,17 @@ class BatchOracle:
         absorb their deterministic results into the simulator cache.
 
         Deduplicates within the batch, skips invalid candidates and
-        candidates already known to the profiles database or the
-        simulator cache, and trims to the remaining suggestion /
-        evaluation budget so a speculative batch cannot run far past the
-        search's end.  Returns the number of mappings executed in
-        workers (0 with ``workers=1`` — the serial path computes
-        lazily).  Mappings that fail with out-of-memory in a worker are
-        left uncached; the replay reproduces the failure from the
-        driver's own memory planner.
+        candidates already known to the profiles database, the replay
+        ledger, or the simulator cache, and trims to the remaining
+        suggestion / evaluation budget so a speculative batch cannot run
+        far past the search's end.  Returns the number of mappings
+        submitted to workers (0 with ``workers=1`` or after degradation
+        to serial — the serial path computes lazily).  Mappings that
+        fail with out-of-memory in a worker are left uncached; the
+        replay reproduces the failure from the driver's own memory
+        planner.
         """
-        if self.workers <= 1:
+        if self.workers <= 1 or self._serial_only:
             return 0
         simulator = self.oracle.simulator
         feasibility = self.oracle.feasibility
@@ -156,6 +209,10 @@ class BatchOracle:
                 continue
             if self.oracle.profiles.lookup(mapping) is not None:
                 continue
+            if self.oracle.replay_pending(mapping):
+                # A checkpointed evaluation replays for free — a worker
+                # simulation would be discarded anyway.
+                continue
             if feasibility is not None and not feasibility.is_feasible(mapping):
                 # The replay proves the OOM statically; a worker
                 # simulation would be discarded anyway.
@@ -164,19 +221,15 @@ class BatchOracle:
         if not todo:
             return 0
 
-        pool = self._ensure_pool()
-        # Chunked dispatch amortises IPC for cheap simulations; ~4 chunks
-        # per worker keeps the tail balanced when run times vary.
-        chunksize = max(1, math.ceil(len(todo) / (self.workers * 4)))
         preloaded = 0
-        for mapping, result in zip(
-            todo, pool.map(run_mapping, todo, chunksize=chunksize)
-        ):
-            if result.ok and simulator.preload(mapping, result.to_sim_result()):
+        for mapping, result in zip(todo, self._run_supervised(todo)):
+            if (
+                result is not None
+                and result.ok
+                and simulator.preload(mapping, result.to_sim_result())
+            ):
                 preloaded += 1
-        _LOG.debug(
-            kv("prefetch", submitted=len(todo), preloaded=preloaded)
-        )
+        _LOG.debug(kv("prefetch", submitted=len(todo), preloaded=preloaded))
         return len(todo)
 
     def evaluate_many(
@@ -194,6 +247,98 @@ class BatchOracle:
                 break
             outcomes.append(self.oracle.evaluate(mapping))
         return outcomes
+
+    # ------------------------------------------------------------------
+    # Worker supervision
+    # ------------------------------------------------------------------
+    def _run_supervised(
+        self, todo: Sequence[Mapping]
+    ) -> List[Optional[WorkerResult]]:
+        """Dispatch ``todo`` to the pool under supervision.
+
+        Guarantees: always returns a result slot per candidate (None =
+        the worker never delivered — the serial replay recomputes it);
+        a hung or crashed pool is torn down and rebuilt; a failing batch
+        is retried with backoff up to ``max_retries`` rounds, each retry
+        carrying a fresh attempt number (so the deterministic fault
+        harness re-rolls its dice); persistent failure degrades the
+        whole run to serial evaluation.
+        """
+        results: List[Optional[WorkerResult]] = [None] * len(todo)
+        pending = list(range(len(todo)))
+        attempt = 0
+        while pending and not self._serial_only:
+            try:
+                pool = self._ensure_pool()
+            except Exception:
+                self._degrade("worker pool failed to start")
+                break
+            futures = {
+                index: pool.submit(run_mapping, todo[index], attempt)
+                for index in pending
+            }
+            failed: List[int] = []
+            pool_wedged = False
+            for index, future in futures.items():
+                if pool_wedged:
+                    future.cancel()
+                    failed.append(index)
+                    continue
+                try:
+                    results[index] = future.result(timeout=self.timeout)
+                except FutureTimeoutError:
+                    self.stats.timeouts += 1
+                    failed.append(index)
+                    pool_wedged = True
+                except BrokenProcessPool:
+                    self.stats.broken_pools += 1
+                    failed.append(index)
+                    pool_wedged = True
+                except Exception:
+                    self.stats.worker_errors += 1
+                    failed.append(index)
+            if pool_wedged:
+                self._rebuild_pool()
+            pending = failed
+            if not pending:
+                break
+            attempt += 1
+            if attempt > self.max_retries:
+                self.stats.abandoned += len(pending)
+                _LOG.warning(
+                    kv(
+                        "retries-exhausted",
+                        abandoned=len(pending),
+                        attempts=attempt,
+                    )
+                )
+                break
+            self.stats.retries += 1
+            time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+        return results
+
+    def _rebuild_pool(self) -> None:
+        """Tear down a crashed/wedged pool (terminating any hung worker
+        processes) so the next round starts from a fresh pool; degrade
+        to serial once rebuilds exceed the tolerance."""
+        self.stats.pool_rebuilds += 1
+        self._shutdown_pool(force=True)
+        _LOG.warning(kv("pool-rebuild", n=self.stats.pool_rebuilds))
+        if self.stats.pool_rebuilds > self.max_pool_rebuilds:
+            self._degrade(
+                f"{self.stats.pool_rebuilds} pool rebuilds exceeded the "
+                f"tolerance of {self.max_pool_rebuilds}"
+            )
+
+    def _degrade(self, why: str) -> None:
+        """Give up on worker processes for the rest of the run; the
+        serial path computes everything from here on (bit-identically —
+        prefetching was only ever a cache warmer)."""
+        if not self._serial_only:
+            self._serial_only = True
+            self.stats.serial_fallback = True
+            _LOG.warning(kv("serial-fallback", reason=why))
+        self._shutdown_pool(force=True)
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -223,6 +368,26 @@ class BatchOracle:
             _LOG.info(kv("pool-start", workers=self.workers))
         return self._pool
 
+    def _shutdown_pool(self, force: bool = False) -> None:
+        """Shut the pool down.  ``force`` handles wedged pools: futures
+        are cancelled, the shutdown does not wait, and worker processes
+        that survive (hung in an injected or real stall) are terminated
+        so they cannot leak."""
+        pool = self._pool
+        if pool is None:
+            return
+        self._pool = None
+        if not force:
+            pool.shutdown(wait=True)
+            return
+        processes = list(getattr(pool, "_processes", {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join(timeout=5)
+
     @property
     def pool_started(self) -> bool:
         """Whether worker processes were ever spawned (False for the
@@ -231,9 +396,7 @@ class BatchOracle:
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        self._shutdown_pool(force=False)
 
     def __enter__(self) -> "BatchOracle":
         return self

@@ -20,6 +20,7 @@ from typing import Optional
 from repro.analysis.validity import explain_problems
 from repro.machine.model import Machine
 from repro.mapping.mapping import Mapping
+from repro.resilience.faults import FaultPlan
 from repro.runtime.executor import ExecutionReport
 from repro.runtime.memory import OOMError
 from repro.runtime.simulator import SimConfig, SimResult, Simulator
@@ -82,14 +83,20 @@ class WorkerResult:
 #: Per-worker-process simulator, built once by :func:`init_worker`.
 _WORKER_SIMULATOR: Optional[Simulator] = None
 
+#: Per-worker-process fault-injection plan (inactive unless the
+#: ``REPRO_FAULT_*`` environment variables are set — see
+#: :mod:`repro.resilience.faults`).
+_WORKER_FAULTS: Optional[FaultPlan] = None
+
 
 def init_worker(spec: SimulatorSpec) -> None:
     """Pool initializer: rebuild the simulator once per worker process."""
-    global _WORKER_SIMULATOR
+    global _WORKER_SIMULATOR, _WORKER_FAULTS
     _WORKER_SIMULATOR = spec.build()
+    _WORKER_FAULTS = FaultPlan.from_env()
 
 
-def run_mapping(mapping: Mapping) -> WorkerResult:
+def run_mapping(mapping: Mapping, attempt: int = 0) -> WorkerResult:
     """Simulate one mapping in the worker's rebuilt simulator.
 
     Invalid mappings (per the shared kind-level checker in
@@ -97,8 +104,14 @@ def run_mapping(mapping: Mapping) -> WorkerResult:
     consults) and out-of-memory failures are expected outcomes and are
     returned as data, never as exceptions, so a stray candidate cannot
     poison the process pool.
+
+    ``attempt`` is the supervision retry round, forwarded to the fault
+    harness so a retried candidate re-rolls its (deterministic) fault
+    dice rather than failing forever.
     """
     assert _WORKER_SIMULATOR is not None, "worker used before init_worker"
+    if _WORKER_FAULTS is not None and _WORKER_FAULTS.active:
+        _WORKER_FAULTS.maybe_fail(repr(mapping.key()), attempt)
     invalid = explain_problems(
         _WORKER_SIMULATOR.graph, _WORKER_SIMULATOR.machine, mapping
     )

@@ -1,0 +1,71 @@
+"""Recovery accounting for supervised worker pools.
+
+:class:`repro.parallel.batch.BatchOracle` supervises its process pool:
+per-candidate timeouts, bounded retries with exponential backoff, pool
+rebuilds after :class:`~concurrent.futures.process.BrokenProcessPool`,
+and — when workers keep dying — graceful degradation to serial
+evaluation.  All of those events are counted here so the driver can
+surface them in the :class:`~repro.core.driver.TuningReport`.
+
+Because the pool only ever *warms the deterministic-result cache*
+(prefetch-then-replay, see :mod:`repro.parallel.batch`), every recovery
+action is result-preserving by construction: a candidate whose worker
+died is simply recomputed by the driver-side serial replay.  Supervision
+decides how much wall-clock the failures cost, never what the search
+observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SupervisorStats"]
+
+
+@dataclass
+class SupervisorStats:
+    """Counts of every recovery event during one tuning run."""
+
+    #: Candidates whose worker result did not arrive within the
+    #: per-candidate timeout (hung worker; forces a pool rebuild).
+    timeouts: int = 0
+    #: Batches that died with :class:`BrokenProcessPool` (worker crash).
+    broken_pools: int = 0
+    #: Worker-side exceptions returned for individual candidates.
+    worker_errors: int = 0
+    #: Re-submission rounds after a failed batch (bounded, backed off).
+    retries: int = 0
+    #: Times the process pool was torn down and restarted.
+    pool_rebuilds: int = 0
+    #: Candidates given up on after retry exhaustion (recomputed by the
+    #: driver-side serial replay; the result is unaffected).
+    abandoned: int = 0
+    #: True once supervision stopped using workers entirely and the
+    #: rest of the run evaluated serially.
+    serial_fallback: bool = False
+
+    @property
+    def any_events(self) -> bool:
+        return (
+            self.timeouts > 0
+            or self.broken_pools > 0
+            or self.worker_errors > 0
+            or self.retries > 0
+            or self.pool_rebuilds > 0
+            or self.abandoned > 0
+            or self.serial_fallback
+        )
+
+    def describe(self) -> str:
+        parts = [
+            f"{self.timeouts} timeouts",
+            f"{self.broken_pools} broken pools",
+            f"{self.worker_errors} worker errors",
+            f"{self.retries} retries",
+            f"{self.pool_rebuilds} pool rebuilds",
+            f"{self.abandoned} abandoned",
+        ]
+        line = ", ".join(parts)
+        if self.serial_fallback:
+            line += "; degraded to serial evaluation"
+        return line

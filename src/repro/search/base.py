@@ -115,6 +115,23 @@ class SearchAlgorithm(abc.ABC):
     #: Short identifier used in logs and reports (e.g. ``"ccd"``).
     name: str = "base"
 
+    @property
+    def cursor(self) -> dict:
+        """The algorithm's last-reported position in its own search
+        structure (rotation, kind, draw count, ...).  Opaque and purely
+        informational: checkpoints store it so an interrupted run can be
+        inspected, and ``--resume`` reports where it picks up.  Resume
+        correctness never depends on it — the replay ledger regenerates
+        the position exactly (see :mod:`repro.resilience.checkpoint`)."""
+        base = dict(getattr(self, "_cursor_base", {}))
+        base.update(getattr(self, "_cursor", {}))
+        return base
+
+    def _set_cursor(self, **fields) -> None:
+        """Record the current position (merged over ``_cursor_base``,
+        which outer loops — e.g. CCD's rotations — may set)."""
+        self._cursor = fields
+
     @abc.abstractmethod
     def search(
         self,

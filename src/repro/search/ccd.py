@@ -70,6 +70,10 @@ class ConstrainedCoordinateDescent(CoordinateDescent):
         for rotation in range(1, self.rotations + 1):
             if oracle.exhausted:
                 break
+            self._cursor_base = {
+                "rotation": rotation,
+                "of": self.rotations,
+            }
             _LOG.info(
                 kv(
                     "rotation",

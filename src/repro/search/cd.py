@@ -67,6 +67,7 @@ class CoordinateDescent(SearchAlgorithm):
         for kind_name in self.ordered_kinds(space, oracle, current):
             if oracle.exhausted:
                 break
+            self._set_cursor(kind=kind_name)
             current, performance = self._optimize_task(
                 space, oracle, current, performance, kind_name, colgraph
             )

@@ -106,6 +106,7 @@ class EnsembleTuner(SearchAlgorithm):
                 and suggestions >= self.max_suggestions
             ):
                 break
+            self._set_cursor(suggestions=suggestions)
             if batch_size > 1:
                 self._speculate(
                     space, oracle, state, bandit, by_name, rng,

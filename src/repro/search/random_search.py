@@ -50,6 +50,7 @@ class RandomSearch(SearchAlgorithm):
         while not oracle.exhausted:
             if self.max_draws is not None and draws >= self.max_draws:
                 break
+            self._set_cursor(draws=draws)
             generation = batch_size
             if self.max_draws is not None:
                 generation = min(generation, self.max_draws - draws)

@@ -112,5 +112,40 @@ class RngStream:
         """Shuffle ``items`` in place."""
         self.generator.shuffle(items)
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """A JSON-serializable snapshot of this stream.
+
+        Captures the seed, the name path, and the underlying
+        bit-generator state (which advances with every draw), so a
+        stream restored with :meth:`load_state` continues the exact
+        sequence this one would have produced.
+        """
+        import copy
+
+        return {
+            "seed": self.seed,
+            "name": self.name,
+            "bit_generator": copy.deepcopy(
+                self.generator.bit_generator.state
+            ),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`.
+
+        The seed and name must match this stream's (guarding against
+        restoring a checkpoint into the wrong consumer).
+        """
+        if int(state["seed"]) != self.seed or state["name"] != self.name:
+            raise ValueError(
+                f"rng state is for stream {state['name']!r} "
+                f"(seed {state['seed']}); this stream is {self.name!r} "
+                f"(seed {self.seed})"
+            )
+        self.generator.bit_generator.state = state["bit_generator"]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RngStream(name={self.name!r}, seed={self.seed})"

@@ -11,12 +11,14 @@ from __future__ import annotations
 import dataclasses
 import enum
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any, Union
 
 import numpy as np
 
-__all__ = ["to_jsonable", "dump_json", "load_json"]
+__all__ = ["to_jsonable", "dump_json", "load_json", "atomic_write_text"]
 
 
 def to_jsonable(obj: Any) -> Any:
@@ -60,13 +62,43 @@ def to_jsonable(obj: Any) -> Any:
     raise TypeError(f"cannot serialize object of type {type(obj).__name__}")
 
 
-def dump_json(obj: Any, path: Union[str, Path], indent: int = 2) -> None:
-    """Serialize ``obj`` to ``path`` as pretty-printed JSON."""
+def atomic_write_text(text: str, path: Union[str, Path]) -> None:
+    """Write ``text`` to ``path`` atomically.
+
+    The content is first written to a temporary file in the same
+    directory and then moved into place with :func:`os.replace`, so a
+    crash (or kill signal) mid-write can never leave a truncated or
+    half-old file behind: readers see either the previous complete
+    content or the new complete content.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as fh:
-        json.dump(to_jsonable(obj), fh, indent=indent, sort_keys=True)
-        fh.write("\n")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def dump_json(obj: Any, path: Union[str, Path], indent: int = 2) -> None:
+    """Serialize ``obj`` to ``path`` as pretty-printed JSON.
+
+    The write is atomic (temp file + :func:`os.replace`): serialization
+    errors or crashes mid-write leave any existing file at ``path``
+    untouched rather than truncated.
+    """
+    text = json.dumps(to_jsonable(obj), indent=indent, sort_keys=True)
+    atomic_write_text(text + "\n", path)
 
 
 def load_json(path: Union[str, Path]) -> Any:

@@ -1,0 +1,101 @@
+"""Crash-safe artifact writes: temp file + ``os.replace`` everywhere."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.profiles import ProfileDatabase
+from repro.util.rng import RngStream
+from repro.util.serialization import (
+    atomic_write_text,
+    dump_json,
+    load_json,
+)
+
+
+def no_temp_leftovers(directory) -> bool:
+    return not [n for n in os.listdir(directory) if ".tmp" in n]
+
+
+class TestAtomicWrite:
+    def test_replaces_atomically(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text("first\n", target)
+        atomic_write_text("second\n", target)
+        assert target.read_text() == "second\n"
+        assert no_temp_leftovers(tmp_path)
+
+    def test_dump_json_roundtrip(self, tmp_path):
+        target = tmp_path / "doc.json"
+        doc = {"a": 1, "samples": [0.1, 0.2]}
+        dump_json(doc, target)
+        assert load_json(target) == doc
+        assert no_temp_leftovers(tmp_path)
+
+    def test_failed_serialization_keeps_previous_file(self, tmp_path):
+        """A crash mid-write must never corrupt the existing artifact:
+        serialization happens before the file is touched."""
+        target = tmp_path / "doc.json"
+        dump_json({"ok": True}, target)
+        with pytest.raises(TypeError):
+            dump_json({"bad": object()}, target)
+        assert load_json(target) == {"ok": True}
+        assert no_temp_leftovers(tmp_path)
+
+
+class TestProfilesRoundTrip:
+    def _database(self, diamond_space):
+        rng = RngStream(5)
+        db = ProfileDatabase()
+        mappings = [
+            diamond_space.random_mapping(rng.fork(str(i)), valid=True)
+            for i in range(3)
+        ]
+        db.record(mappings[0], [0.5, 0.6, 0.7], makespan=0.55)
+        db.record(mappings[1], [1.5], makespan=1.5)
+        db.record(
+            mappings[2],
+            [],
+            failed=True,
+            reason="out of memory",
+            static_oom=True,
+        )
+        return db, mappings
+
+    def test_save_load_roundtrip(self, tmp_path, diamond_space):
+        """ProfileStore.save is round-trippable: the reloaded database
+        reproduces every record, not just describe() strings."""
+        db, mappings = self._database(diamond_space)
+        path = tmp_path / "profiles.json"
+        db.save(path)
+
+        loaded = ProfileDatabase.load(path)
+        assert len(loaded) == len(db)
+        for mapping in mappings:
+            original = db.lookup(mapping)
+            restored = loaded.lookup(mapping)
+            assert restored is not None
+            assert restored.mapping.key() == mapping.key()
+            assert restored.samples == original.samples
+            assert restored.failed == original.failed
+            assert restored.reason == original.reason
+            assert restored.makespan == original.makespan
+            assert restored.static_oom == original.static_oom
+
+    def test_format_is_versioned(self, tmp_path, diamond_space):
+        db, _ = self._database(diamond_space)
+        path = tmp_path / "profiles.json"
+        db.save(path)
+        doc = json.loads(path.read_text())
+        assert doc["format"] == "automap-profiles-v2"
+        # The legacy v1 format is not round-trippable and must be
+        # refused (it only kept describe() strings).
+        legacy = tmp_path / "legacy.json"
+        legacy.write_text(
+            json.dumps({"format": "automap-profiles-v1", "records": []})
+        )
+        with pytest.raises(ValueError):
+            ProfileDatabase.load(legacy)

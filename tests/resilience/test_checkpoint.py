@@ -1,0 +1,192 @@
+"""Checkpoint subsystem unit tests: RNG snapshots, the replay-entry
+round trip, periodic saves, and the resume identity check."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import OracleConfig, SimulationOracle
+from repro.resilience import (
+    CheckpointManager,
+    CheckpointMismatch,
+    ReplayEntry,
+    TuningCheckpoint,
+    load_checkpoint,
+)
+from repro.runtime import SimConfig, Simulator
+from repro.util.rng import RngStream
+
+
+class TestRngSnapshot:
+    def test_state_roundtrip(self):
+        rng = RngStream(42).fork("search", "ccd")
+        # Advance the stream, snapshot, advance again, restore: the
+        # restored stream must regenerate the exact same draws.
+        rng.generator.random(16)
+        state = rng.state_dict()
+        after = rng.generator.random(8).tolist()
+
+        restored = RngStream(42).fork("search", "ccd")
+        restored.load_state(state)
+        assert restored.generator.random(8).tolist() == after
+
+    def test_state_survives_json(self):
+        rng = RngStream(7).fork("search", "random")
+        rng.generator.random(5)
+        state = json.loads(json.dumps(rng.state_dict()))
+        restored = RngStream(7).fork("search", "random")
+        restored.load_state(state)
+        assert (
+            restored.generator.random(4).tolist()
+            == rng.generator.random(4).tolist()
+        )
+
+    def test_mismatched_identity_rejected(self):
+        state = RngStream(1).fork("a").state_dict()
+        with pytest.raises(ValueError):
+            RngStream(2).fork("a").load_state(state)
+        with pytest.raises(ValueError):
+            RngStream(1).fork("b").load_state(state)
+
+
+class TestReplayEntry:
+    def test_doc_roundtrip(self, diamond_space):
+        mapping = diamond_space.default_mapping()
+        entry = ReplayEntry(
+            mapping=mapping,
+            samples=[0.25, 0.26],
+            failed=False,
+            reason=None,
+            makespan=0.255,
+            static_oom=False,
+        )
+        restored = ReplayEntry.from_doc(
+            json.loads(json.dumps(entry.to_doc()))
+        )
+        assert restored.mapping.key() == mapping.key()
+        assert restored.samples == entry.samples
+        assert restored.makespan == entry.makespan
+
+
+class TestTuningCheckpoint:
+    def test_verify_matches(self):
+        checkpoint = TuningCheckpoint(
+            application="stencil",
+            machine_name="shepard-1n",
+            algorithm="ccd",
+            seed=0,
+        )
+        checkpoint.verify_matches("stencil", "shepard-1n", "ccd", 0)
+        with pytest.raises(CheckpointMismatch):
+            checkpoint.verify_matches("circuit", "shepard-1n", "ccd", 0)
+        with pytest.raises(CheckpointMismatch):
+            checkpoint.verify_matches("stencil", "shepard-1n", "ccd", 1)
+
+    def test_save_load_roundtrip(self, tmp_path, diamond_space):
+        mapping = diamond_space.default_mapping()
+        checkpoint = TuningCheckpoint(
+            application="diamond",
+            machine_name="mini",
+            algorithm="random",
+            seed=3,
+            suggested=10,
+            evaluated=4,
+            sim_elapsed=1.25,
+            best_performance=0.5,
+            best_mapping=mapping,
+            entries=[
+                ReplayEntry(mapping=mapping, samples=[0.5], makespan=0.5)
+            ],
+        )
+        path = tmp_path / "checkpoint.json"
+        checkpoint.save(path)
+        loaded = load_checkpoint(path)
+        assert loaded.application == "diamond"
+        assert loaded.suggested == 10
+        assert loaded.evaluated == 4
+        assert loaded.sim_elapsed == 1.25
+        assert loaded.best_mapping.key() == mapping.key()
+        assert list(loaded.replay_ledger()) == [mapping.key()]
+
+    def test_foreign_json_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError):
+            load_checkpoint(path)
+
+
+class TestCheckpointManager:
+    @pytest.fixture
+    def oracle(self, diamond_graph, mini_machine):
+        simulator = Simulator(
+            diamond_graph, mini_machine, SimConfig(noise_sigma=0.03, seed=7)
+        )
+        return SimulationOracle(simulator, OracleConfig())
+
+    def test_periodic_saves_on_evaluations(
+        self, tmp_path, oracle, diamond_space
+    ):
+        path = tmp_path / "checkpoint.json"
+        manager = CheckpointManager(
+            path,
+            oracle,
+            application="diamond",
+            machine_name="mini",
+            algorithm_name="random",
+            seed=0,
+            every=2,
+        )
+        oracle.observers.append(manager.on_evaluation)
+        rng = RngStream(21)
+        for i in range(5):
+            oracle.evaluate(
+                diamond_space.random_mapping(rng.fork(str(i)), valid=True)
+            )
+        # 5 unique evaluations with every=2 -> saves at 2 and 4.
+        assert manager.saves == 2
+        loaded = load_checkpoint(path)
+        assert loaded.evaluated == 4
+        assert len(loaded.entries) == 4
+
+    def test_cache_hits_do_not_trigger_saves(
+        self, tmp_path, oracle, diamond_space
+    ):
+        path = tmp_path / "checkpoint.json"
+        manager = CheckpointManager(
+            path,
+            oracle,
+            application="diamond",
+            machine_name="mini",
+            algorithm_name="random",
+            seed=0,
+            every=1,
+        )
+        oracle.observers.append(manager.on_evaluation)
+        mapping = diamond_space.default_mapping()
+        oracle.evaluate(mapping)
+        assert manager.saves == 1
+        for _ in range(3):  # deduplicated: no new execution, no save
+            oracle.evaluate(mapping)
+        assert manager.saves == 1
+
+    def test_flush_writes_even_without_interval(
+        self, tmp_path, oracle, diamond_space
+    ):
+        path = tmp_path / "checkpoint.json"
+        manager = CheckpointManager(
+            path,
+            oracle,
+            application="diamond",
+            machine_name="mini",
+            algorithm_name="random",
+            seed=0,
+            every=0,
+        )
+        oracle.observers.append(manager.on_evaluation)
+        oracle.evaluate(diamond_space.default_mapping())
+        assert not path.exists()
+        manager.flush()
+        assert path.exists()
+        assert load_checkpoint(path).evaluated == 1

@@ -1,0 +1,211 @@
+"""Kill-then-resume bit-identity — the acceptance criterion.
+
+A tuning run killed at an arbitrary point and resumed from its
+checkpoint must report the bit-identical best mapping, best mean, trace,
+and accounting as an uninterrupted serial run with the same seed.  The
+only counter allowed to differ is ``simulations`` (runtime work done
+since the restart), which is why the comparison below never touches it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import make_app
+from repro.core import AutoMapDriver, OracleConfig
+from repro.machine import shepard
+from repro.resilience import load_checkpoint
+from repro.runtime import SimConfig
+
+SEED = 2023
+
+
+class KillAfter:
+    """Oracle observer that simulates a crash: raises KeyboardInterrupt
+    once the run has executed ``limit`` evaluations.  Registered after
+    the checkpoint manager, so the interrupt always lands on a fully
+    flushed state."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+
+    def __call__(self, oracle) -> None:
+        if oracle.evaluated >= self.limit:
+            raise KeyboardInterrupt
+
+
+def make_driver(app_name, algorithm, max_suggestions=800, **kwargs):
+    machine = shepard(2)
+    app = make_app(app_name)
+    return AutoMapDriver(
+        app.graph(machine),
+        machine,
+        algorithm=algorithm,
+        oracle_config=OracleConfig(max_suggestions=max_suggestions),
+        sim_config=SimConfig(noise_sigma=0.04, seed=SEED, spill=True),
+        space=app.space(machine),
+        seed=SEED,
+        **kwargs,
+    )
+
+
+def assert_reports_identical(baseline, resumed):
+    assert baseline.best_mapping.key() == resumed.best_mapping.key()
+    assert baseline.best_mean == resumed.best_mean
+    assert baseline.best_stddev == resumed.best_stddev
+    assert baseline.search.trace == resumed.search.trace
+    assert baseline.suggested == resumed.suggested
+    assert baseline.evaluated == resumed.evaluated
+    assert baseline.invalid_suggestions == resumed.invalid_suggestions
+    assert baseline.failed_evaluations == resumed.failed_evaluations
+    assert baseline.search_seconds == resumed.search_seconds
+    assert [
+        (m.key(), mean, stddev, count)
+        for m, mean, stddev, count in baseline.finalists
+    ] == [
+        (m.key(), mean, stddev, count)
+        for m, mean, stddev, count in resumed.finalists
+    ]
+
+
+def kill_and_resume(app_name, algorithm, tmp_path, kill_after=12):
+    """Run uninterrupted; run again with a mid-search crash; resume;
+    return (baseline report, resumed report)."""
+    baseline = make_driver(app_name, algorithm).tune()
+
+    path = tmp_path / "checkpoint.json"
+    crashing = make_driver(
+        app_name,
+        algorithm,
+        checkpoint_path=path,
+        checkpoint_every=5,
+        observers=[KillAfter(kill_after)],
+    )
+    with pytest.raises(KeyboardInterrupt):
+        crashing.tune()
+    assert path.exists(), "interrupt must flush a final checkpoint"
+    killed_at = load_checkpoint(path)
+    assert 0 < killed_at.evaluated <= baseline.evaluated
+
+    resumed_driver = make_driver(
+        app_name,
+        algorithm,
+        checkpoint_path=path,
+        checkpoint_every=5,
+        resume_checkpoint=load_checkpoint(path),
+    )
+    resumed = resumed_driver.tune()
+    assert resumed.resumed
+    # Every ledgered record replays: executed and failed evaluations.
+    assert resumed.replayed == (
+        killed_at.evaluated + killed_at.failed_evaluations
+    )
+    return baseline, resumed
+
+
+class TestKillThenResume:
+    @pytest.mark.parametrize("algorithm", ["ccd", "random"])
+    def test_stencil(self, algorithm, tmp_path):
+        baseline, resumed = kill_and_resume("stencil", algorithm, tmp_path)
+        assert_reports_identical(baseline, resumed)
+
+    @pytest.mark.parametrize("algorithm", ["ccd", "opentuner"])
+    def test_circuit(self, algorithm, tmp_path):
+        baseline, resumed = kill_and_resume("circuit", algorithm, tmp_path)
+        assert_reports_identical(baseline, resumed)
+
+    def test_double_kill(self, tmp_path):
+        """Crash, resume, crash again, resume again: re-checkpointing a
+        resumed run must carry un-replayed ledger entries forward."""
+        baseline = make_driver("stencil", "ccd").tune()
+        path = tmp_path / "checkpoint.json"
+
+        first = make_driver(
+            "stencil",
+            "ccd",
+            checkpoint_path=path,
+            checkpoint_every=4,
+            observers=[KillAfter(12)],
+        )
+        with pytest.raises(KeyboardInterrupt):
+            first.tune()
+
+        second = make_driver(
+            "stencil",
+            "ccd",
+            checkpoint_path=path,
+            checkpoint_every=4,
+            resume_checkpoint=load_checkpoint(path),
+            observers=[KillAfter(18)],
+        )
+        with pytest.raises(KeyboardInterrupt):
+            second.tune()
+
+        final = make_driver(
+            "stencil",
+            "ccd",
+            checkpoint_path=path,
+            checkpoint_every=4,
+            resume_checkpoint=load_checkpoint(path),
+        )
+        assert_reports_identical(baseline, final.tune())
+
+    def test_resume_after_completion(self, tmp_path):
+        """Resuming a finished run replays everything and reproduces
+        the same report (idempotent resume)."""
+        path = tmp_path / "checkpoint.json"
+        baseline = make_driver(
+            "stencil", "ccd", checkpoint_path=path, checkpoint_every=10
+        ).tune()
+        resumed = make_driver(
+            "stencil",
+            "ccd",
+            checkpoint_path=path,
+            checkpoint_every=10,
+            resume_checkpoint=load_checkpoint(path),
+        ).tune()
+        assert resumed.replayed == baseline.evaluated
+        assert_reports_identical(baseline, resumed)
+
+    def test_resume_with_parallel_workers(self, tmp_path):
+        """Resume composes with the process pool: replay short-circuits
+        ledgered candidates while new work still fans out to workers."""
+        baseline, _ = kill_and_resume("stencil", "ccd", tmp_path)
+        path = tmp_path / "checkpoint.json"
+        parallel = make_driver(
+            "stencil",
+            "ccd",
+            checkpoint_path=path,
+            checkpoint_every=5,
+            resume_checkpoint=load_checkpoint(path),
+            workers=2,
+        ).tune()
+        assert_reports_identical(baseline, parallel)
+
+
+class TestResumeGuards:
+    def test_mismatched_checkpoint_rejected(self, tmp_path):
+        from repro.resilience import CheckpointMismatch
+
+        path = tmp_path / "checkpoint.json"
+        crashing = make_driver(
+            "stencil",
+            "ccd",
+            checkpoint_path=path,
+            checkpoint_every=5,
+            observers=[KillAfter(10)],
+        )
+        with pytest.raises(KeyboardInterrupt):
+            crashing.tune()
+        with pytest.raises(CheckpointMismatch):
+            make_driver(
+                "circuit",
+                "ccd",
+                resume_checkpoint=load_checkpoint(path),
+            )
+        with pytest.raises(CheckpointMismatch):
+            make_driver(
+                "stencil",
+                "random",
+                resume_checkpoint=load_checkpoint(path),
+            )
