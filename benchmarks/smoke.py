@@ -1,0 +1,186 @@
+"""CI benchmark smoke run — one short tune per application.
+
+Runs a small CCD search for every bundled application on one Shepard
+node, traces the winning mapping, and writes ``BENCH_smoke.json`` with
+the makespan, the oracle-call counts, and the compute/copy/idle time
+breakdown per app.  With ``--baseline`` the run is additionally gated:
+any app whose best makespan regresses more than ``--tolerance`` (default
+10%) against the committed baseline fails the run.
+
+The searches are fully deterministic (fixed seeds, simulated clock, no
+wall time in any compared quantity), so in practice the gate only fires
+on a real behaviour change — the tolerance absorbs intentional cost-
+model adjustments that are small enough not to matter.
+
+Usage::
+
+    python benchmarks/smoke.py --output BENCH_smoke.json \
+        --baseline benchmarks/results/BENCH_baseline.json
+
+Regenerate the baseline after an intentional change with::
+
+    python benchmarks/smoke.py --output benchmarks/results/BENCH_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.apps import make_app
+from repro.core import AutoMapDriver, OracleConfig
+from repro.machine import shepard
+from repro.runtime import SimConfig
+
+#: Small inputs per application, sized so each search finishes in a few
+#: seconds (mirrors tests/test_smoke.py).
+SMOKE_INPUTS = {
+    "circuit": {"nodes": 200, "wires": 800},
+    "stencil": {"nx": 200, "ny": 200},
+    "pennant": {"zx": 64, "zy": 36},
+    "htr": {"x": 8, "y": 8, "z": 9},
+    "maestro": {"lf_count": 4, "lf_res": 16},
+}
+
+SEED = 7
+MAX_SUGGESTIONS = 150
+
+
+def run_app(app_name: str) -> dict:
+    """One short tune; returns the app's BENCH_smoke entry."""
+    machine = shepard(1)
+    app = make_app(app_name, **SMOKE_INPUTS[app_name])
+    driver = AutoMapDriver(
+        app.graph(machine),
+        machine,
+        algorithm="ccd",
+        oracle_config=OracleConfig(max_suggestions=MAX_SUGGESTIONS),
+        sim_config=SimConfig(noise_sigma=0.04, seed=SEED, spill=True),
+        space=app.space(machine),
+        seed=SEED,
+        trace=True,
+    )
+    report = driver.tune()
+    assert report.breakdown is not None
+    return {
+        "application": report.application,
+        "machine": report.machine_name,
+        "algorithm": report.algorithm,
+        "best_mean": report.best_mean,
+        "best_makespan": report.breakdown["makespan"],
+        "oracle_calls": {
+            "suggested": report.suggested,
+            "evaluated": report.evaluated,
+            "invalid": report.invalid_suggestions,
+            "failed": report.failed_evaluations,
+            "folded": report.canonical_folds,
+            "pruned": report.static_oom_pruned,
+        },
+        "breakdown": {
+            "compute_fraction": report.breakdown["compute_fraction"],
+            "copy_fraction": report.breakdown["copy_fraction"],
+            "overhead_fraction": report.breakdown["overhead_fraction"],
+            "idle_fraction": report.breakdown["idle_fraction"],
+            "active_processors": report.breakdown["active_processors"],
+        },
+    }
+
+
+def check_regressions(
+    results: dict, baseline: dict, tolerance: float
+) -> list:
+    """Makespan-regression failures of ``results`` vs ``baseline``.
+
+    Only the apps actually run are gated (``--apps`` subsets compare a
+    subset); an app without a baseline entry is skipped — it gets one
+    the next time the baseline is regenerated.
+    """
+    failures = []
+    for app_name, current in sorted(results["apps"].items()):
+        entry = baseline["apps"].get(app_name)
+        if entry is None:
+            print(f"note: {app_name} has no baseline entry; skipping gate")
+            continue
+        base = entry["best_mean"]
+        now = current["best_mean"]
+        if base > 0 and now > base * (1.0 + tolerance):
+            failures.append(
+                f"{app_name}: best mean {now:.6g} s regressed "
+                f"{now / base - 1.0:.1%} over baseline {base:.6g} s "
+                f"(tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default="BENCH_smoke.json",
+        help="where to write the results (default: BENCH_smoke.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="committed baseline to gate against (omit to skip the gate)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional makespan regression (default: 0.10)",
+    )
+    parser.add_argument(
+        "--apps",
+        nargs="*",
+        default=sorted(SMOKE_INPUTS),
+        choices=sorted(SMOKE_INPUTS),
+        help="subset of applications to run",
+    )
+    args = parser.parse_args(argv)
+
+    results = {
+        "format": "bench-smoke-v1",
+        "seed": SEED,
+        "max_suggestions": MAX_SUGGESTIONS,
+        "apps": {},
+    }
+    for app_name in args.apps:
+        entry = run_app(app_name)
+        results["apps"][app_name] = entry
+        print(
+            f"{app_name}: best {entry['best_mean']:.6g} s, "
+            f"{entry['oracle_calls']['suggested']} suggested / "
+            f"{entry['oracle_calls']['evaluated']} evaluated, "
+            f"{entry['breakdown']['compute_fraction']:.0%} compute / "
+            f"{entry['breakdown']['copy_fraction']:.0%} copy / "
+            f"{entry['breakdown']['idle_fraction']:.0%} idle"
+        )
+
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            print(f"FAIL: baseline {baseline_path} not found")
+            return 1
+        baseline = json.loads(baseline_path.read_text())
+        failures = check_regressions(results, baseline, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}")
+            return 1
+        print(
+            f"no makespan regressions vs {baseline_path} "
+            f"(tolerance {args.tolerance:.0%})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -69,7 +69,10 @@ def build_table():
 
 def test_fig5_inventory_table(benchmark):
     table, rows = build_table()
-    register_result("fig5_table", table.render(title="Figure 5 — application inventory"))
+    register_result(
+        "fig5_table",
+        table.render(title="Figure 5 — application inventory"),
+    )
 
     # Shape assertions: counts match the paper exactly; sizes same order.
     for name, (tasks, args, log2) in rows.items():

@@ -4,12 +4,14 @@ Usage (installed as a module)::
 
     python -m repro tune --app pennant --input 320x720 --nodes 2
     python -m repro inspect --app htr --input 16x16y18z
+    python -m repro trace out/trace.json
     python -m repro machines
 
 ``tune`` runs the full AutoMap pipeline and prints the tuning report
 plus the diff against the default mapping; ``inspect`` prints the
 application's graph summary and Figure 5 row without searching;
-``machines`` lists the bundled machine models.
+``trace`` renders a saved execution trace (``tune --trace``) as an
+ASCII Gantt chart; ``machines`` lists the bundled machine models.
 """
 
 from __future__ import annotations
@@ -139,6 +141,14 @@ def build_parser() -> argparse.ArgumentParser:
         "candidate retried (default: wait forever)",
     )
     tune.add_argument(
+        "--trace",
+        action="store_true",
+        help="with a workdir, export the best mapping's simulated "
+        "execution as <workdir>/trace.json (Chrome trace-event JSON, "
+        "loadable in chrome://tracing or Perfetto); purely "
+        "observational — the tuning result is byte-identical",
+    )
+    tune.add_argument(
         "--no-spill",
         action="store_true",
         help="fail (instead of demoting) mappings that exceed capacity",
@@ -191,6 +201,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the diagnostic rule registry and exit",
     )
 
+    trace = sub.add_parser(
+        "trace",
+        help="render a saved trace.json as an ASCII Gantt chart with "
+        "the compute/copy/overhead/idle breakdown",
+    )
+    trace.add_argument(
+        "path", help="trace.json exported by `repro tune --trace`"
+    )
+    trace.add_argument(
+        "--width",
+        type=int,
+        default=72,
+        metavar="COLUMNS",
+        help="timeline width of the Gantt chart (default: 72)",
+    )
+
     sub.add_parser("machines", help="list bundled machine models")
     return parser
 
@@ -224,6 +250,7 @@ def _cmd_tune(args) -> int:
         checkpoint_every=args.checkpoint_every,
         resume=args.resume is not None,
         worker_timeout=args.worker_timeout,
+        trace=args.trace,
     )
     default = session.default_mapping()
     t_default = session.measure(default)
@@ -294,6 +321,28 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs.trace import load_trace
+    from repro.viz import render_gantt
+
+    try:
+        recorder = load_trace(args.path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro trace: {exc}")
+    print(render_gantt(recorder, width=args.width))
+    breakdown = recorder.breakdown()
+    print()
+    print(
+        f"breakdown: {breakdown['compute_fraction']:.0%} compute, "
+        f"{breakdown['copy_fraction']:.0%} copy, "
+        f"{breakdown['overhead_fraction']:.0%} overhead, "
+        f"{breakdown['idle_fraction']:.0%} idle "
+        f"over {breakdown['active_processors']} active processor(s); "
+        f"{breakdown['dma']['copies']} DMA copies"
+    )
+    return 0
+
+
 def _cmd_machines(_args) -> int:
     for name, builder in sorted(_MACHINES.items()):
         print(builder(1).describe())
@@ -310,6 +359,8 @@ def main(argv=None) -> int:
             return _cmd_inspect(args)
         if args.command == "analyze":
             return _cmd_analyze(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "machines":
             return _cmd_machines(args)
     except KeyboardInterrupt:

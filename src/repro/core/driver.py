@@ -17,6 +17,8 @@ from typing import Callable, List, Optional, Tuple, Union
 
 from repro.core.oracle import OracleConfig, SimulationOracle
 from repro.core.profiles import ProfileDatabase
+from repro.obs.telemetry import SearchTelemetry
+from repro.obs.trace import TraceRecorder
 from repro.parallel.batch import BatchOracle
 from repro.machine.model import Machine
 from repro.mapping.mapping import Mapping
@@ -98,6 +100,15 @@ class TuningReport:
     checkpoints_written: int = 0
     #: Worker-pool recovery events (timeouts, rebuilds, retries, ...).
     recovery: SupervisorStats = field(default_factory=SupervisorStats)
+    #: Observability (repro.obs).  ``metrics`` is the full registry
+    #: snapshot; ``telemetry`` the per-round summary (None when no
+    #: telemetry sink was attached); ``trace``/``breakdown`` the best
+    #: mapping's simulated execution trace and its time decomposition
+    #: (None unless the driver ran with ``trace=True``).
+    metrics: Optional[dict] = None
+    telemetry: Optional[dict] = None
+    trace: Optional[TraceRecorder] = None
+    breakdown: Optional[dict] = None
 
     def describe(self) -> str:
         lines = [
@@ -125,6 +136,20 @@ class TuningReport:
             )
         if self.recovery.any_events:
             lines.append(f"  recovery: {self.recovery.describe()}")
+        if self.telemetry is not None:
+            lines.append(
+                f"  telemetry: {self.telemetry['rounds']} rounds, "
+                f"{self.telemetry['wall_seconds']:.1f} s wall"
+            )
+        if self.breakdown is not None:
+            lines.append(
+                f"  best-mapping time: "
+                f"{self.breakdown['compute_fraction']:.0%} compute, "
+                f"{self.breakdown['copy_fraction']:.0%} copy, "
+                f"{self.breakdown['overhead_fraction']:.0%} overhead, "
+                f"{self.breakdown['idle_fraction']:.0%} idle "
+                f"({self.breakdown['active_processors']} processors)"
+            )
         if self.best_mapping is not None:
             lines.append("  best mapping:")
             for line in self.best_mapping.describe().splitlines():
@@ -155,6 +180,8 @@ class AutoMapDriver:
         observers: Optional[
             List[Callable[[SimulationOracle], None]]
         ] = None,
+        telemetry: Optional[SearchTelemetry] = None,
+        trace: bool = False,
     ) -> None:
         self.graph = graph
         self.machine = machine
@@ -185,6 +212,14 @@ class AutoMapDriver:
         self.checkpoint_every = checkpoint_every
         self.worker_timeout = worker_timeout
         self.observers = list(observers or [])
+
+        # Observability (repro.obs): an optional per-round telemetry
+        # sink attached to the algorithm for the duration of the tune,
+        # and an optional deterministic trace of the best mapping's
+        # execution.  Both are pure observers — results are bit-identical
+        # with them on or off.
+        self.telemetry = telemetry
+        self.trace = trace
         if resume_checkpoint is not None:
             resume_checkpoint.verify_matches(
                 graph.name,
@@ -279,6 +314,7 @@ class AutoMapDriver:
             )
         )
         try:
+            self.algorithm.telemetry = self.telemetry
             result = self.algorithm.search(
                 self.space, oracle, rng, start=start
             )
@@ -305,6 +341,9 @@ class AutoMapDriver:
                 )
             raise
         finally:
+            self.algorithm.telemetry = None
+            if self.telemetry is not None:
+                self.telemetry.close()
             oracle.close()
         if manager is not None:
             manager.flush()
@@ -315,6 +354,22 @@ class AutoMapDriver:
             best_mapping = result.best_mapping
             best_mean = result.best_performance
             best_stddev = math.nan
+
+        # Deterministic trace of the winner: a fresh re-execution with
+        # the recorder on.  Off the search path entirely (the memo cache
+        # and execution counters are untouched), so a traced run's
+        # report is byte-identical to an untraced one.
+        trace_recorder: Optional[TraceRecorder] = None
+        breakdown: Optional[dict] = None
+        if self.trace and best_mapping is not None:
+            trace_recorder, _ = self.simulator.trace(
+                serial_oracle.canonical(best_mapping),
+                label=(
+                    f"{self.graph.name} on {self.machine.name} "
+                    f"({self.algorithm.name} best)"
+                ),
+            )
+            breakdown = trace_recorder.breakdown()
 
         report = TuningReport(
             application=self.graph.name,
@@ -340,6 +395,12 @@ class AutoMapDriver:
             replayed=serial_oracle.replayed,
             checkpoints_written=0 if manager is None else manager.saves,
             recovery=oracle.stats,
+            metrics=serial_oracle.metrics.as_dict(),
+            telemetry=(
+                None if self.telemetry is None else self.telemetry.summary()
+            ),
+            trace=trace_recorder,
+            breakdown=breakdown,
         )
         _LOG.info(
             kv(

@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.obs.metrics import MetricsRegistry, WallBudget
 from repro.resilience.checkpoint import ReplayEntry
 from repro.runtime.executor import ExecutionReport
 
@@ -31,7 +32,6 @@ from repro.runtime.memory import OOMError
 from repro.runtime.simulator import Simulator
 from repro.search.base import INFEASIBLE, EvalOutcome, TracePoint
 from repro.util.logging import get_logger, kv
-from repro.util.timer import Budget
 
 __all__ = ["OracleConfig", "SimulationOracle"]
 
@@ -104,30 +104,80 @@ class SimulationOracle:
         #: simulator fails (rather than spills) on overflow, so the
         #: driver gates it on ``spill=False``.
         self.feasibility = feasibility
-        self.suggested = 0
-        self.evaluated = 0
-        self.invalid_suggestions = 0
-        self.failed_evaluations = 0
+        #: All evaluation accounting lives in one metrics registry
+        #: (:mod:`repro.obs.metrics`); the attribute-style reads the
+        #: rest of the system does (``oracle.suggested``, ...) are
+        #: registry-backed properties below.  Metrics are derived state:
+        #: checkpoints serialize them for inspection but resume never
+        #: restores them — the deterministic replay re-derives every
+        #: value, which is what keeps resume bit-identical.
+        self.metrics = MetricsRegistry()
+        self._suggested = self.metrics.counter("oracle.suggested")
+        self._evaluated = self.metrics.counter("oracle.evaluated")
+        self._invalid = self.metrics.counter("oracle.invalid_suggestions")
+        self._failed = self.metrics.counter("oracle.failed_evaluations")
         #: suggestions folded onto a different canonical mapping.
-        self.canonical_folds = 0
+        self._folds = self.metrics.counter("oracle.canonical_folds")
         #: failed evaluations proven statically (no simulation paid).
-        self.static_oom_pruned = 0
+        self._pruned = self.metrics.counter("oracle.static_oom_pruned")
         #: simulated search clock (seconds).
-        self.sim_elapsed = 0.0
+        self._sim_elapsed = self.metrics.counter("oracle.sim_elapsed")
         #: simulated seconds spent executing candidates (vs suggesting).
-        self.sim_evaluating = 0.0
+        self._sim_evaluating = self.metrics.counter("oracle.sim_evaluating")
+        #: Evaluations served from the replay ledger (reporting only).
+        self._replayed = self.metrics.counter("oracle.replayed")
+        #: Deterministic makespans of executed candidates.
+        self._makespans = self.metrics.histogram("oracle.eval_makespan")
+        self._best_gauge = self.metrics.gauge("oracle.best_performance")
         self.best_performance = math.inf
         self.best_mapping: Optional[Mapping] = None
         self.trace: List[TracePoint] = []
-        self._wall = Budget(max_seconds=self.config.max_wall_seconds)
+        self._wall = WallBudget(max_seconds=self.config.max_wall_seconds)
         #: Post-evaluation hooks (checkpoint managers, test probes);
         #: each is called with the oracle after every ``evaluate``.
         self.observers: List[Callable[["SimulationOracle"], None]] = []
         #: Resume support: evaluations reconstructed from a checkpoint,
         #: consumed the first time the replayed search re-suggests them.
         self._replay: Dict[tuple, ReplayEntry] = {}
-        #: Evaluations served from the replay ledger (reporting only).
-        self.replayed = 0
+
+    # ------------------------------------------------------------------
+    # Registry-backed accounting (attribute API preserved)
+    # ------------------------------------------------------------------
+    @property
+    def suggested(self) -> int:
+        return self._suggested.value
+
+    @property
+    def evaluated(self) -> int:
+        return self._evaluated.value
+
+    @property
+    def invalid_suggestions(self) -> int:
+        return self._invalid.value
+
+    @property
+    def failed_evaluations(self) -> int:
+        return self._failed.value
+
+    @property
+    def canonical_folds(self) -> int:
+        return self._folds.value
+
+    @property
+    def static_oom_pruned(self) -> int:
+        return self._pruned.value
+
+    @property
+    def sim_elapsed(self) -> float:
+        return self._sim_elapsed.value
+
+    @property
+    def sim_evaluating(self) -> float:
+        return self._sim_evaluating.value
+
+    @property
+    def replayed(self) -> int:
+        return self._replayed.value
 
     # ------------------------------------------------------------------
     @property
@@ -196,11 +246,11 @@ class SimulationOracle:
     ) -> EvalOutcome:
         """Reproduce one checkpointed execution, advancing every piece
         of accounting exactly as the original execution did."""
-        self.replayed += 1
+        self._replayed.inc()
         if entry.failed:
-            self.failed_evaluations += 1
+            self._failed.inc()
             if entry.static_oom:
-                self.static_oom_pruned += 1
+                self._pruned.inc()
             self.profiles.record(
                 mapping,
                 [],
@@ -213,14 +263,16 @@ class SimulationOracle:
             )
         samples = list(entry.samples)
         eval_seconds = entry.makespan * self.config.runs_per_eval
-        self.sim_elapsed += eval_seconds
-        self.sim_evaluating += eval_seconds
-        self.evaluated += 1
+        self._sim_elapsed.inc(eval_seconds)
+        self._sim_evaluating.inc(eval_seconds)
+        self._evaluated.inc()
+        self._makespans.observe(entry.makespan)
         performance = sum(samples) / len(samples)
         self.profiles.record(mapping, samples, makespan=entry.makespan)
         if performance < self.best_performance:
             self.best_performance = performance
             self.best_mapping = mapping
+            self._best_gauge.set(performance)
         self.trace.append(
             TracePoint(
                 elapsed=self.sim_elapsed,
@@ -243,21 +295,21 @@ class SimulationOracle:
         return outcome
 
     def _evaluate(self, mapping: Mapping) -> EvalOutcome:
-        self.suggested += 1
-        self.sim_elapsed += self.config.suggestion_overhead
+        self._suggested.inc()
+        self._sim_elapsed.inc(self.config.suggestion_overhead)
 
         reason = explain_invalid(
             self.simulator.graph, self.simulator.machine, mapping
         )
         if reason is not None:
-            self.invalid_suggestions += 1
+            self._invalid.inc()
             return EvalOutcome(
                 performance=INFEASIBLE, invalid=True, reason=reason
             )
 
         canonical = self.canonical(mapping)
         if canonical.key() != mapping.key():
-            self.canonical_folds += 1
+            self._folds.inc()
         mapping = canonical
 
         record = self.profiles.lookup(mapping)
@@ -281,8 +333,8 @@ class SimulationOracle:
             if oom is not None:
                 # Same accounting and (byte-identical) reason as the
                 # runtime OOM below — just without the simulation.
-                self.failed_evaluations += 1
-                self.static_oom_pruned += 1
+                self._failed.inc()
+                self._pruned.inc()
                 self.profiles.record(
                     mapping, [], failed=True, reason=oom, static_oom=True
                 )
@@ -293,7 +345,7 @@ class SimulationOracle:
         try:
             result = self.simulator.run(mapping)
         except OOMError as exc:
-            self.failed_evaluations += 1
+            self._failed.inc()
             self.profiles.record(mapping, [], failed=True, reason=str(exc))
             return EvalOutcome(
                 performance=INFEASIBLE, failed=True, reason=str(exc)
@@ -303,14 +355,16 @@ class SimulationOracle:
         # The search clock pays for whole-application runs regardless of
         # which component the objective metric extracts.
         eval_seconds = result.makespan * self.config.runs_per_eval
-        self.sim_elapsed += eval_seconds
-        self.sim_evaluating += eval_seconds
-        self.evaluated += 1
+        self._sim_elapsed.inc(eval_seconds)
+        self._sim_evaluating.inc(eval_seconds)
+        self._evaluated.inc()
+        self._makespans.observe(result.makespan)
         performance = sum(samples) / len(samples)
         self.profiles.record(mapping, samples, makespan=result.makespan)
         if performance < self.best_performance:
             self.best_performance = performance
             self.best_mapping = mapping
+            self._best_gauge.set(performance)
             _LOG.debug(
                 kv("new-best", perf=performance, evaluated=self.evaluated)
             )
@@ -347,8 +401,8 @@ class SimulationOracle:
             mapping, result.report, result.makespan, offset, runs=runs
         )
         self.profiles.record(mapping, samples)
-        self.sim_elapsed += result.makespan * runs
-        self.sim_evaluating += result.makespan * runs
+        self._sim_elapsed.inc(result.makespan * runs)
+        self._sim_evaluating.inc(result.makespan * runs)
         return samples
 
     def _measure(

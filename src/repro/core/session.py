@@ -17,6 +17,8 @@ from repro.core.driver import AutoMapDriver, TuningReport
 from repro.core.oracle import OracleConfig
 from repro.core.profiles import ProfileDatabase
 from repro.core.spacefile import generate_space_file
+from repro.obs.telemetry import TELEMETRY_FILENAME, SearchTelemetry
+from repro.obs.trace import TRACE_FILENAME
 from repro.machine.model import Machine
 from repro.mapping.mapping import Mapping
 from repro.resilience.checkpoint import CHECKPOINT_FILENAME, load_checkpoint
@@ -57,10 +59,24 @@ class AutoMapSession:
         checkpoint_every: int = 0,
         resume: bool = False,
         worker_timeout: Optional[float] = None,
+        trace: bool = False,
     ) -> None:
         self.graph = graph
         self.machine = machine
         self.workdir = Path(workdir) if workdir is not None else None
+
+        # Observability: with a working directory, per-round search
+        # telemetry streams to ``<workdir>/telemetry.jsonl``; with
+        # ``trace=True`` the winning mapping's deterministic execution
+        # trace lands in ``<workdir>/trace.json`` (Chrome trace-event
+        # format).  Both are observational — enabling them cannot change
+        # the tuning result (see repro.obs).
+        self.telemetry = (
+            SearchTelemetry(self.workdir / TELEMETRY_FILENAME)
+            if self.workdir is not None
+            else None
+        )
+        self.trace = trace
 
         # Fault tolerance: with a working directory, the search state is
         # checkpointed to ``<workdir>/checkpoint.json`` (periodically
@@ -97,6 +113,8 @@ class AutoMapSession:
             checkpoint_every=checkpoint_every,
             resume_checkpoint=resume_checkpoint,
             worker_timeout=worker_timeout,
+            telemetry=self.telemetry,
+            trace=trace,
         )
 
     # ------------------------------------------------------------------
@@ -131,6 +149,8 @@ class AutoMapSession:
             # driver's database during the run).
             profiles.record(mapping, [mean] * min(count, 1))
         profiles.save(self.workdir / "finalists.json")
+        if report.trace is not None:
+            report.trace.save(self.workdir / TRACE_FILENAME)
         atomic_write_text(
             report.describe() + "\n", self.workdir / "report.txt"
         )

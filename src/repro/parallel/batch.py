@@ -101,7 +101,12 @@ class BatchOracle:
         self.max_retries = max_retries
         self.max_pool_rebuilds = max_pool_rebuilds
         self.retry_backoff = retry_backoff
-        self.stats = SupervisorStats()
+        # Fold recovery accounting into the oracle's metrics registry
+        # (one namespace per tuning run); fakes without one get private
+        # stats, same behaviour as before.
+        self.stats = SupervisorStats(
+            registry=getattr(oracle, "metrics", None)
+        )
         self._pool: Optional[ProcessPoolExecutor] = None
         self._serial_only = False
 

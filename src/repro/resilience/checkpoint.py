@@ -122,6 +122,12 @@ class TuningCheckpoint:
     sim_evaluating: float = 0.0
     best_performance: Optional[float] = None
     best_mapping: Optional[Mapping] = None
+    #: Full metrics-registry snapshot
+    #: (:meth:`repro.obs.metrics.MetricsRegistry.as_dict`) at save time.
+    #: Like the counters above this is *derived* state: resume never
+    #: restores it — the replay re-derives every metric — so embedding
+    #: it cannot perturb bit-identity.
+    metrics: Optional[dict] = None
     #: Search-stream RNG snapshot and the algorithm's position at save
     #: time.  Diagnostic only — replay regenerates both exactly.
     rng_state: Optional[dict] = None
@@ -189,6 +195,7 @@ class TuningCheckpoint:
                     else mapping_to_doc(self.best_mapping)
                 ),
             },
+            "metrics": self.metrics,
             "rng_state": self.rng_state,
             "cursor": self.cursor,
             "records": [entry.to_doc() for entry in self.entries],
@@ -223,6 +230,7 @@ class TuningCheckpoint:
                 if best["mapping"] is None
                 else mapping_from_doc(best["mapping"])
             ),
+            metrics=doc.get("metrics"),
             rng_state=doc.get("rng_state"),
             cursor=doc.get("cursor") or {},
             entries=[ReplayEntry.from_doc(d) for d in doc["records"]],
@@ -322,6 +330,7 @@ class CheckpointManager:
             sim_evaluating=oracle.sim_evaluating,
             best_performance=oracle.best_performance,
             best_mapping=oracle.best_mapping,
+            metrics=oracle.metrics.as_dict(),
             rng_state=(
                 None if self._rng is None else self._rng.state_dict()
             ),

@@ -11,10 +11,14 @@ mapping trade-offs live.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from repro.machine.topology import Topology
 from repro.runtime.events import TimelinePool
 from repro.runtime.instances import CopyNeed
+
+if TYPE_CHECKING:  # recorder is optional observability plumbing
+    from repro.obs.trace import TraceRecorder
 
 __all__ = ["CopyStats", "CopyEngine", "DMA_EFFICIENCY"]
 
@@ -43,10 +47,17 @@ class CopyStats:
 class CopyEngine:
     """Schedules copies on channel timelines."""
 
-    def __init__(self, topology: Topology, channels: TimelinePool) -> None:
+    def __init__(
+        self,
+        topology: Topology,
+        channels: TimelinePool,
+        recorder: Optional["TraceRecorder"] = None,
+    ) -> None:
         self._topology = topology
         self._channels = channels
         self.stats = CopyStats()
+        #: Optional span recorder (observational only; ``None`` = off).
+        self.recorder = recorder
 
     @staticmethod
     def _channel_key(mem_a: str, mem_b: str) -> str:
@@ -76,7 +87,16 @@ class CopyEngine:
                 hop.bandwidth * DMA_EFFICIENCY
             )
             key = self._channel_key(hop.mem_a, hop.mem_b)
-            _, time = self._channels.reserve(key, time, duration)
+            hop_start, time = self._channels.reserve(key, time, duration)
+            if self.recorder is not None:
+                self.recorder.record_copy(
+                    key,
+                    need.src_mem,
+                    dst_mem,
+                    hop_start,
+                    duration,
+                    need.nbytes,
+                )
             total_duration += duration
         self.stats.record(need.nbytes, total_duration)
         return time

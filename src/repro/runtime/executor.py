@@ -24,7 +24,7 @@ top by :class:`repro.runtime.noise.NoiseModel`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.machine.kinds import ProcKind
 from repro.machine.model import Machine
@@ -35,6 +35,9 @@ from repro.runtime.events import TimelinePool
 from repro.runtime.instances import CoherenceState
 from repro.runtime.placement import Placer
 from repro.taskgraph.graph import TaskGraph
+
+if TYPE_CHECKING:  # recorder is optional observability plumbing
+    from repro.obs.trace import TraceRecorder
 
 __all__ = ["ExecutionReport", "Executor"]
 
@@ -76,12 +79,22 @@ class Executor:
         self._order = graph.topological_order()
 
     # ------------------------------------------------------------------
-    def run(self, mapping: Mapping) -> ExecutionReport:
+    def run(
+        self,
+        mapping: Mapping,
+        recorder: Optional["TraceRecorder"] = None,
+    ) -> ExecutionReport:
         """One deterministic execution; assumes the mapping is valid and
-        fits in memory (checked by the simulator facade)."""
+        fits in memory (checked by the simulator facade).
+
+        ``recorder`` optionally collects task/copy/overhead spans for
+        the observability layer.  Recording is purely observational —
+        every recorded timestamp is a value this method computed anyway,
+        so traced and untraced executions are identical.
+        """
         procs = TimelinePool()
         channels = TimelinePool()
-        copy_engine = CopyEngine(self.topology, channels)
+        copy_engine = CopyEngine(self.topology, channels, recorder=recorder)
         coherence = CoherenceState()
         finish: Dict[str, float] = {}
         kind_busy: Dict[str, float] = {}
@@ -168,9 +181,20 @@ class Executor:
                     + compute_seconds
                     + access_seconds
                 )
-                _, point_finish = procs.reserve(
+                point_start, point_finish = procs.reserve(
                     placement.proc.uid, data_ready, duration
                 )
+                if recorder is not None:
+                    recorder.record_task(
+                        launch.kind.name,
+                        placement.proc.uid,
+                        point_start,
+                        duration,
+                        point=placement.point,
+                        compute=compute_seconds,
+                        access=access_seconds,
+                        overhead=placement.proc.launch_overhead,
+                    )
                 launch_finish = max(launch_finish, point_finish)
                 kind_busy[launch.kind.name] = (
                     kind_busy.get(launch.kind.name, 0.0) + duration
@@ -191,6 +215,8 @@ class Executor:
             )
             makespan = max(makespan, launch_finish)
 
+        if recorder is not None:
+            recorder.finalize(makespan)
         return ExecutionReport(
             makespan=makespan,
             kind_busy=kind_busy,

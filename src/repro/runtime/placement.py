@@ -64,7 +64,9 @@ class Placer:
             self._closest_cache[key] = mem
         return mem
 
-    def node_of_point(self, launch: TaskLaunch, decision: MappingDecision, point: int) -> int:
+    def node_of_point(
+        self, launch: TaskLaunch, decision: MappingDecision, point: int
+    ) -> int:
         """Node index executing the given point task (blocked split)."""
         if not decision.distribute:
             return 0

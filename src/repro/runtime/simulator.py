@@ -164,6 +164,40 @@ class Simulator:
         return True
 
     # ------------------------------------------------------------------
+    def trace(self, mapping: Mapping, label: str = ""):
+        """Re-execute ``mapping`` with a span recorder attached.
+
+        Returns ``(recorder, result)`` where the recorder holds the
+        task / copy / launch-overhead spans of one deterministic
+        execution (see :mod:`repro.obs.trace`) and ``result`` is a fresh
+        :class:`SimResult` (no noise samples).
+
+        Tracing is deliberately kept *off* the hot path: the memoised
+        :meth:`run` never records, so searches pay zero overhead, and
+        this method never reads or writes the memo cache or the
+        ``executions`` counter, so a traced session's accounting — and
+        therefore its report — is byte-identical to an untraced one.
+        The executor is deterministic, so the traced makespan equals the
+        cached one exactly.
+        """
+        from repro.obs.trace import TraceRecorder
+
+        validate(self.graph, self.machine, mapping)
+        executed = mapping
+        if self.config.spill:
+            executed = self._planner.apply_spill(mapping)
+        else:
+            self._planner.ensure_fits(mapping)
+        recorder = TraceRecorder(label=label)
+        report = self._executor.run(executed, recorder=recorder)
+        result = SimResult(
+            makespan=report.makespan,
+            executed_mapping=executed,
+            report=report,
+        )
+        return recorder, result
+
+    # ------------------------------------------------------------------
     def memory_demand(self, mapping: Mapping):
         """Static footprint report for ``mapping`` (no execution)."""
         validate(self.graph, self.machine, mapping)

@@ -115,6 +115,12 @@ class SearchAlgorithm(abc.ABC):
     #: Short identifier used in logs and reports (e.g. ``"ccd"``).
     name: str = "base"
 
+    #: Optional :class:`repro.obs.telemetry.SearchTelemetry` sink.  The
+    #: driver attaches one before calling :meth:`search`; ``None`` (the
+    #: class default) disables round recording entirely — the hooks
+    #: below are no-ops, so an untelemetered search pays nothing.
+    telemetry = None
+
     @property
     def cursor(self) -> dict:
         """The algorithm's last-reported position in its own search
@@ -142,6 +148,24 @@ class SearchAlgorithm(abc.ABC):
     ) -> SearchResult:
         """Run the search until the oracle's budget is exhausted or the
         algorithm's natural end; returns the best mapping found."""
+
+    # ------------------------------------------------------------------
+    # Telemetry hooks (no-ops unless a telemetry sink is attached)
+    # ------------------------------------------------------------------
+    def _round_begin(self, oracle: Oracle) -> None:
+        """Mark the start of one round of the algorithm's outer loop."""
+        if self.telemetry is not None:
+            self.telemetry.begin_round(oracle)
+
+    def _round_end(self, oracle: Oracle, label: Optional[str] = None) -> None:
+        """Close the round opened by :meth:`_round_begin`; the default
+        label renders the algorithm's cursor (rotation, kind, ...)."""
+        if self.telemetry is not None:
+            if label is None:
+                label = " ".join(
+                    f"{key}={value}" for key, value in self.cursor.items()
+                )
+            self.telemetry.end_round(oracle, self.name, label)
 
     # ------------------------------------------------------------------
     # Helpers shared by concrete algorithms

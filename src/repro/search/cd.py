@@ -63,14 +63,21 @@ class CoordinateDescent(SearchAlgorithm):
         performance: float,
         colgraph: Optional[CollectionGraph],
     ) -> Tuple[Mapping, float]:
-        """One full CD pass over all task kinds (Alg. 1 lines 5-7)."""
+        """One full CD pass over all task kinds (Alg. 1 lines 5-7).
+
+        Each kind's optimisation is one telemetry *round*: the cheapest
+        granularity that still shows where a rotation spends its oracle
+        calls (§5.3's search statistics, per coordinate).
+        """
         for kind_name in self.ordered_kinds(space, oracle, current):
             if oracle.exhausted:
                 break
             self._set_cursor(kind=kind_name)
+            self._round_begin(oracle)
             current, performance = self._optimize_task(
                 space, oracle, current, performance, kind_name, colgraph
             )
+            self._round_end(oracle)
         return current, performance
 
     def _optimize_task(

@@ -107,6 +107,7 @@ class EnsembleTuner(SearchAlgorithm):
             ):
                 break
             self._set_cursor(suggestions=suggestions)
+            self._round_begin(oracle)
             if batch_size > 1:
                 self._speculate(
                     space, oracle, state, bandit, by_name, rng,
@@ -133,6 +134,7 @@ class EnsembleTuner(SearchAlgorithm):
                 if improved and outcome.performance < best_performance:
                     best_mapping = mapping
                     best_performance = outcome.performance
+            self._round_end(oracle)
 
         _LOG.info(
             kv(

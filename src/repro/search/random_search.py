@@ -51,6 +51,7 @@ class RandomSearch(SearchAlgorithm):
             if self.max_draws is not None and draws >= self.max_draws:
                 break
             self._set_cursor(draws=draws)
+            self._round_begin(oracle)
             generation = batch_size
             if self.max_draws is not None:
                 generation = min(generation, self.max_draws - draws)
@@ -67,6 +68,7 @@ class RandomSearch(SearchAlgorithm):
             # unconsumed draws are discarded, exactly as the serial loop
             # would never have drawn them.
             draws += len(outcomes)
+            self._round_end(oracle)
             for candidate, outcome in zip(batch, outcomes):
                 if outcome.performance < best_perf:
                     best, best_perf = candidate, outcome.performance

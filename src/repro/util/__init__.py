@@ -6,12 +6,13 @@ simulator, search algorithms, and benchmark applications:
 - :mod:`repro.util.rng` — deterministic, forkable random-number streams;
 - :mod:`repro.util.units` — byte/time unit constants and formatting;
 - :mod:`repro.util.logging` — a thin structured-logging layer;
-- :mod:`repro.util.serialization` — JSON helpers for dataclass trees;
-- :mod:`repro.util.timer` — wall-clock timers for search budgeting.
+- :mod:`repro.util.serialization` — JSON helpers for dataclass trees.
+
+Wall-clock timing (the former :mod:`repro.util.timer`) moved to
+:mod:`repro.obs.metrics` alongside the metrics registry.
 """
 
 from repro.util.rng import RngStream, derive_seed
-from repro.util.timer import Stopwatch, Budget
 from repro.util.units import (
     KIB,
     MIB,
@@ -24,8 +25,6 @@ from repro.util.units import (
 __all__ = [
     "RngStream",
     "derive_seed",
-    "Stopwatch",
-    "Budget",
     "KIB",
     "MIB",
     "GIB",

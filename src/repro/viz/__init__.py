@@ -1,11 +1,13 @@
 """Text visualisation of mappings and results (Figures 2/3 style).
 
 Terminal-friendly renderings: per-kind mapping tables with
-relative-collection-size bars (:mod:`~repro.viz.ascii_map`) and aligned
-result tables used by the benchmark harness (:mod:`~repro.viz.table`).
+relative-collection-size bars (:mod:`~repro.viz.ascii_map`), aligned
+result tables used by the benchmark harness (:mod:`~repro.viz.table`),
+and ASCII Gantt charts of simulator traces (:mod:`~repro.viz.gantt`).
 """
 
 from repro.viz.ascii_map import render_mapping, render_mapping_diff
+from repro.viz.gantt import render_gantt
 from repro.viz.table import Table
 
-__all__ = ["render_mapping", "render_mapping_diff", "Table"]
+__all__ = ["render_mapping", "render_mapping_diff", "render_gantt", "Table"]

@@ -1,0 +1,75 @@
+"""ASCII Gantt rendering of simulator traces.
+
+A terminal-friendly companion to the Chrome trace-event export: one row
+per resource (processors first, then channels), time left to right over
+the traced makespan.  Useful for eyeballing where a mapping's time goes
+without leaving the shell; load the JSON into Perfetto for the zoomable
+version.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.obs.trace import CAT_COPY, CAT_OVERHEAD, CAT_TASK, TraceRecorder
+
+__all__ = ["render_gantt"]
+
+#: Column glyph per span category; later entries win when spans of
+#: different categories land in the same column of a row.
+_GLYPHS = {CAT_OVERHEAD: "%", CAT_COPY: "~", CAT_TASK: "#"}
+_PRIORITY = {CAT_OVERHEAD: 0, CAT_COPY: 1, CAT_TASK: 2}
+_IDLE = "."
+
+
+def render_gantt(recorder: TraceRecorder, width: int = 72) -> str:
+    """Render ``recorder``'s spans as an ASCII Gantt chart.
+
+    ``width`` is the number of time columns; each column covers
+    ``makespan / width`` simulated seconds.  A span always paints at
+    least one column so short tasks stay visible.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    makespan = recorder.makespan
+    if makespan <= 0 or not recorder.spans:
+        return "(empty trace)"
+
+    rows: Dict[str, List[str]] = {}
+    painted: Dict[str, List[int]] = {}
+    for name in recorder.resources():
+        rows[name] = [_IDLE] * width
+        painted[name] = [-1] * width
+
+    scale = width / makespan
+    for span in recorder.spans:
+        row = rows[span.resource]
+        claim = painted[span.resource]
+        first = min(width - 1, int(span.start * scale))
+        last = min(width - 1, max(first, int(span.finish * scale - 1e-9)))
+        rank = _PRIORITY[span.category]
+        for column in range(first, last + 1):
+            if rank >= claim[column]:
+                row[column] = _GLYPHS[span.category]
+                claim[column] = rank
+
+    label_width = max(len(name) for name in rows)
+    # Processors above channels, each group alphabetical.
+    ordered = sorted(
+        rows, key=lambda name: (name.startswith("chan:"), name)
+    )
+    lines = [
+        (
+            f"trace{': ' + recorder.label if recorder.label else ''} — "
+            f"makespan {makespan:.6f} s "
+            f"({makespan / width:.2e} s/column)"
+        ),
+        (
+            f"{'legend'.ljust(label_width)} |"
+            f" {_GLYPHS[CAT_TASK]}=task {_GLYPHS[CAT_COPY]}=copy "
+            f"{_GLYPHS[CAT_OVERHEAD]}=launch {_IDLE}=idle"
+        ),
+    ]
+    for name in ordered:
+        lines.append(f"{name.ljust(label_width)} |{''.join(rows[name])}|")
+    return "\n".join(lines)

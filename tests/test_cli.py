@@ -78,3 +78,44 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "speedup" in out
         assert (tmp_path / "w" / "report.txt").exists()
+        # A workdir always gets telemetry; a trace only with --trace.
+        assert (tmp_path / "w" / "telemetry.jsonl").exists()
+        assert not (tmp_path / "w" / "trace.json").exists()
+
+    def test_tune_with_trace_and_trace_subcommand(self, capsys, tmp_path):
+        code = main(
+            [
+                "tune",
+                "--app",
+                "stencil",
+                "--input",
+                "200x200",
+                "--max-suggestions",
+                "150",
+                "--workdir",
+                str(tmp_path / "w"),
+                "--trace",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best-mapping time:" in out
+        trace_path = tmp_path / "w" / "trace.json"
+        assert trace_path.exists()
+
+        import json
+
+        from repro.obs.trace import validate_chrome_trace
+
+        assert validate_chrome_trace(json.loads(trace_path.read_text())) > 0
+
+        assert main(["trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "breakdown:" in out
+
+    def test_trace_subcommand_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "not-a-trace.json"
+        bad.write_text('{"foo": 1}')
+        with pytest.raises(SystemExit):
+            main(["trace", str(bad)])

@@ -111,7 +111,9 @@ class TestBatchOracle:
         assert not batch_oracle.pool_started
         batch_oracle.close()
 
-    def test_evaluate_many_stops_at_budget(self, diamond_graph, mini_machine, diamond_space):
+    def test_evaluate_many_stops_at_budget(
+        self, diamond_graph, mini_machine, diamond_space
+    ):
         simulator = Simulator(
             diamond_graph, mini_machine, SimConfig(noise_sigma=0.03, seed=7)
         )
