@@ -77,6 +77,9 @@ def run_app(app_name: str) -> dict:
             "failed": report.failed_evaluations,
             "folded": report.canonical_folds,
             "pruned": report.static_oom_pruned,
+            "bound_pruned": report.bound_pruned,
+            "bound_settled": report.bound_settled,
+            "simulations": report.simulations,
         },
         "breakdown": {
             "compute_fraction": report.breakdown["compute_fraction"],
@@ -153,7 +156,8 @@ def main(argv=None) -> int:
         print(
             f"{app_name}: best {entry['best_mean']:.6g} s, "
             f"{entry['oracle_calls']['suggested']} suggested / "
-            f"{entry['oracle_calls']['evaluated']} evaluated, "
+            f"{entry['oracle_calls']['evaluated']} evaluated / "
+            f"{entry['oracle_calls']['bound_pruned']} bound-pruned, "
             f"{entry['breakdown']['compute_fraction']:.0%} compute / "
             f"{entry['breakdown']['copy_fraction']:.0%} copy / "
             f"{entry['breakdown']['idle_fraction']:.0%} idle"

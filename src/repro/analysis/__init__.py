@@ -18,6 +18,10 @@ in microseconds.  This package is that pre-simulation pruning layer:
 * :mod:`~repro.analysis.sanitizer` — a race/dependence checker for task
   graphs: every read-write interval overlap between launches must be
   covered by a dependence path, and every edge must be justified;
+* :mod:`~repro.analysis.bounds` — sound static lower bounds on the
+  simulated makespan (critical path, processor load, communication
+  volume), powering bound-based search pruning and the AM4xx
+  diagnostics;
 * :mod:`~repro.analysis.engine` — the ``repro analyze`` entry point
   combining the passes into one :class:`DiagnosticReport`.
 
@@ -55,6 +59,8 @@ __all__ = [
     "Canonicalizer",
     "sanitize_graph",
     "analyze",
+    "StaticBoundAnalyzer",
+    "BoundBreakdown",
 ]
 
 _LAZY = {
@@ -62,6 +68,8 @@ _LAZY = {
     "Canonicalizer": ("repro.analysis.canonical", "Canonicalizer"),
     "sanitize_graph": ("repro.analysis.sanitizer", "sanitize_graph"),
     "analyze": ("repro.analysis.engine", "analyze"),
+    "StaticBoundAnalyzer": ("repro.analysis.bounds", "StaticBoundAnalyzer"),
+    "BoundBreakdown": ("repro.analysis.bounds", "BoundBreakdown"),
 }
 
 

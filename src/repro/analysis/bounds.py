@@ -1,0 +1,645 @@
+"""Static cost bounds: a sound lower bound on simulated makespan.
+
+The paper treats the runtime as a black-box oracle, so every candidate
+mapping costs a full discrete-event simulation (§3.1).  But the machine
+model of §2 is explicit enough to *price* a mapping without simulating
+it: this pass computes a lower bound ``LB(mapping)`` on the simulator's
+makespan from three independently-sound components,
+
+* **critical path** — the longest dependence chain, each launch priced
+  at its best-case per-point duration on the chosen processor kind
+  (fastest processor, cheapest access links) times the unavoidable
+  serialisation factor ``ceil(points-per-node / pool-size)``;
+* **load** — for every concrete processor, the total best-case busy
+  time of the point tasks round-robin placement provably assigns to it;
+* **communication** — for every concrete memory, the bytes that *must*
+  cross its incident channels given the placement (a write-authority
+  dataflow mirror of the coherence layer), divided by the aggregate
+  DMA bandwidth of those channels.
+
+``LB = max(components)``, and the soundness contract (see DESIGN.md) is
+that ``LB(mapping) <= Simulator.run(mapping).makespan`` holds *in
+floating point*, not merely in real arithmetic: the critical-path and
+load components replay the executor's own float recurrences with
+term-by-term smaller operands (IEEE rounding is monotone), and the
+communication component — whose aggregation does not mirror a single
+executor float chain — is deflated by ``1 - 1e-9``, orders of magnitude
+more than the worst-case accumulated rounding of the sums involved.
+The search uses the bound for branch-and-bound pruning: a candidate
+whose bound already exceeds the incumbent provably cannot win, so the
+oracle can skip its simulation without changing any search decision.
+
+Soundness is deliberately conservative where the runtime is subtle:
+
+* never-written (virgin) data is free everywhere — the executor's
+  first-reader materialisation grants *authority* whose later copies we
+  would have to track order-dependently, so we simply under-count them;
+* copy latencies, store-and-forward hops, and through-traffic on a
+  memory's channels are ignored (they only add real time);
+* a partial mapping (some kinds undecided) falls back to the critical
+  path alone, pricing undecided kinds at their cheapest option.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Span
+from repro.machine.kinds import MemKind, ProcKind
+from repro.machine.model import Machine
+from repro.mapping.decision import MappingDecision
+from repro.mapping.mapping import Mapping
+from repro.runtime.copies import DMA_EFFICIENCY
+from repro.runtime.placement import Placer
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.task import TaskLaunch
+
+__all__ = ["BoundBreakdown", "StaticBoundAnalyzer", "FLOAT_SAFETY"]
+
+#: Relative deflation applied to bound components whose derivation
+#: aggregates across resources instead of replaying one executor float
+#: chain.  The true inequality holds in real arithmetic with slack (copy
+#: latencies, DMA setup); 1e-9 dwarfs any accumulated float rounding.
+FLOAT_SAFETY = 1.0 - 1e-9
+
+
+@dataclass(frozen=True)
+class BoundBreakdown:
+    """The three components of one mapping's lower bound.
+
+    ``comm_memory``/``comm_edge`` name the heaviest memory boundary and
+    its top contributing (consumer kind, collection root) edge — the
+    evidence AM402 reports for communication-dominated placements.
+    """
+
+    critical_path: float
+    load: float
+    communication: float
+    comm_memory: Optional[str] = None
+    comm_edge: Optional[Tuple[str, str]] = None  # (consumer kind, root)
+    comm_edge_bytes: int = 0
+
+    @property
+    def total(self) -> float:
+        """The combined lower bound: max of the sound components."""
+        return max(self.critical_path, self.load, self.communication)
+
+
+class _FlowSegment:
+    """One written byte range of a root: its authoritative memory and
+    the memories holding a still-valid read replica."""
+
+    __slots__ = ("lo", "hi", "mem", "caches")
+
+    def __init__(self, lo: int, hi: int, mem: str, caches: Set[str]) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.mem = mem
+        self.caches = caches
+
+
+class _FlowMap:
+    """A write-authority mirror of the coherence layer's segment map.
+
+    Unlike :class:`repro.runtime.instances.SegmentMap`, only explicit
+    task writes create authority; virgin data never does.  The executor
+    materialises virgin data in its first reader's memory and *that*
+    authority can seed later copies, but which memory wins depends on
+    read order — under-counting those copies keeps this mirror sound
+    (every transfer it reports, the executor performs, from the same
+    source to the same destination).
+    """
+
+    __slots__ = ("_segments",)
+
+    def __init__(self) -> None:
+        self._segments: List[_FlowSegment] = []
+
+    def _split_at(self, pos: int) -> None:
+        for i, seg in enumerate(self._segments):
+            if seg.lo < pos < seg.hi:
+                left = _FlowSegment(seg.lo, pos, seg.mem, set(seg.caches))
+                right = _FlowSegment(pos, seg.hi, seg.mem, set(seg.caches))
+                self._segments[i : i + 1] = [left, right]
+                return
+
+    def write(self, lo: int, hi: int, mem: str) -> None:
+        """Authority for ``[lo, hi)`` moves to ``mem``; replicas die."""
+        if hi <= lo:
+            return
+        self._split_at(lo)
+        self._split_at(hi)
+        kept = [s for s in self._segments if s.hi <= lo or s.lo >= hi]
+        kept.append(_FlowSegment(lo, hi, mem, set()))
+        kept.sort(key=lambda s: s.lo)
+        self._segments = kept
+
+    def read(self, lo: int, hi: int, dst: str) -> List[Tuple[str, int]]:
+        """Transfers ``(src_mem, nbytes)`` required to read ``[lo, hi)``
+        in ``dst``; marks the range replicated there afterwards."""
+        if hi <= lo:
+            return []
+        self._split_at(lo)
+        self._split_at(hi)
+        out: List[Tuple[str, int]] = []
+        for seg in self._segments:
+            if seg.lo >= hi or seg.hi <= lo:
+                continue
+            # After splitting, every overlapping segment is contained.
+            if seg.mem != dst and dst not in seg.caches:
+                out.append((seg.mem, seg.hi - seg.lo))
+                seg.caches.add(dst)
+        return out
+
+
+class StaticBoundAnalyzer:
+    """Computes sound makespan lower bounds for (possibly partial)
+    mappings of one ``(graph, machine)`` pair."""
+
+    def __init__(self, graph: TaskGraph, machine: Machine) -> None:
+        self.graph = graph
+        self.machine = machine
+        self._placer = Placer(machine)
+        self._order = graph.topological_order()
+        self._kind_names = {k.name for k in graph.task_kinds}
+
+        # Best-case device characteristics per kind shape.
+        self._max_throughput: Dict[ProcKind, float] = {}
+        self._min_overhead: Dict[ProcKind, float] = {}
+        for proc in machine.processors:
+            best = self._max_throughput.get(proc.kind)
+            if best is None or proc.throughput > best:
+                self._max_throughput[proc.kind] = proc.throughput
+            low = self._min_overhead.get(proc.kind)
+            if low is None or proc.launch_overhead < low:
+                self._min_overhead[proc.kind] = proc.launch_overhead
+        self._max_bandwidth: Dict[Tuple[ProcKind, MemKind], float] = {}
+        self._min_latency: Dict[Tuple[ProcKind, MemKind], float] = {}
+        for link in machine.access_links:
+            shape = (
+                machine.processor(link.proc).kind,
+                machine.memory(link.mem).kind,
+            )
+            bw = self._max_bandwidth.get(shape)
+            if bw is None or link.bandwidth > bw:
+                self._max_bandwidth[shape] = link.bandwidth
+            lat = self._min_latency.get(shape)
+            if lat is None or link.latency < lat:
+                self._min_latency[shape] = link.latency
+
+        self._pool_size: Dict[Tuple[ProcKind, int], int] = {}
+        self._pools: Dict[Tuple[ProcKind, int], List[str]] = {}
+        for pk in machine.proc_kinds():
+            for node in range(machine.num_nodes):
+                procs = machine.processors_of_kind(pk, node)
+                self._pool_size[(pk, node)] = len(procs)
+                self._pools[(pk, node)] = [p.uid for p in procs]
+
+        #: DMA bandwidth aggregate over each memory's incident channels.
+        self._channel_bw: Dict[str, float] = {}
+        for mem in machine.memories:
+            total = sum(c.bandwidth for c in machine.channels_of(mem.uid))
+            if total > 0:
+                self._channel_bw[mem.uid] = DMA_EFFICIENCY * total
+
+        # Caches (all keyed on deterministic values).
+        self._node_count_cache: Dict[Tuple[int, bool], Tuple[int, ...]] = {}
+        self._duration_cache: Dict[Tuple, float] = {}
+        self._best_duration_cache: Dict[str, Tuple[float, int]] = {}
+        self._placement_cache: Dict[Tuple, Tuple[Tuple[str, ...], ...]] = {}
+        self._interval_cache: Dict[Tuple, Tuple[Tuple[int, int], ...]] = {}
+        self._breakdown_cache: Dict[Tuple, BoundBreakdown] = {}
+
+        #: How many bounds were requested / served from the cache.
+        self.checks = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    # Structural helpers
+    # ------------------------------------------------------------------
+    def _node_counts(self, size: int, distribute: bool) -> Tuple[int, ...]:
+        """Point tasks per node under the blocked split (placer mirror)."""
+        key = (size, distribute)
+        counts = self._node_count_cache.get(key)
+        if counts is None:
+            nodes = self.machine.num_nodes
+            if not distribute:
+                counts = (size,) + (0,) * (nodes - 1)
+            else:
+                # |{i : i*N//S == n}| = ceil((n+1)S/N) - ceil(nS/N),
+                # with -ceil(a/b) spelled floor(-a/b) for int arithmetic.
+                counts = tuple(
+                    -(-(n + 1) * size // nodes) + (-n * size // nodes)
+                    for n in range(nodes)
+                )
+            self._node_count_cache[key] = counts
+        return counts
+
+    def _serial_factor(
+        self, launch: TaskLaunch, distribute: bool, pk: ProcKind
+    ) -> int:
+        """Max points any single processor provably runs serially."""
+        factor = 0
+        for node, cnt in enumerate(self._node_counts(launch.size, distribute)):
+            if cnt == 0:
+                continue
+            pool = self._pool_size.get((pk, node), 0)
+            if pool == 0:
+                continue  # invalid option; contribute nothing (sound)
+            factor = max(factor, -(-cnt // pool))
+        return factor
+
+    def _point_duration(
+        self,
+        launch: TaskLaunch,
+        pk: ProcKind,
+        mem_kinds: Tuple[MemKind, ...],
+    ) -> Optional[float]:
+        """Best-case per-point duration, built with the executor's exact
+        float operations over term-by-term smaller operands.
+
+        Returns ``None`` when a slot's memory kind is unreachable from
+        ``pk`` on this machine (an invalid option).
+        """
+        key = (launch.uid, pk, mem_kinds)
+        cached = self._duration_cache.get(key)
+        if cached is not None:
+            return cached
+        access = 0.0
+        for slot_index, slot in enumerate(launch.kind.slots):
+            shape = (pk, mem_kinds[slot_index])
+            bandwidth = self._max_bandwidth.get(shape)
+            if bandwidth is None:
+                return None
+            passes = int(slot.privilege.reads) + int(slot.privilege.writes)
+            bytes_pp = launch.arg_bytes_per_point(slot_index)
+            access += (
+                self._min_latency[shape] + bytes_pp / bandwidth
+            ) * passes
+        compute = 0.0
+        point_flops = launch.flops / launch.size
+        if point_flops > 0:
+            adjust = (
+                launch.kind.gpu_speedup if pk == ProcKind.GPU else 1.0
+            )
+            compute = point_flops / (self._max_throughput[pk] * adjust)
+        duration = self._min_overhead[pk] + compute + access
+        self._duration_cache[key] = duration
+        return duration
+
+    def _best_option(self, launch: TaskLaunch) -> Tuple[float, int]:
+        """Cheapest ``(duration, serial factor)`` over every legal
+        decision — the price of a kind the mapping leaves undecided.
+
+        The two minima are taken independently (a sound under-estimate
+        even if no single decision achieves both).
+        """
+        cached = self._best_duration_cache.get(launch.uid)
+        if cached is not None:
+            return cached
+        best_d: Optional[float] = None
+        best_m: Optional[int] = None
+        for pk in self.machine.proc_kinds():
+            if not launch.kind.has_variant(pk):
+                continue
+            kinds_for = self.machine.mem_kinds_for(pk)
+            if not kinds_for:
+                continue
+            # Per-slot cheapest access term, accumulated in slot order
+            # exactly like the executor's access_seconds.
+            access = 0.0
+            feasible = True
+            for slot_index, slot in enumerate(launch.kind.slots):
+                passes = int(slot.privilege.reads) + int(
+                    slot.privilege.writes
+                )
+                bytes_pp = launch.arg_bytes_per_point(slot_index)
+                term: Optional[float] = None
+                for mk in kinds_for:
+                    shape = (pk, mk)
+                    bandwidth = self._max_bandwidth.get(shape)
+                    if bandwidth is None:
+                        continue
+                    candidate = (
+                        self._min_latency[shape] + bytes_pp / bandwidth
+                    ) * passes
+                    if term is None or candidate < term:
+                        term = candidate
+                if term is None:
+                    feasible = False
+                    break
+                access += term
+            if not feasible:
+                continue
+            compute = 0.0
+            point_flops = launch.flops / launch.size
+            if point_flops > 0:
+                adjust = (
+                    launch.kind.gpu_speedup if pk == ProcKind.GPU else 1.0
+                )
+                compute = point_flops / (self._max_throughput[pk] * adjust)
+            duration = self._min_overhead[pk] + compute + access
+            if best_d is None or duration < best_d:
+                best_d = duration
+            for distribute in (False, True):
+                factor = self._serial_factor(launch, distribute, pk)
+                if best_m is None or factor < best_m:
+                    best_m = factor
+        result = (best_d or 0.0, best_m or 0)
+        self._best_duration_cache[launch.uid] = result
+        return result
+
+    def _placements(
+        self, launch: TaskLaunch, decision: MappingDecision
+    ) -> Tuple[Tuple[str, ...], Tuple[Tuple[str, ...], ...]]:
+        """Placer mirror: per-point processor uids and per-point
+        per-slot memory uids, cached per (launch, decision)."""
+        key = (launch.uid, decision.key())
+        cached = self._placement_cache.get(key)
+        if cached is None:
+            placements = self._placer.place_launch(launch, decision)
+            procs = tuple(p.proc.uid for p in placements)
+            mems = tuple(
+                tuple(m.uid for m in p.mems) for p in placements
+            )
+            cached = (procs, mems)
+            self._placement_cache[key] = cached
+        return cached
+
+    def _shard_intervals(
+        self, launch: TaskLaunch, slot_index: int, for_write: bool
+    ) -> Tuple[Tuple[int, int], ...]:
+        key = (launch.uid, slot_index, for_write)
+        cached = self._interval_cache.get(key)
+        if cached is None:
+            cached = tuple(
+                launch.shard_interval(slot_index, point, for_write=for_write)
+                for point in range(launch.size)
+            )
+            self._interval_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Components
+    # ------------------------------------------------------------------
+    def _chain_components(
+        self, mapping: Mapping, partial: bool
+    ) -> Tuple[float, float]:
+        """Critical-path and per-processor-load lower bounds.
+
+        Both replay the executor's float recurrences (``finish = max(
+        ready over preds) then repeated ``+= duration``; ``busy +=
+        duration`` per reservation in topological order) with smaller
+        operands, so each is ``<=`` the simulated makespan *as floats*.
+        """
+        longest: Dict[str, float] = {}
+        cp = 0.0
+        busy: Dict[str, float] = {}
+        for launch in self._order:
+            ready = 0.0
+            for dep in self.graph.predecessors(launch.uid):
+                upstream = longest[dep.src]
+                if upstream > ready:
+                    ready = upstream
+            if launch.kind.name in mapping:
+                decision = mapping.decision(launch.kind.name)
+                duration = self._point_duration(
+                    launch, decision.proc_kind, decision.mem_kinds
+                )
+                if duration is None:  # invalid decision; price at best
+                    duration, factor = self._best_option(launch)
+                else:
+                    factor = self._serial_factor(
+                        launch, decision.distribute, decision.proc_kind
+                    )
+                    if not partial:
+                        counts = self._node_counts(
+                            launch.size, decision.distribute
+                        )
+                        for node, cnt in enumerate(counts):
+                            if cnt == 0:
+                                continue
+                            pool = self._pools.get(
+                                (decision.proc_kind, node), []
+                            )
+                            if not pool:
+                                continue
+                            size = len(pool)
+                            for j, proc_uid in enumerate(pool):
+                                assigned = (cnt + size - 1 - j) // size
+                                if assigned == 0:
+                                    break
+                                acc = busy.get(proc_uid, 0.0)
+                                for _ in range(assigned):
+                                    acc += duration
+                                busy[proc_uid] = acc
+            else:
+                duration, factor = self._best_option(launch)
+            acc = ready
+            for _ in range(factor):
+                acc += duration
+            longest[launch.uid] = acc
+            if acc > cp:
+                cp = acc
+        load = max(busy.values(), default=0.0)
+        return cp, load
+
+    def _comm_component(
+        self, mapping: Mapping
+    ) -> Tuple[float, Optional[str], Optional[Tuple[str, str]], int]:
+        """Per-memory mandatory traffic priced at aggregate channel DMA
+        bandwidth; returns ``(bound, memory, edge, edge_bytes)``."""
+        flows: Dict[str, _FlowMap] = {}
+        ingress: Dict[str, int] = {}
+        egress: Dict[str, int] = {}
+        edge_bytes: Dict[Tuple[str, str, str], int] = {}
+
+        for launch in self._order:
+            decision = mapping.decision(launch.kind.name)
+            try:
+                _, point_mems = self._placements(launch, decision)
+            except ValueError:  # invalid decision — no placement, no flow
+                continue
+            # Reads first: union per (root, destination memory), so each
+            # byte is charged once per destination, like commit_cache.
+            reads: Dict[Tuple[str, str], List[Tuple[int, int]]] = {}
+            for slot_index, slot in enumerate(launch.kind.slots):
+                if not slot.privilege.reads:
+                    continue
+                root = launch.args[slot_index].root
+                intervals = self._shard_intervals(launch, slot_index, False)
+                for point in range(launch.size):
+                    lo, hi = intervals[point]
+                    if hi > lo:
+                        dst = point_mems[point][slot_index]
+                        reads.setdefault((root, dst), []).append((lo, hi))
+            for (root, dst), intervals in reads.items():
+                flow = flows.get(root)
+                if flow is None:
+                    flow = flows[root] = _FlowMap()
+                for lo, hi in _coalesce(intervals):
+                    for src, nbytes in flow.read(lo, hi, dst):
+                        ingress[dst] = ingress.get(dst, 0) + nbytes
+                        egress[src] = egress.get(src, 0) + nbytes
+                        for mem in (dst, src):
+                            edge = (mem, root, launch.kind.name)
+                            edge_bytes[edge] = (
+                                edge_bytes.get(edge, 0) + nbytes
+                            )
+            # Writes commit after the whole group, in (point, slot) order.
+            write_slots = [
+                (i, launch.args[i].root, self._shard_intervals(launch, i, True))
+                for i, slot in enumerate(launch.kind.slots)
+                if slot.privilege.writes
+            ]
+            for point in range(launch.size):
+                for slot_index, root, intervals in write_slots:
+                    lo, hi = intervals[point]
+                    if hi > lo:
+                        flow = flows.get(root)
+                        if flow is None:
+                            flow = flows[root] = _FlowMap()
+                        flow.write(lo, hi, point_mems[point][slot_index])
+
+        bound = 0.0
+        worst_mem: Optional[str] = None
+        for mem_uid in sorted(set(ingress) | set(egress)):
+            denom = self._channel_bw.get(mem_uid)
+            if denom is None:
+                continue  # no channels: the executor cannot copy here
+            traffic = ingress.get(mem_uid, 0) + egress.get(mem_uid, 0)
+            value = traffic / denom * FLOAT_SAFETY
+            if value > bound:
+                bound = value
+                worst_mem = mem_uid
+        edge: Optional[Tuple[str, str]] = None
+        top_bytes = 0
+        if worst_mem is not None:
+            for (mem, root, kind), nbytes in sorted(edge_bytes.items()):
+                if mem == worst_mem and nbytes > top_bytes:
+                    top_bytes = nbytes
+                    edge = (kind, root)
+        return bound, worst_mem, edge, top_bytes
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def breakdown(self, mapping: Mapping) -> BoundBreakdown:
+        """Component-wise lower bound for ``mapping``.
+
+        A mapping covering every task kind of the graph gets all three
+        components; a partial mapping gets the critical path only, with
+        undecided kinds priced at their cheapest legal option.
+        """
+        self.checks += 1
+        key = mapping.key()
+        cached = self._breakdown_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        partial = any(
+            name not in mapping for name in self._kind_names
+        ) or any(
+            mapping.decision(name).num_slots
+            != self.graph.kind(name).num_slots
+            for name in self._kind_names
+            if name in mapping
+        )
+        cp, load = self._chain_components(mapping, partial)
+        if partial:
+            result = BoundBreakdown(
+                critical_path=cp, load=0.0, communication=0.0
+            )
+        else:
+            comm, mem, edge, nbytes = self._comm_component(mapping)
+            result = BoundBreakdown(
+                critical_path=cp,
+                load=load,
+                communication=comm,
+                comm_memory=mem,
+                comm_edge=edge,
+                comm_edge_bytes=nbytes,
+            )
+        self._breakdown_cache[key] = result
+        return result
+
+    def lower_bound(self, mapping: Mapping) -> float:
+        """Sound lower bound on ``Simulator.run(mapping).makespan``."""
+        return self.breakdown(mapping).total
+
+    # ------------------------------------------------------------------
+    def diagnose_mapping(
+        self, mapping: Mapping, incumbent: Optional[float] = None
+    ) -> List[Diagnostic]:
+        """AM4xx findings for one (valid) mapping.
+
+        ``incumbent`` is a reference makespan (e.g. the default
+        mapping's simulated time): any mapping whose bound exceeds it is
+        provably dominated (AM401).
+        """
+        found: List[Diagnostic] = []
+        bd = self.breakdown(mapping)
+        if incumbent is not None and bd.total > incumbent:
+            found.append(
+                Diagnostic(
+                    rule_id="AM401",
+                    message=(
+                        f"static lower bound {bd.total:.6g}s exceeds "
+                        f"reference makespan {incumbent:.6g}s — this "
+                        f"mapping provably cannot win"
+                    ),
+                )
+            )
+        if bd.communication > max(bd.critical_path, bd.load):
+            kind, root = bd.comm_edge or (None, None)
+            detail = (
+                f"; heaviest edge: {kind} reading collection root "
+                f"{root!r} ({bd.comm_edge_bytes} bytes)"
+                if kind is not None
+                else ""
+            )
+            found.append(
+                Diagnostic(
+                    rule_id="AM402",
+                    message=(
+                        f"mandatory traffic through {bd.comm_memory} "
+                        f"({bd.communication:.6g}s) dominates compute "
+                        f"({max(bd.critical_path, bd.load):.6g}s)"
+                        + detail
+                    ),
+                    span=Span(
+                        kind=kind, collection=root, memory=bd.comm_memory
+                    ),
+                )
+            )
+        usable = {
+            pk
+            for kind in self.graph.task_kinds
+            for pk in kind.variants
+        }
+        for pk in self.machine.proc_kinds():
+            if pk in usable and mapping.count_proc(pk) == 0:
+                found.append(
+                    Diagnostic(
+                        rule_id="AM403",
+                        message=(
+                            f"machine has {pk.value} processors and task "
+                            f"variants exist, but no task kind is mapped "
+                            f"to them"
+                        ),
+                    )
+                )
+        return found
+
+
+def _coalesce(intervals: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Sort and merge overlapping/adjacent ``[lo, hi)`` intervals."""
+    merged: List[Tuple[int, int]] = []
+    for lo, hi in sorted(intervals):
+        if merged and lo <= merged[-1][1]:
+            prev_lo, prev_hi = merged[-1]
+            merged[-1] = (prev_lo, max(prev_hi, hi))
+        else:
+            merged.append((lo, hi))
+    return merged

@@ -100,7 +100,22 @@ class Rule:
     id: str
     severity: Severity
     title: str
+    doc: str = ""
 
+    @property
+    def passname(self) -> str:
+        """The analysis pass this rule belongs to, from its id prefix."""
+        return _PASSES.get(self.id[:3], "other")
+
+
+#: Analysis pass per rule-id century, used to group ``--list-rules``.
+_PASSES: Dict[str, str] = {
+    "AM0": "mapping validity",
+    "AM1": "memory feasibility",
+    "AM2": "canonicalization",
+    "AM3": "graph sanitizer",
+    "AM4": "cost bounds",
+}
 
 RULES: Dict[str, Rule] = {}
 
@@ -110,46 +125,152 @@ def rule(rule_id: str) -> Rule:
     return RULES[rule_id]
 
 
-def _register(rule_id: str, severity: Severity, title: str) -> Rule:
+def _register(rule_id: str, severity: Severity, title: str, doc: str) -> Rule:
     if rule_id in RULES:  # pragma: no cover - registry misuse guard
         raise ValueError(f"duplicate rule id {rule_id!r}")
-    r = Rule(rule_id, severity, title)
+    r = Rule(rule_id, severity, title, doc)
     RULES[rule_id] = r
     return r
 
 
 # -- AM0xx: kind-level mapping validity (paper §4.2 constraint 1) -------
-_register("AM001", Severity.ERROR, "task kind has no mapping decision")
-_register("AM002", Severity.ERROR, "decision slot count differs from kind")
-_register("AM003", Severity.ERROR, "no task variant for chosen processor kind")
-_register("AM004", Severity.ERROR, "machine has no processor of chosen kind")
-_register("AM005", Severity.ERROR, "machine has no memory of chosen kind")
-_register("AM006", Severity.ERROR, "memory kind not addressable from processor")
-_register("AM007", Severity.ERROR, "decision for task kind not in the graph")
+_register(
+    "AM001",
+    Severity.ERROR,
+    "task kind has no mapping decision",
+    "Every task kind of the graph needs a decision in the mapping.",
+)
+_register(
+    "AM002",
+    Severity.ERROR,
+    "decision slot count differs from kind",
+    "A decision must carry one memory kind per collection-argument slot.",
+)
+_register(
+    "AM003",
+    Severity.ERROR,
+    "no task variant for chosen processor kind",
+    "The kind has no object code for the processor kind the decision picks.",
+)
+_register(
+    "AM004",
+    Severity.ERROR,
+    "machine has no processor of chosen kind",
+    "The decision targets a processor kind absent from the machine.",
+)
+_register(
+    "AM005",
+    Severity.ERROR,
+    "machine has no memory of chosen kind",
+    "A slot targets a memory kind absent from the machine.",
+)
+_register(
+    "AM006",
+    Severity.ERROR,
+    "memory kind not addressable from processor",
+    "The slot's memory kind violates the kind addressability relation.",
+)
+_register(
+    "AM007",
+    Severity.ERROR,
+    "decision for task kind not in the graph",
+    "The mapping covers a task kind the graph never launches.",
+)
 
 # -- AM1xx: static memory feasibility ----------------------------------
-_register("AM101", Severity.WARNING, "search coordinate provably exceeds memory")
-_register("AM102", Severity.ERROR, "mapping provably exceeds memory capacity")
+_register(
+    "AM101",
+    Severity.WARNING,
+    "search coordinate provably exceeds memory",
+    "Any mapping using this coordinate overflows a memory; the search "
+    "skips it.",
+)
+_register(
+    "AM102",
+    Severity.ERROR,
+    "mapping provably exceeds memory capacity",
+    "The liveness-based footprint bound proves this mapping cannot fit.",
+)
 
 # -- AM2xx: equivalence canonicalization -------------------------------
-_register("AM201", Severity.INFO, "distribute choice cannot affect runtime")
-_register("AM202", Severity.INFO, "memory choice cannot affect runtime")
-_register("AM203", Severity.WARNING, "task kind has zero launches")
+_register(
+    "AM201",
+    Severity.INFO,
+    "distribute choice cannot affect runtime",
+    "Single-point or single-node launches run identically either way.",
+)
+_register(
+    "AM202",
+    Severity.INFO,
+    "memory choice cannot affect runtime",
+    "Zero-byte slots move no data, so their memory kind is folded.",
+)
+_register(
+    "AM203",
+    Severity.WARNING,
+    "task kind has zero launches",
+    "A kind with no launches adds dead coordinates to the search space.",
+)
 
 # -- AM3xx: task-graph sanitizer ---------------------------------------
-_register("AM301", Severity.ERROR, "read-write overlap not covered by dependence")
-_register("AM302", Severity.WARNING, "dependence edge without interval overlap")
-_register("AM303", Severity.ERROR, "overlapping writes within one group launch")
-_register("AM304", Severity.INFO, "replicated read-write slot (reduction idiom)")
+_register(
+    "AM301",
+    Severity.ERROR,
+    "read-write overlap not covered by dependence",
+    "Two launches touch overlapping bytes with no dependence path: a race.",
+)
+_register(
+    "AM302",
+    Severity.WARNING,
+    "dependence edge without interval overlap",
+    "The edge's collections never overlap, so it only serialises work.",
+)
+_register(
+    "AM303",
+    Severity.ERROR,
+    "overlapping writes within one group launch",
+    "Point tasks of one group are independent and must write disjointly.",
+)
+_register(
+    "AM304",
+    Severity.INFO,
+    "replicated read-write slot (reduction idiom)",
+    "A replicated read-write argument is a recognised reduction pattern.",
+)
+
+# -- AM4xx: static cost bounds -----------------------------------------
+_register(
+    "AM401",
+    Severity.WARNING,
+    "mapping provably dominated",
+    "The static makespan lower bound already exceeds the reference "
+    "mapping's simulated time.",
+)
+_register(
+    "AM402",
+    Severity.WARNING,
+    "communication-dominated placement",
+    "Mandatory traffic through one memory outweighs every compute bound; "
+    "the offending edge is named.",
+)
+_register(
+    "AM403",
+    Severity.INFO,
+    "statically idle processor kind",
+    "The machine offers a processor kind with task variants that the "
+    "mapping never uses.",
+)
 
 
 def rule_table() -> "Table":
-    """All registered rules as a :class:`repro.viz.table.Table`."""
+    """All registered rules, grouped by analysis pass, with their
+    one-line docs — rendered straight from the registry so the CLI
+    listing can never drift from the code."""
     from repro.viz.table import Table
 
-    table = Table(["rule", "severity", "title"])
-    for r in RULES.values():
-        table.add_row([r.id, str(r.severity), r.title])
+    table = Table(["rule", "pass", "severity", "title", "doc"])
+    for r in sorted(RULES.values(), key=lambda r: r.id):
+        table.add_row([r.id, r.passname, str(r.severity), r.title, r.doc])
     return table
 
 

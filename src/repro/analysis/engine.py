@@ -34,6 +34,7 @@ def analyze(
     space: Optional["SearchSpace"] = None,
     mapping: Optional["Mapping"] = None,
     sanitize: bool = True,
+    bounds: bool = False,
 ) -> DiagnosticReport:
     """Run every static pass over the graph/machine pair.
 
@@ -41,7 +42,10 @@ def analyze(
     is scanned for dead/foldable coordinates; a concrete ``mapping`` is
     additionally validity-checked and, when valid, proven to fit (or
     not) in memory.  The sanitizer can be skipped for repeated calls on
-    an already-sanitized graph.
+    an already-sanitized graph.  With ``bounds`` the static cost-bound
+    analyzer adds the AM4xx diagnostics, comparing the mapping (or the
+    space's default mapping when none is given) against the default
+    mapping's simulated makespan.
     """
     report = DiagnosticReport()
     if sanitize:
@@ -58,9 +62,45 @@ def analyze(
     feasibility = StaticMemoryFeasibility(graph, machine)
     report.extend(feasibility.diagnose_space(space))
 
+    valid_mapping = None
     if mapping is not None:
         validity = check_mapping(graph, machine, mapping)
         report.extend(validity)
         if not validity:
             report.extend(feasibility.diagnose_mapping(mapping))
+            valid_mapping = mapping
+    if bounds and (mapping is None or valid_mapping is not None):
+        report.extend(
+            _diagnose_bounds(graph, machine, space, valid_mapping)
+        )
     return report
+
+
+def _diagnose_bounds(
+    graph: "TaskGraph",
+    machine: "Machine",
+    space: "SearchSpace",
+    mapping: Optional["Mapping"],
+) -> DiagnosticReport:
+    """AM4xx: bound diagnostics for one (already valid) mapping.
+
+    The reference makespan AM401 compares against is a noise-free,
+    spill-enabled simulation of the space's default mapping — the
+    "don't search at all" baseline; the bound is priced on the mapping
+    the simulator would actually execute (spill demotions applied).
+    The runtime import stays local: the analysis package must be
+    importable from below the runtime layer.
+    """
+    from repro.analysis.bounds import StaticBoundAnalyzer
+    from repro.runtime.simulator import SimConfig, Simulator
+
+    simulator = Simulator(
+        graph, machine, SimConfig(noise_sigma=0.0, spill=True)
+    )
+    default = space.default_mapping()
+    incumbent = simulator.run(default).makespan
+    target = default if mapping is None else mapping
+    analyzer = StaticBoundAnalyzer(graph, machine)
+    return analyzer.diagnose_mapping(
+        simulator.spill_plan(target), incumbent=incumbent
+    )

@@ -160,6 +160,20 @@ def build_parser() -> argparse.ArgumentParser:
         "short-circuit, equivalence canonicalization, search-space "
         "pruning); results are identical, just slower",
     )
+    tune.add_argument(
+        "--no-bound-prune",
+        action="store_true",
+        help="disable bound-based pruning (skipping candidates whose "
+        "static makespan lower bound already exceeds the incumbent); "
+        "results are identical, just more simulations",
+    )
+    tune.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the run's metrics registry to FILE in Prometheus "
+        "text exposition format (e.g. metrics.prom)",
+    )
     tune.add_argument("--verbose", action="store_true")
 
     inspect = sub.add_parser(
@@ -196,9 +210,17 @@ def build_parser() -> argparse.ArgumentParser:
         "is reported (default: error)",
     )
     analyze.add_argument(
+        "--bounds",
+        action="store_true",
+        help="also run the static cost-bound analyzer (AM4xx): "
+        "critical-path/communication lower bounds compared against "
+        "the default mapping's simulated makespan",
+    )
+    analyze.add_argument(
         "--list-rules",
         action="store_true",
-        help="print the diagnostic rule registry and exit",
+        help="print the diagnostic rule registry, grouped by analysis "
+        "pass with a one-line description per rule, and exit",
     )
 
     trace = sub.add_parser(
@@ -247,10 +269,12 @@ def _cmd_tune(args) -> int:
         space=app.space(machine),
         workers=args.workers,
         static_prune=not args.no_static_prune,
+        bound_prune=not args.no_bound_prune,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume is not None,
         worker_timeout=args.worker_timeout,
         trace=args.trace,
+        metrics_out=args.metrics_out,
     )
     default = session.default_mapping()
     t_default = session.measure(default)
@@ -284,10 +308,10 @@ def _cmd_inspect(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
-    from repro.analysis import Severity, analyze, rule_table
+    from repro.analysis import Severity, analyze
 
     if args.list_rules:
-        print(rule_table().render())
+        _print_rule_registry()
         return 0
     if args.app is None:
         raise SystemExit("repro analyze: --app is required "
@@ -297,7 +321,9 @@ def _cmd_analyze(args) -> int:
     graph = app.graph(machine)
     space = app.space(machine)
 
-    report = analyze(graph, machine, space=space)
+    report = analyze(
+        graph, machine, space=space, bounds=args.bounds and not args.mapping
+    )
     print(f"-- {graph.name} on {machine.name}")
     print(report.render())
     for path in args.mapping:
@@ -305,7 +331,7 @@ def _cmd_analyze(args) -> int:
 
         mapping = load_mapping(path)
         lint = analyze(graph, machine, space=space, mapping=mapping,
-                       sanitize=False)
+                       sanitize=False, bounds=args.bounds)
         print()
         print(f"-- {path}")
         print(lint.render())
@@ -319,6 +345,26 @@ def _cmd_analyze(args) -> int:
               f">= {threshold}")
         return 1
     return 0
+
+
+def _print_rule_registry() -> None:
+    """The diagnostic rule registry, one section per analysis pass."""
+    from repro.analysis.diagnostics import RULES
+    from repro.viz.table import Table
+
+    by_pass: dict = {}
+    for rule in sorted(RULES.values(), key=lambda r: r.id):
+        by_pass.setdefault(rule.passname, []).append(rule)
+    for index, (passname, rules) in enumerate(by_pass.items()):
+        if index:
+            print()
+        print(f"-- {passname} ({rules[0].id[:3]}xx)")
+        table = Table(["rule", "severity", "title", "doc"])
+        for rule in rules:
+            table.add_row(
+                [rule.id, str(rule.severity), rule.title, rule.doc]
+            )
+        print(table.render())
 
 
 def _cmd_trace(args) -> int:

@@ -87,6 +87,13 @@ class TuningReport:
     #: Static-analysis pruning statistics (0 with --no-static-prune).
     static_oom_pruned: int = 0
     canonical_folds: int = 0
+    #: Bound-based pruning statistics (0 with --no-bound-prune or an
+    #: algorithm that does not support pruning): candidates skipped
+    #: because their static lower bound already exceeded the best-so-far,
+    #: and how many of those were simulated after the search to rule
+    #: them out of the finalist re-evaluation.
+    bound_pruned: int = 0
+    bound_settled: int = 0
     #: Novel mappings the runtime machinery processed (deterministic
     #: executions plus in-planner OOM discoveries).  After a resume this
     #: counts only the work done since the restart — checkpointed
@@ -125,6 +132,12 @@ class TuningReport:
             f"{self.static_oom_pruned} OOM proven statically, "
             f"{self.canonical_folds} suggestions folded",
         ]
+        if self.bound_pruned or self.bound_settled:
+            lines.append(
+                f"  bound pruning: {self.bound_pruned} candidates pruned "
+                f"by static lower bounds, {self.bound_settled} settled "
+                f"after the search"
+            )
         if self.resumed or self.replayed:
             lines.append(
                 f"  resume: {self.replayed} evaluations replayed from "
@@ -173,6 +186,7 @@ class AutoMapDriver:
         space: Optional[SearchSpace] = None,
         workers: int = 1,
         static_prune: bool = True,
+        bound_prune: bool = True,
         checkpoint_path: Optional[Union[str, Path]] = None,
         checkpoint_every: int = 0,
         resume_checkpoint: Optional[TuningCheckpoint] = None,
@@ -248,6 +262,30 @@ class AutoMapDriver:
                 feasibility=self.feasibility, canonicalizer=self.canonicalizer
             )
 
+        # Bound-based pruning (repro.analysis.bounds): skip candidates
+        # whose static makespan lower bound already exceeds the
+        # best-so-far.  Only sound when (a) the algorithm compares
+        # outcomes against an incumbent rather than consuming the
+        # numbers, (b) performance is the default makespan mean (a lower
+        # bound on makespan says nothing about a custom metric), and
+        # (c) no evaluation-count or simulated-clock budget is set —
+        # pruned candidates skip the evaluation counter and the
+        # simulated evaluation time, so such budgets would exhaust at a
+        # different point and change the trajectory.  A wall-clock
+        # budget (inherently timing-dependent) is not gated.
+        self.bound_prune = bound_prune
+        self.bounds = None
+        if (
+            bound_prune
+            and getattr(self.algorithm, "supports_bound_pruning", False)
+            and self.oracle_config.metric is None
+            and self.oracle_config.max_evaluations is None
+            and self.oracle_config.max_sim_seconds is None
+        ):
+            from repro.analysis.bounds import StaticBoundAnalyzer
+
+            self.bounds = StaticBoundAnalyzer(graph, machine)
+
     # ------------------------------------------------------------------
     def tune(self, start: Optional[Mapping] = None) -> TuningReport:
         """Run the full search + final re-evaluation protocol.
@@ -265,6 +303,7 @@ class AutoMapDriver:
             profiles,
             canonicalizer=self.canonicalizer,
             feasibility=self.feasibility,
+            bounds=self.bounds,
         )
         oracle = BatchOracle(
             serial_oracle,
@@ -318,6 +357,12 @@ class AutoMapDriver:
             result = self.algorithm.search(
                 self.space, oracle, rng, start=start
             )
+
+            # Bound-pruned candidates have no profile record; any that
+            # could plausibly rank among the finalists is simulated now
+            # so the finalist selection below sees exactly the records
+            # an unpruned run would have ranked.
+            serial_oracle.settle_pruned(self.final_candidates)
 
             # Final step (§5): re-measure the top candidates with more
             # runs and report the fastest average.
@@ -388,6 +433,8 @@ class AutoMapDriver:
             evaluation_fraction=oracle.evaluation_fraction,
             static_oom_pruned=oracle.static_oom_pruned,
             canonical_folds=oracle.canonical_folds,
+            bound_pruned=oracle.bound_pruned,
+            bound_settled=oracle.bound_settled,
             simulations=(
                 self.simulator.executions + self.simulator.oom_attempts
             ),

@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.analysis.bounds import FLOAT_SAFETY
 from repro.obs.metrics import MetricsRegistry, WallBudget
 from repro.resilience.checkpoint import ReplayEntry
 from repro.runtime.executor import ExecutionReport
@@ -88,6 +89,7 @@ class SimulationOracle:
         profiles: Optional[ProfileDatabase] = None,
         canonicalizer=None,
         feasibility=None,
+        bounds=None,
     ) -> None:
         self.simulator = simulator
         self.config = config or OracleConfig()
@@ -104,6 +106,16 @@ class SimulationOracle:
         #: simulator fails (rather than spills) on overflow, so the
         #: driver gates it on ``spill=False``.
         self.feasibility = feasibility
+        #: optional :class:`repro.analysis.bounds.StaticBoundAnalyzer`:
+        #: once an incumbent exists, candidates whose sound makespan
+        #: lower bound already meets or exceeds it are rejected without
+        #: simulation.  Because the bound provably under-estimates the
+        #: measured mean and every search accepts only strict
+        #: improvements, the pruned search takes the exact same
+        #: trajectory as the unpruned one.  The driver gates this on
+        #: algorithms that only *compare* outcomes (CD/CCD/random) and
+        #: on the default makespan metric.
+        self.bounds = bounds
         #: All evaluation accounting lives in one metrics registry
         #: (:mod:`repro.obs.metrics`); the attribute-style reads the
         #: rest of the system does (``oracle.suggested``, ...) are
@@ -120,6 +132,12 @@ class SimulationOracle:
         self._folds = self.metrics.counter("oracle.canonical_folds")
         #: failed evaluations proven statically (no simulation paid).
         self._pruned = self.metrics.counter("oracle.static_oom_pruned")
+        #: candidates rejected because their static lower bound proved
+        #: they cannot beat the incumbent (no simulation paid).
+        self._bound_pruned = self.metrics.counter("oracle.bound_pruned")
+        #: pruned candidates evaluated after the search because they
+        #: could have reached the final-candidate stage.
+        self._bound_settled = self.metrics.counter("oracle.bound_settled")
         #: simulated search clock (seconds).
         self._sim_elapsed = self.metrics.counter("oracle.sim_elapsed")
         #: simulated seconds spent executing candidates (vs suggesting).
@@ -139,6 +157,15 @@ class SimulationOracle:
         #: Resume support: evaluations reconstructed from a checkpoint,
         #: consumed the first time the replayed search re-suggests them.
         self._replay: Dict[tuple, ReplayEntry] = {}
+        #: Bound-pruned candidates in pruning order (canonical key →
+        #: mapping), revisited by :meth:`settle_pruned`.
+        self._bound_ledger: Dict[tuple, Mapping] = {}
+        #: Per-candidate bound on measured mean (None = no sound bound).
+        self._bound_cache: Dict[tuple, Optional[float]] = {}
+        #: Keys whose profile records exist only because of settling —
+        #: excluded from checkpoint replay ledgers, since an
+        #: uninterrupted run never *evaluated* them.
+        self._settled_keys: set = set()
 
     # ------------------------------------------------------------------
     # Registry-backed accounting (attribute API preserved)
@@ -178,6 +205,19 @@ class SimulationOracle:
     @property
     def replayed(self) -> int:
         return self._replayed.value
+
+    @property
+    def bound_pruned(self) -> int:
+        return self._bound_pruned.value
+
+    @property
+    def bound_settled(self) -> int:
+        return self._bound_settled.value
+
+    @property
+    def settled_keys(self) -> frozenset:
+        """Canonical keys of profile records created by settling."""
+        return frozenset(self._settled_keys)
 
     # ------------------------------------------------------------------
     @property
@@ -342,6 +382,22 @@ class SimulationOracle:
                     performance=INFEASIBLE, failed=True, reason=oom
                 )
 
+        if self.would_bound_prune(mapping):
+            lb_perf = self._bound_perf(mapping)
+            self._bound_pruned.inc()
+            self._bound_ledger.setdefault(mapping.key(), mapping)
+            # Not recorded in profiles: the measured mean is unknown.
+            # The pessimistic-but-sound performance makes every
+            # strict-improvement search reject the candidate exactly as
+            # a real measurement would have.
+            return EvalOutcome(
+                performance=lb_perf,
+                reason=(
+                    f"bound-pruned: static lower bound {lb_perf:.6g}s >= "
+                    f"incumbent best {self.best_performance:.6g}s"
+                ),
+            )
+
         try:
             result = self.simulator.run(mapping)
         except OOMError as exc:
@@ -377,6 +433,103 @@ class SimulationOracle:
             )
         )
         return EvalOutcome(performance=performance)
+
+    # ------------------------------------------------------------------
+    # Bound-based pruning (see repro.analysis.bounds)
+    # ------------------------------------------------------------------
+    def _bound_perf(self, mapping: Mapping) -> Optional[float]:
+        """A sound lower bound on the mean performance :meth:`_evaluate`
+        would report for ``mapping`` (already canonical), or ``None``
+        when no sound bound exists.
+
+        The makespan bound is priced on the mapping the simulator would
+        actually execute (spill demotions applied) and scaled by the
+        candidate's exact mean noise factor; the extra ``FLOAT_SAFETY``
+        deflation dwarfs the rounding of the sample-mean sum.
+        """
+        key = mapping.key()
+        if key in self._bound_cache:
+            return self._bound_cache[key]
+        try:
+            executed = self.simulator.spill_plan(mapping)
+        except OOMError:
+            # Let the normal path record the runtime OOM failure.
+            value: Optional[float] = None
+        else:
+            lower = self.bounds.lower_bound(executed)
+            factor = self.simulator.noise.mean_factor(
+                key, self.config.runs_per_eval
+            )
+            value = lower * factor * FLOAT_SAFETY
+        self._bound_cache[key] = value
+        return value
+
+    def would_bound_prune(self, mapping: Mapping) -> bool:
+        """Whether :meth:`evaluate` would reject ``mapping`` (canonical)
+        on its static bound right now.  Used by the batch layer to skip
+        prefetching doomed candidates; monotone over a search, since the
+        incumbent only improves."""
+        if self.bounds is None or self.config.metric is not None:
+            return False
+        best = self.best_performance
+        if not math.isfinite(best):
+            return False
+        lb_perf = self._bound_perf(mapping)
+        return lb_perf is not None and lb_perf >= best
+
+    def settle_pruned(self, top_n: int) -> int:
+        """Measure the pruned candidates that could reach the top-``n``
+        final-candidate stage, so the profiles database ranks finalists
+        exactly as an unpruned run would.
+
+        A pruned candidate is skipped only when its bound already
+        exceeds the current ``top_n``-th best recorded mean: its true
+        mean is then provably worse, so it could not be a finalist in
+        the unpruned run either.  Settled candidates get the exact
+        offset-0 samples :meth:`_evaluate` would have drawn; search
+        accounting (evaluated/failed counters, clocks, trace, best) is
+        deliberately untouched — settling happens after the search.
+        """
+        settled = 0
+        if not self._bound_ledger:
+            return settled
+        ranked = self.profiles.best(top_n)
+        threshold = (
+            ranked[-1].mean if len(ranked) >= top_n else math.inf
+        )
+        for key, mapping in list(self._bound_ledger.items()):
+            if self.profiles.lookup(mapping) is not None:
+                continue
+            lb_perf = self._bound_perf(mapping)
+            if lb_perf is not None and lb_perf > threshold:
+                continue
+            if self.feasibility is not None:
+                oom = self.feasibility.oom_reason(mapping)
+                if oom is not None:
+                    self.profiles.record(
+                        mapping, [], failed=True, reason=oom, static_oom=True
+                    )
+                    self._settled_keys.add(key)
+                    self._bound_settled.inc()
+                    settled += 1
+                    continue
+            try:
+                result = self.simulator.run(mapping)
+            except OOMError as exc:
+                self.profiles.record(
+                    mapping, [], failed=True, reason=str(exc)
+                )
+            else:
+                samples = self._measure(
+                    mapping, result.report, result.makespan, 0
+                )
+                self.profiles.record(
+                    mapping, samples, makespan=result.makespan
+                )
+            self._settled_keys.add(key)
+            self._bound_settled.inc()
+            settled += 1
+        return settled
 
     # ------------------------------------------------------------------
     def kind_runtimes(self, mapping: Mapping) -> Dict[str, float]:

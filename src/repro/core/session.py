@@ -56,14 +56,21 @@ class AutoMapSession:
         space=None,
         workers: int = 1,
         static_prune: bool = True,
+        bound_prune: bool = True,
         checkpoint_every: int = 0,
         resume: bool = False,
         worker_timeout: Optional[float] = None,
         trace: bool = False,
+        metrics_out: Optional[Union[str, Path]] = None,
     ) -> None:
         self.graph = graph
         self.machine = machine
         self.workdir = Path(workdir) if workdir is not None else None
+        #: Optional path for a Prometheus text-format dump of the tuning
+        #: run's metrics registry (written after :meth:`tune`).
+        self.metrics_out = (
+            Path(metrics_out) if metrics_out is not None else None
+        )
 
         # Observability: with a working directory, per-round search
         # telemetry streams to ``<workdir>/telemetry.jsonl``; with
@@ -109,6 +116,7 @@ class AutoMapSession:
             space=space,
             workers=workers,
             static_prune=static_prune,
+            bound_prune=bound_prune,
             checkpoint_path=checkpoint_path,
             checkpoint_every=checkpoint_every,
             resume_checkpoint=resume_checkpoint,
@@ -131,6 +139,14 @@ class AutoMapSession:
         report = self.driver.tune(start=start)
         if self.workdir is not None:
             self._save_artifacts(report)
+        if self.metrics_out is not None and report.metrics is not None:
+            from repro.obs.metrics import to_prometheus_text
+
+            self.metrics_out.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(
+                to_prometheus_text(report.metrics), self.metrics_out
+            )
+            _LOG.info("metrics written to %s", self.metrics_out)
         return report
 
     def _save_artifacts(self, report: TuningReport) -> None:

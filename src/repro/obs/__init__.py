@@ -28,6 +28,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     Stopwatch,
     WallBudget,
+    to_prometheus_text,
 )
 from repro.obs.telemetry import RoundRecord, SearchTelemetry, load_telemetry
 from repro.obs.trace import (
@@ -45,6 +46,7 @@ __all__ = [
     "MetricsRegistry",
     "Stopwatch",
     "WallBudget",
+    "to_prometheus_text",
     "RoundRecord",
     "SearchTelemetry",
     "load_telemetry",

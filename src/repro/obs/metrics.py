@@ -32,6 +32,7 @@ __all__ = [
     "MetricsRegistry",
     "Stopwatch",
     "WallBudget",
+    "to_prometheus_text",
 ]
 
 
@@ -170,6 +171,72 @@ class MetricsRegistry:
                 for name, h in sorted(self._histograms.items())
             },
         }
+
+
+def _prometheus_name(name: str, suffix: str = "") -> str:
+    """A registry name as a Prometheus metric name: dots (our namespace
+    separator) become underscores, invalid characters are dropped."""
+    cleaned = []
+    for ch in name:
+        if ch.isalnum() or ch == "_":
+            cleaned.append(ch)
+        else:
+            cleaned.append("_")
+    text = "".join(cleaned)
+    if text and text[0].isdigit():
+        text = "_" + text
+    return f"automap_{text}{suffix}"
+
+
+def _prometheus_number(value) -> str:
+    if isinstance(value, bool):  # bools are ints; keep 0/1
+        return "1" if value else "0"
+    return repr(float(value))
+
+
+def to_prometheus_text(registry) -> str:
+    """Render a registry snapshot in the Prometheus text exposition
+    format (one ``# TYPE`` header plus sample per metric, sorted by
+    name).  Counters export as ``counter``, gauges as ``gauge``, and
+    histograms as a ``summary``-style quartet: ``_count``, ``_sum``,
+    ``_min``, and ``_max``.  Unset gauges and non-finite values are
+    omitted — Prometheus has no encoding for "never observed".
+
+    Accepts a live :class:`MetricsRegistry` or an :meth:`MetricsRegistry.
+    as_dict` snapshot (the form reports and checkpoints embed).
+    """
+    lines = []
+    snapshot = (
+        registry.as_dict()
+        if isinstance(registry, MetricsRegistry)
+        else registry
+    )
+    for name, value in snapshot["counters"].items():
+        if value is None:
+            continue
+        metric = _prometheus_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prometheus_number(value)}")
+    for name, value in snapshot["gauges"].items():
+        if value is None:
+            continue
+        metric = _prometheus_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prometheus_number(value)}")
+    for name, summary in snapshot["histograms"].items():
+        metric = _prometheus_name(name)
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(
+            f"{metric}_count {_prometheus_number(summary['count'])}"
+        )
+        lines.append(f"{metric}_sum {_prometheus_number(summary['total'])}")
+        for bound in ("min", "max"):
+            value = summary[bound]
+            if value is not None:
+                lines.append(
+                    f"{metric}_{bound} {_prometheus_number(value)}"
+                )
+    return "\n".join(lines) + "\n"
 
 
 # ----------------------------------------------------------------------

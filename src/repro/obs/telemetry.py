@@ -45,6 +45,7 @@ _ORACLE_COUNTERS = (
     "failed_evaluations",
     "canonical_folds",
     "static_oom_pruned",
+    "bound_pruned",
 )
 
 
@@ -78,6 +79,9 @@ class RoundRecord:
     #: Real seconds this round took (observational only — never part of
     #: any simulated quantity).
     wall_seconds: float
+    #: Candidates rejected this round by the static cost-bound pruner
+    #: (defaulted last so pre-bound-pruning artifacts stay loadable).
+    bound_pruned: int = 0
 
     def to_doc(self) -> dict:
         return {
@@ -95,6 +99,7 @@ class RoundRecord:
             "best_performance": self.best_performance,
             "sim_elapsed": self.sim_elapsed,
             "wall_seconds": self.wall_seconds,
+            "bound_pruned": self.bound_pruned,
         }
 
     @staticmethod
@@ -114,6 +119,7 @@ class RoundRecord:
             best_performance=doc["best_performance"],
             sim_elapsed=doc["sim_elapsed"],
             wall_seconds=doc["wall_seconds"],
+            bound_pruned=doc.get("bound_pruned", 0),
         )
 
 
@@ -196,6 +202,9 @@ class SearchTelemetry:
             ),
             sim_elapsed=getattr(oracle, "sim_elapsed", 0.0),
             wall_seconds=max(0.0, self._clock() - before.wall),
+            bound_pruned=(
+                now["bound_pruned"] - before.counters["bound_pruned"]
+            ),
         )
         self.rounds.append(record)
         self._write(record)

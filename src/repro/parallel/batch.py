@@ -222,6 +222,12 @@ class BatchOracle:
                 # The replay proves the OOM statically; a worker
                 # simulation would be discarded anyway.
                 continue
+            if self.oracle.would_bound_prune(mapping):
+                # The replay will prune this candidate from its static
+                # lower bound (the best-so-far only improves between now
+                # and the replay, so the prune decision cannot flip back);
+                # a worker simulation would be discarded anyway.
+                continue
             todo.append(mapping)
         if not todo:
             return 0

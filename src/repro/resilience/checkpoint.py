@@ -118,6 +118,7 @@ class TuningCheckpoint:
     failed_evaluations: int = 0
     canonical_folds: int = 0
     static_oom_pruned: int = 0
+    bound_pruned: int = 0
     sim_elapsed: float = 0.0
     sim_evaluating: float = 0.0
     best_performance: Optional[float] = None
@@ -184,6 +185,7 @@ class TuningCheckpoint:
                 "failed_evaluations": self.failed_evaluations,
                 "canonical_folds": self.canonical_folds,
                 "static_oom_pruned": self.static_oom_pruned,
+                "bound_pruned": self.bound_pruned,
                 "sim_elapsed": self.sim_elapsed,
                 "sim_evaluating": self.sim_evaluating,
             },
@@ -222,6 +224,8 @@ class TuningCheckpoint:
             failed_evaluations=counters["failed_evaluations"],
             canonical_folds=counters["canonical_folds"],
             static_oom_pruned=counters["static_oom_pruned"],
+            # Absent in pre-bound-pruning checkpoints.
+            bound_pruned=counters.get("bound_pruned", 0),
             sim_elapsed=counters["sim_elapsed"],
             sim_evaluating=counters["sim_evaluating"],
             best_performance=best["performance"],
@@ -297,7 +301,14 @@ class CheckpointManager:
         app, machine_name, algorithm_name, seed = self._meta
         runs = oracle.config.runs_per_eval
         entries: List[ReplayEntry] = []
+        settled = getattr(oracle, "settled_keys", frozenset())
         for record in oracle.profiles.all_records():
+            # Records that exist only because post-search settling
+            # measured a bound-pruned candidate must not enter the
+            # ledger: the uninterrupted search never *evaluated* them,
+            # so a resumed search must re-prune them, not replay them.
+            if record.mapping.key() in settled:
+                continue
             # Trim to the as-executed sample count: finalist
             # re-measurement appends extra samples that resume must
             # re-derive through the normal final-report path.
@@ -326,6 +337,7 @@ class CheckpointManager:
             failed_evaluations=oracle.failed_evaluations,
             canonical_folds=oracle.canonical_folds,
             static_oom_pruned=oracle.static_oom_pruned,
+            bound_pruned=getattr(oracle, "bound_pruned", 0),
             sim_elapsed=oracle.sim_elapsed,
             sim_evaluating=oracle.sim_evaluating,
             best_performance=oracle.best_performance,

@@ -61,3 +61,22 @@ class NoiseModel:
     def samples(self, base: float, context: Hashable, count: int) -> list:
         """``count`` independent noisy measurements of ``base``."""
         return [self.sample(base, context, i) for i in range(count)]
+
+    def mean_factor(self, context: Hashable, count: int) -> float:
+        """Mean multiplicative factor over run slots ``0..count-1``.
+
+        ``mean(samples(base, context, count)) == base * mean_factor``
+        up to float rounding: the bound-pruning layer uses this to turn
+        a makespan lower bound into a lower bound on the *measured*
+        mean performance of a candidate without drawing base-dependent
+        samples.  Draws the exact per-index factors :meth:`sample` uses.
+        """
+        if self.sigma == 0.0 or count <= 0:
+            return 1.0
+        total = 0.0
+        for run_index in range(count):
+            stream = RngStream(self.seed).fork(
+                "noise", repr(context), str(run_index)
+            )
+            total += stream.lognormal(self._mu, self.sigma)
+        return total / count

@@ -137,6 +137,26 @@ class Simulator:
         )
 
     # ------------------------------------------------------------------
+    def spill_plan(self, mapping: Mapping) -> Mapping:
+        """The mapping that :meth:`run` would actually execute.
+
+        With spill enabled this applies the planner's demotions (no
+        execution); otherwise it checks capacity (raising
+        :class:`OOMError` like :meth:`run` would, but without touching
+        the ``oom_attempts`` counter — this is a static query, not an
+        attempted execution) and returns the mapping unchanged.  The
+        bound-pruning layer prices *this* mapping, since the simulated
+        makespan belongs to it.
+        """
+        cached = self._cache.get(mapping.key())
+        if cached is not None:
+            return cached.executed_mapping
+        if self.config.spill:
+            return self._planner.apply_spill(mapping)
+        self._planner.ensure_fits(mapping)
+        return mapping
+
+    # ------------------------------------------------------------------
     # Deterministic-result cache plumbing (used by repro.parallel to
     # absorb results computed in worker processes).
     # ------------------------------------------------------------------

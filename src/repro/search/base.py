@@ -121,6 +121,15 @@ class SearchAlgorithm(abc.ABC):
     #: below are no-ops, so an untelemetered search pays nothing.
     telemetry = None
 
+    #: Whether bound-based pruning preserves this algorithm's trajectory
+    #: byte-for-byte.  True only for algorithms that *compare* outcome
+    #: performances against an incumbent and accept strict improvements
+    #: (CD/CCD, random search); algorithms that *consume* the numeric
+    #: values (e.g. the ensemble's bandit rewards) would behave
+    #: differently under a pruned outcome, so the driver leaves pruning
+    #: off for them.
+    supports_bound_pruning: bool = False
+
     @property
     def cursor(self) -> dict:
         """The algorithm's last-reported position in its own search

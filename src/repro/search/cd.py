@@ -36,6 +36,12 @@ class CoordinateDescent(SearchAlgorithm):
 
     name = "cd"
 
+    # The walk only compares ``outcome.performance`` against its
+    # incumbent and accepts strict improvements, and the incumbent
+    # always equals the oracle's best-so-far — so a sound lower bound
+    # ``>=`` the incumbent rejects exactly like a real measurement.
+    supports_bound_pruning = True
+
     # ------------------------------------------------------------------
     def search(
         self,

@@ -33,6 +33,11 @@ class RandomSearch(SearchAlgorithm):
 
     name = "random"
 
+    # Outcomes are only compared against the best-so-far (strict ``<``,
+    # in evaluation order), so a sound lower bound ``>=`` the incumbent
+    # rejects exactly like the real measurement would.
+    supports_bound_pruning = True
+
     def __init__(self, max_draws: Optional[int] = None) -> None:
         self.max_draws = max_draws
 

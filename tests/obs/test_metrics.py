@@ -171,3 +171,52 @@ class TestSupervisorStats:
         doc = registry.as_dict()
         assert doc["counters"]["supervisor.worker_errors"] == 3
         assert doc["gauges"]["supervisor.serial_fallback"] is None
+
+
+class TestPrometheusExport:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("oracle.suggested").inc(53)
+        registry.counter("oracle.bound_pruned").inc(25)
+        registry.gauge("oracle.best_performance").set(0.0015)
+        registry.gauge("never.set")
+        hist = registry.histogram("oracle.makespans")
+        hist.observe(1.0)
+        hist.observe(3.0)
+        return registry
+
+    def test_counters_gauges_histograms(self):
+        from repro.obs.metrics import to_prometheus_text
+
+        text = to_prometheus_text(self._registry())
+        assert "# TYPE automap_oracle_suggested counter" in text
+        assert "automap_oracle_suggested 53.0" in text
+        assert "automap_oracle_bound_pruned 25.0" in text
+        assert "# TYPE automap_oracle_best_performance gauge" in text
+        assert "automap_oracle_best_performance 0.0015" in text
+        assert "# TYPE automap_oracle_makespans summary" in text
+        assert "automap_oracle_makespans_count 2.0" in text
+        assert "automap_oracle_makespans_sum 4.0" in text
+        assert "automap_oracle_makespans_min 1.0" in text
+        assert "automap_oracle_makespans_max 3.0" in text
+        # Unset gauges have no Prometheus encoding.
+        assert "never_set" not in text
+        assert text.endswith("\n")
+
+    def test_accepts_snapshot_dict(self):
+        from repro.obs.metrics import to_prometheus_text
+
+        registry = self._registry()
+        assert to_prometheus_text(registry.as_dict()) == (
+            to_prometheus_text(registry)
+        )
+
+    def test_names_are_prometheus_safe(self):
+        from repro.obs.metrics import to_prometheus_text
+
+        registry = MetricsRegistry()
+        registry.counter("4weird name-with/chars").inc()
+        text = to_prometheus_text(registry)
+        for line in text.splitlines():
+            metric = line.split()[2 if line.startswith("#") else 0]
+            assert metric.replace("_", "a").isalnum(), line

@@ -200,3 +200,59 @@ class TestDriverWiring:
             ]
 
         assert stripped(run("serial", 1)) == stripped(run("workers", 2))
+
+
+class TestBoundPruneTelemetry:
+    def test_bound_pruned_delta(self):
+        oracle = FakeOracle()
+        oracle.bound_pruned = 3
+        telemetry = SearchTelemetry(clock=FakeClock())
+        telemetry.begin_round(oracle)
+        oracle.suggested += 5
+        oracle.bound_pruned += 4
+        telemetry.end_round(oracle, "cd", "kind=left")
+        (record,) = telemetry.rounds
+        assert record.bound_pruned == 4
+
+    def test_bound_pruned_round_trips(self):
+        record = RoundRecord(
+            round=0,
+            algorithm="cd",
+            label="kind=left",
+            proposed=5,
+            evaluated=1,
+            invalid=0,
+            failed=0,
+            folded=0,
+            pruned=0,
+            total_suggested=5,
+            total_evaluated=1,
+            best_performance=0.5,
+            sim_elapsed=1.0,
+            wall_seconds=0.1,
+            bound_pruned=4,
+        )
+        assert RoundRecord.from_doc(record.to_doc()) == record
+
+    def test_pre_bound_prune_docs_load(self):
+        """telemetry.jsonl written before the bound-pruning layer has
+        no bound_pruned key; loading must default it to zero."""
+        record = RoundRecord(
+            round=0,
+            algorithm="cd",
+            label="kind=left",
+            proposed=5,
+            evaluated=1,
+            invalid=0,
+            failed=0,
+            folded=0,
+            pruned=0,
+            total_suggested=5,
+            total_evaluated=1,
+            best_performance=0.5,
+            sim_elapsed=1.0,
+            wall_seconds=0.1,
+        )
+        doc = record.to_doc()
+        del doc["bound_pruned"]
+        assert RoundRecord.from_doc(doc).bound_pruned == 0

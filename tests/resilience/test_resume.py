@@ -183,6 +183,37 @@ class TestKillThenResume:
         assert_reports_identical(baseline, parallel)
 
 
+class TestBoundPruneResume:
+    """Bound pruning (on by default above) composes with kill/resume:
+    pruned candidates are never ledgered, so a resumed run re-derives
+    every prune decision statically and lands on the same counts."""
+
+    def test_prunes_fire_and_survive_resume(self, tmp_path):
+        baseline, resumed = kill_and_resume("stencil", "ccd", tmp_path)
+        assert baseline.bound_pruned > 0
+        assert baseline.bound_pruned == resumed.bound_pruned
+        assert baseline.bound_settled == resumed.bound_settled
+
+    def test_checkpoint_roundtrips_prune_counter(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        crashing = make_driver(
+            "stencil",
+            "ccd",
+            checkpoint_path=path,
+            checkpoint_every=5,
+            observers=[KillAfter(12)],
+        )
+        with pytest.raises(KeyboardInterrupt):
+            crashing.tune()
+        killed_at = load_checkpoint(path)
+        assert killed_at.bound_pruned >= 0
+        # The flushed ledger only holds really-evaluated candidates;
+        # replay therefore re-prunes instead of replaying prunes.
+        assert len(killed_at.entries) == (
+            killed_at.evaluated + killed_at.failed_evaluations
+        )
+
+
 class TestResumeGuards:
     def test_mismatched_checkpoint_rejected(self, tmp_path):
         from repro.resilience import CheckpointMismatch

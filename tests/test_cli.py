@@ -119,3 +119,102 @@ class TestCommands:
         bad.write_text('{"foo": 1}')
         with pytest.raises(SystemExit):
             main(["trace", str(bad)])
+
+
+class TestAnalyzeCommand:
+    def test_list_rules_grouped_by_pass(self, capsys):
+        assert main(["analyze", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        # One section per analysis pass, in rule-id order.
+        headers = [
+            line for line in out.splitlines() if line.startswith("-- ")
+        ]
+        assert headers == [
+            "-- mapping validity (AM0xx)",
+            "-- memory feasibility (AM1xx)",
+            "-- canonicalization (AM2xx)",
+            "-- graph sanitizer (AM3xx)",
+            "-- cost bounds (AM4xx)",
+        ]
+        from repro.analysis import RULES
+
+        for rule_id, rule in RULES.items():
+            assert rule_id in out
+            assert rule.doc in out
+
+    def test_analyze_with_bounds(self, capsys):
+        code = main(
+            [
+                "analyze",
+                "--app",
+                "stencil",
+                "--input",
+                "200x200",
+                "--bounds",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        # The default stencil mapping leaves shepard's CPUs idle.
+        assert "AM403" in out
+
+    def test_analyze_bounds_on_mapping_file(self, capsys, tmp_path):
+        from repro.apps import make_app
+        from repro.machine import shepard
+        from repro.mapping.io import save_mapping
+
+        machine = shepard(1)
+        app = make_app("stencil", nx=200, ny=200)
+        space = app.space(machine)
+        mapping = space.default_mapping()
+        path = tmp_path / "m.json"
+        save_mapping(mapping, path, application=app.graph(machine).name)
+        code = main(
+            [
+                "analyze",
+                "--app",
+                "stencil",
+                "--input",
+                "200x200",
+                "--bounds",
+                "--mapping",
+                str(path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert str(path) in out
+
+
+class TestTuneBoundPruneFlags:
+    def _tune(self, tmp_path, *extra):
+        return main(
+            [
+                "tune",
+                "--app",
+                "stencil",
+                "--input",
+                "200x200",
+                "--max-suggestions",
+                "150",
+                "--workdir",
+                str(tmp_path / "w"),
+                *extra,
+            ]
+        )
+
+    def test_metrics_out_writes_prometheus_text(self, capsys, tmp_path):
+        metrics = tmp_path / "metrics.prom"
+        assert self._tune(tmp_path, "--metrics-out", str(metrics)) == 0
+        text = metrics.read_text()
+        assert "# TYPE automap_oracle_suggested counter" in text
+        assert "automap_oracle_bound_pruned" in text
+
+    def test_no_bound_prune_disables_pruning(self, capsys, tmp_path):
+        metrics = tmp_path / "metrics.prom"
+        code = self._tune(
+            tmp_path, "--no-bound-prune", "--metrics-out", str(metrics)
+        )
+        assert code == 0
+        text = metrics.read_text()
+        assert "automap_oracle_bound_pruned 0.0" in text
