@@ -1,16 +1,31 @@
 """CI benchmark smoke run — one short tune per application.
 
-Runs a small CCD search for every bundled application on one Shepard
-node, traces the winning mapping, and writes ``BENCH_smoke.json`` with
-the makespan, the oracle-call counts, and the compute/copy/idle time
-breakdown per app.  With ``--baseline`` the run is additionally gated:
-any app whose best makespan regresses more than ``--tolerance`` (default
-10%) against the committed baseline fails the run.
+Runs a small CCD search for every bundled application, traces the
+winning mapping, and writes ``BENCH_smoke.json`` (format
+``bench-smoke-v2``) with the makespan, the oracle-call counts, the
+compute/copy/idle breakdown, the search throughput (candidates/second)
+and the incremental engine's effectiveness counters per app.  For the
+speedup apps (circuit, stencil) the tune is additionally repeated with
+incremental simulation disabled: the two runs must agree byte-for-byte
+on the best mapping / mean / stddev / finalists, and the incremental
+path must be at least ``SPEEDUP_FLOOR`` times faster.
 
-The searches are fully deterministic (fixed seeds, simulated clock, no
-wall time in any compared quantity), so in practice the gate only fires
-on a real behaviour change — the tolerance absorbs intentional cost-
-model adjustments that are small enough not to matter.
+With ``--baseline`` the run is gated two ways:
+
+* any app whose best makespan regresses more than ``--tolerance``
+  (default 10%) against the committed baseline fails the run (the
+  makespan is simulated-clock, so this gate is deterministic);
+* any app whose search throughput drops more than
+  ``--throughput-tolerance`` (default 10%) below the baseline fails the
+  run.  Throughput is compared *normalized*: each app's
+  candidates/second is divided by the geometric mean over the apps
+  common to both runs, so a uniformly faster or slower runner cancels
+  out and the gate fires only on per-app regressions.  The run keeps
+  the best of ``--reps`` repetitions to damp scheduler noise; raw
+  candidates/second is recorded alongside for human inspection.
+
+A baseline in the old ``bench-smoke-v1`` format skips the throughput
+gate with a note — regenerate to enable it.
 
 Usage::
 
@@ -27,6 +42,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro.apps import make_app
@@ -34,42 +50,118 @@ from repro.core import AutoMapDriver, OracleConfig
 from repro.machine import shepard
 from repro.runtime import SimConfig
 
-#: Small inputs per application, sized so each search finishes in a few
-#: seconds (mirrors tests/test_smoke.py).
-SMOKE_INPUTS = {
-    "circuit": {"nodes": 200, "wires": 800},
-    "stencil": {"nx": 200, "ny": 200},
-    "pennant": {"zx": 64, "zy": 36},
-    "htr": {"x": 8, "y": 8, "z": 9},
-    "maestro": {"lf_count": 4, "lf_res": 16},
+#: Per-application smoke configuration: input sizes, machine node count
+#: and suggestion budget.  The speedup apps run on a larger machine with
+#: more main-loop iterations — that is the regime where re-simulation
+#: dominates tuning time and the incremental engine's advantage is
+#: measured (gated at SPEEDUP_FLOOR).
+SMOKE_CONFIGS = {
+    "circuit": {
+        "inputs": {"nodes": 200, "wires": 800, "iterations": 4},
+        "nodes": 16,
+        "max_suggestions": 300,
+    },
+    "stencil": {
+        "inputs": {"nx": 200, "ny": 200, "iterations": 6},
+        "nodes": 16,
+        "max_suggestions": 300,
+    },
+    "pennant": {
+        "inputs": {"zx": 64, "zy": 36},
+        "nodes": 1,
+        "max_suggestions": 150,
+    },
+    "htr": {
+        "inputs": {"x": 8, "y": 8, "z": 9},
+        "nodes": 1,
+        "max_suggestions": 150,
+    },
+    "maestro": {
+        "inputs": {"lf_count": 4, "lf_res": 16},
+        "nodes": 1,
+        "max_suggestions": 150,
+    },
 }
 
+#: Apps whose incremental-vs-full speedup is asserted every run.
+SPEEDUP_APPS = ("circuit", "stencil")
+
+#: Minimum incremental-vs-full throughput ratio for the speedup apps.
+SPEEDUP_FLOOR = 3.0
+
 SEED = 7
-MAX_SUGGESTIONS = 150
+FORMAT = "bench-smoke-v2"
 
 
-def run_app(app_name: str) -> dict:
-    """One short tune; returns the app's BENCH_smoke entry."""
-    machine = shepard(1)
-    app = make_app(app_name, **SMOKE_INPUTS[app_name])
+def _tune(app_name: str, incremental: bool):
+    """One short tune; returns (report, wall_seconds, stats)."""
+    config = SMOKE_CONFIGS[app_name]
+    machine = shepard(config["nodes"])
+    app = make_app(app_name, **config["inputs"])
     driver = AutoMapDriver(
         app.graph(machine),
         machine,
         algorithm="ccd",
-        oracle_config=OracleConfig(max_suggestions=MAX_SUGGESTIONS),
-        sim_config=SimConfig(noise_sigma=0.04, seed=SEED, spill=True),
+        oracle_config=OracleConfig(
+            max_suggestions=config["max_suggestions"]
+        ),
+        sim_config=SimConfig(
+            noise_sigma=0.04,
+            seed=SEED,
+            spill=True,
+            incremental=incremental,
+        ),
         space=app.space(machine),
         seed=SEED,
         trace=True,
     )
+    started = time.perf_counter()
     report = driver.tune()
+    wall = time.perf_counter() - started
+    return report, wall, driver.simulator.incremental_stats
+
+
+def _tune_best_of(app_name: str, incremental: bool, reps: int):
+    """Repeat the tune, keep the fastest wall time (results are
+    deterministic, only the clock varies)."""
+    best = None
+    for _ in range(max(1, reps)):
+        report, wall, stats = _tune(app_name, incremental)
+        if best is None or wall < best[1]:
+            best = (report, wall, stats)
+    return best
+
+
+def _report_fingerprint(report):
+    """Everything the identity assertion compares, floats exact."""
+    return (
+        report.best_mapping.key(),
+        report.best_mean.hex(),
+        report.best_stddev.hex(),
+        tuple(
+            (mapping.key(), mean.hex(), stddev.hex(), count)
+            for mapping, mean, stddev, count in report.finalists
+        ),
+        report.suggested,
+        report.simulations,
+    )
+
+
+def run_app(app_name: str, reps: int) -> dict:
+    """One smoke entry; for speedup apps also the full-mode rerun with
+    the identity and speedup assertions."""
+    report, wall, stats = _tune_best_of(app_name, True, reps)
     assert report.breakdown is not None
-    return {
+    suggested = report.suggested
+    entry = {
         "application": report.application,
         "machine": report.machine_name,
         "algorithm": report.algorithm,
         "best_mean": report.best_mean,
         "best_makespan": report.breakdown["makespan"],
+        "wall_seconds": wall,
+        "candidates_per_second": suggested / wall if wall > 0 else 0.0,
+        "incremental": stats.as_dict(),
         "oracle_calls": {
             "suggested": report.suggested,
             "evaluated": report.evaluated,
@@ -89,18 +181,81 @@ def run_app(app_name: str) -> dict:
             "active_processors": report.breakdown["active_processors"],
         },
     }
+    if app_name in SPEEDUP_APPS:
+        full_report, full_wall, _ = _tune_best_of(app_name, False, reps)
+        if _report_fingerprint(report) != _report_fingerprint(full_report):
+            raise AssertionError(
+                f"{app_name}: incremental and full tuning disagree — "
+                "identity contract broken"
+            )
+        speedup = full_wall / wall if wall > 0 else 0.0
+        entry["identity"] = {
+            "full_wall_seconds": full_wall,
+            "speedup": speedup,
+            "identical": True,
+        }
+        if speedup < SPEEDUP_FLOOR:
+            raise AssertionError(
+                f"{app_name}: incremental speedup {speedup:.2f}x below "
+                f"the {SPEEDUP_FLOOR:.1f}x floor "
+                f"(incremental {wall:.2f}s vs full {full_wall:.2f}s)"
+            )
+    return entry
+
+
+def _geomean(values) -> float:
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values)) if values else 0.0
 
 
 def check_regressions(
-    results: dict, baseline: dict, tolerance: float
+    results: dict,
+    baseline: dict,
+    tolerance: float,
+    throughput_tolerance: float,
 ) -> list:
-    """Makespan-regression failures of ``results`` vs ``baseline``.
+    """Gate failures of ``results`` vs ``baseline``.
 
     Only the apps actually run are gated (``--apps`` subsets compare a
     subset); an app without a baseline entry is skipped — it gets one
-    the next time the baseline is regenerated.
+    the next time the baseline is regenerated.  Baselines in the v1
+    format carry no throughput data, so only the makespan gate runs.
     """
     failures = []
+    v1_baseline = baseline.get("format") != FORMAT
+    if v1_baseline:
+        print(
+            "note: baseline predates bench-smoke-v2; throughput gate "
+            "skipped — regenerate the baseline to enable it"
+        )
+
+    # Normalizers over the apps present in both runs: dividing each
+    # app's rate by its run's geometric mean cancels absolute machine
+    # speed, leaving only per-app shifts for the gate.
+    common = [
+        name
+        for name, current in results["apps"].items()
+        if not v1_baseline
+        and current.get("candidates_per_second", 0.0) > 0
+        and baseline["apps"]
+        .get(name, {})
+        .get("candidates_per_second", 0.0)
+        > 0
+    ]
+    now_norm = _geomean(
+        [results["apps"][n]["candidates_per_second"] for n in common]
+    )
+    base_norm = _geomean(
+        [baseline["apps"][n]["candidates_per_second"] for n in common]
+    )
+    if common and len(common) < 2:
+        print(
+            "note: only one app in common with the baseline; "
+            "normalized throughput gate is vacuous for a single app"
+        )
+
     for app_name, current in sorted(results["apps"].items()):
         entry = baseline["apps"].get(app_name)
         if entry is None:
@@ -113,6 +268,19 @@ def check_regressions(
                 f"{app_name}: best mean {now:.6g} s regressed "
                 f"{now / base - 1.0:.1%} over baseline {base:.6g} s "
                 f"(tolerance {tolerance:.0%})"
+            )
+        if app_name not in common or now_norm <= 0 or base_norm <= 0:
+            continue
+        now_rel = current["candidates_per_second"] / now_norm
+        base_rel = entry["candidates_per_second"] / base_norm
+        if now_rel < base_rel * (1.0 - throughput_tolerance):
+            failures.append(
+                f"{app_name}: normalized throughput {now_rel:.2f} "
+                f"dropped {1.0 - now_rel / base_rel:.1%} below baseline "
+                f"{base_rel:.2f} (raw "
+                f"{current['candidates_per_second']:.1f} vs "
+                f"{entry['candidates_per_second']:.1f} cand/s, "
+                f"tolerance {throughput_tolerance:.0%})"
             )
     return failures
 
@@ -136,31 +304,51 @@ def main(argv=None) -> int:
         help="allowed fractional makespan regression (default: 0.10)",
     )
     parser.add_argument(
+        "--throughput-tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional candidates/second drop (default: 0.10)",
+    )
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=3,
+        help="timing repetitions per configuration; the fastest is kept "
+        "(default: 3)",
+    )
+    parser.add_argument(
         "--apps",
         nargs="*",
-        default=sorted(SMOKE_INPUTS),
-        choices=sorted(SMOKE_INPUTS),
+        default=sorted(SMOKE_CONFIGS),
+        choices=sorted(SMOKE_CONFIGS),
         help="subset of applications to run",
     )
     args = parser.parse_args(argv)
 
     results = {
-        "format": "bench-smoke-v1",
+        "format": FORMAT,
         "seed": SEED,
-        "max_suggestions": MAX_SUGGESTIONS,
+        "speedup_floor": SPEEDUP_FLOOR,
         "apps": {},
     }
     for app_name in args.apps:
-        entry = run_app(app_name)
+        entry = run_app(app_name, args.reps)
         results["apps"][app_name] = entry
+        identity = entry.get("identity")
+        speedup_note = (
+            f", {identity['speedup']:.2f}x vs full (identical)"
+            if identity
+            else ""
+        )
         print(
             f"{app_name}: best {entry['best_mean']:.6g} s, "
             f"{entry['oracle_calls']['suggested']} suggested / "
             f"{entry['oracle_calls']['evaluated']} evaluated / "
             f"{entry['oracle_calls']['bound_pruned']} bound-pruned, "
-            f"{entry['breakdown']['compute_fraction']:.0%} compute / "
-            f"{entry['breakdown']['copy_fraction']:.0%} copy / "
-            f"{entry['breakdown']['idle_fraction']:.0%} idle"
+            f"{entry['candidates_per_second']:.1f} cand/s, "
+            f"replay {entry['incremental']['replay_fraction']:.0%} / "
+            f"cost-hit {entry['incremental']['cost_hit_rate']:.0%}"
+            f"{speedup_note}"
         )
 
     output = Path(args.output)
@@ -174,14 +362,17 @@ def main(argv=None) -> int:
             print(f"FAIL: baseline {baseline_path} not found")
             return 1
         baseline = json.loads(baseline_path.read_text())
-        failures = check_regressions(results, baseline, args.tolerance)
+        failures = check_regressions(
+            results, baseline, args.tolerance, args.throughput_tolerance
+        )
         if failures:
             for failure in failures:
                 print(f"FAIL: {failure}")
             return 1
         print(
-            f"no makespan regressions vs {baseline_path} "
-            f"(tolerance {args.tolerance:.0%})"
+            f"no regressions vs {baseline_path} (makespan tolerance "
+            f"{args.tolerance:.0%}, throughput tolerance "
+            f"{args.throughput_tolerance:.0%})"
         )
     return 0
 

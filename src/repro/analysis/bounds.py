@@ -42,11 +42,12 @@ Soundness is deliberately conservative where the runtime is subtle:
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.diagnostics import Diagnostic, Span
-from repro.machine.kinds import MemKind, ProcKind
+from repro.machine.kinds import ADDRESSABLE, MemKind, ProcKind
 from repro.machine.model import Machine
 from repro.mapping.decision import MappingDecision
 from repro.mapping.mapping import Mapping
@@ -55,7 +56,12 @@ from repro.runtime.placement import Placer
 from repro.taskgraph.graph import TaskGraph
 from repro.taskgraph.task import TaskLaunch
 
-__all__ = ["BoundBreakdown", "StaticBoundAnalyzer", "FLOAT_SAFETY"]
+__all__ = [
+    "BoundBreakdown",
+    "StaticBoundAnalyzer",
+    "FLOAT_SAFETY",
+    "bound_guided_mapping",
+]
 
 #: Relative deflation applied to bound components whose derivation
 #: aggregates across resources instead of replaying one executor float
@@ -109,20 +115,27 @@ class _FlowMap:
     read order — under-counting those copies keeps this mirror sound
     (every transfer it reports, the executor performs, from the same
     source to the same destination).
+
+    The segment list is kept sorted by ``lo`` and non-overlapping, so
+    every operation locates its range by bisection instead of scanning.
     """
 
-    __slots__ = ("_segments",)
+    __slots__ = ("_segments", "_los")
 
     def __init__(self) -> None:
         self._segments: List[_FlowSegment] = []
+        #: Parallel list of segment ``lo`` offsets for bisection.
+        self._los: List[int] = []
 
     def _split_at(self, pos: int) -> None:
-        for i, seg in enumerate(self._segments):
+        i = bisect_right(self._los, pos) - 1
+        if i >= 0:
+            seg = self._segments[i]
             if seg.lo < pos < seg.hi:
-                left = _FlowSegment(seg.lo, pos, seg.mem, set(seg.caches))
                 right = _FlowSegment(pos, seg.hi, seg.mem, set(seg.caches))
-                self._segments[i : i + 1] = [left, right]
-                return
+                seg.hi = pos
+                self._segments.insert(i + 1, right)
+                self._los.insert(i + 1, pos)
 
     def write(self, lo: int, hi: int, mem: str) -> None:
         """Authority for ``[lo, hi)`` moves to ``mem``; replicas die."""
@@ -130,10 +143,14 @@ class _FlowMap:
             return
         self._split_at(lo)
         self._split_at(hi)
-        kept = [s for s in self._segments if s.hi <= lo or s.lo >= hi]
-        kept.append(_FlowSegment(lo, hi, mem, set()))
-        kept.sort(key=lambda s: s.lo)
-        self._segments = kept
+        # After splitting, every overlapping segment is contained.
+        i = bisect_left(self._los, lo)
+        j = i
+        n = len(self._segments)
+        while j < n and self._segments[j].lo < hi:
+            j += 1
+        self._segments[i:j] = [_FlowSegment(lo, hi, mem, set())]
+        self._los[i:j] = [lo]
 
     def read(self, lo: int, hi: int, dst: str) -> List[Tuple[str, int]]:
         """Transfers ``(src_mem, nbytes)`` required to read ``[lo, hi)``
@@ -143,14 +160,50 @@ class _FlowMap:
         self._split_at(lo)
         self._split_at(hi)
         out: List[Tuple[str, int]] = []
-        for seg in self._segments:
-            if seg.lo >= hi or seg.hi <= lo:
-                continue
+        i = bisect_left(self._los, lo)
+        n = len(self._segments)
+        while i < n:
+            seg = self._segments[i]
+            if seg.lo >= hi:
+                break
             # After splitting, every overlapping segment is contained.
             if seg.mem != dst and dst not in seg.caches:
                 out.append((seg.mem, seg.hi - seg.lo))
                 seg.caches.add(dst)
+            i += 1
         return out
+
+    def clone(self) -> "_FlowMap":
+        copy = _FlowMap.__new__(_FlowMap)
+        copy._segments = [
+            _FlowSegment(s.lo, s.hi, s.mem, set(s.caches))
+            for s in self._segments
+        ]
+        copy._los = list(self._los)
+        return copy
+
+
+class _CommState:
+    """Accumulated flow-walk state: per-root flow maps plus the integer
+    traffic tallies.  Everything here is exact integer bookkeeping, so
+    any prefix/suffix recomposition of the walk reproduces the same
+    final state bit-for-bit."""
+
+    __slots__ = ("flows", "ingress", "egress", "edge_bytes")
+
+    def __init__(self) -> None:
+        self.flows: Dict[str, _FlowMap] = {}
+        self.ingress: Dict[str, int] = {}
+        self.egress: Dict[str, int] = {}
+        self.edge_bytes: Dict[Tuple[str, str, str], int] = {}
+
+    def clone(self) -> "_CommState":
+        copy = _CommState.__new__(_CommState)
+        copy.flows = {root: fm.clone() for root, fm in self.flows.items()}
+        copy.ingress = dict(self.ingress)
+        copy.egress = dict(self.egress)
+        copy.edge_bytes = dict(self.edge_bytes)
+        return copy
 
 
 class StaticBoundAnalyzer:
@@ -210,6 +263,20 @@ class StaticBoundAnalyzer:
         self._placement_cache: Dict[Tuple, Tuple[Tuple[str, ...], ...]] = {}
         self._interval_cache: Dict[Tuple, Tuple[Tuple[int, int], ...]] = {}
         self._breakdown_cache: Dict[Tuple, BoundBreakdown] = {}
+        self._quick_cache: Dict[Tuple, float] = {}
+        self._flow_ops_cache: Dict[Tuple, Optional[Tuple]] = {}
+
+        # Incremental flow-walk state: along a search chain consecutive
+        # bound requests differ in few kinds, so the walk replays the
+        # unchanged prefix from a snapshot (same scheme as the runtime's
+        # incremental engine; sound here because the walk state is pure
+        # integer bookkeeping, so recomposition is exact).
+        self._comm_first: Dict[str, int] = {}
+        for index, launch in enumerate(self._order):
+            self._comm_first.setdefault(launch.kind.name, index)
+        self._comm_boundaries = set(self._comm_first.values())
+        self._comm_base: Optional[Dict[str, Tuple]] = None
+        self._comm_snapshots: Dict[int, _CommState] = {}
 
         #: How many bounds were requested / served from the cache.
         self.checks = 0
@@ -445,24 +512,25 @@ class StaticBoundAnalyzer:
         load = max(busy.values(), default=0.0)
         return cp, load
 
-    def _comm_component(
-        self, mapping: Mapping
-    ) -> Tuple[float, Optional[str], Optional[Tuple[str, str]], int]:
-        """Per-memory mandatory traffic priced at aggregate channel DMA
-        bandwidth; returns ``(bound, memory, edge, edge_bytes)``."""
-        flows: Dict[str, _FlowMap] = {}
-        ingress: Dict[str, int] = {}
-        egress: Dict[str, int] = {}
-        edge_bytes: Dict[Tuple[str, str, str], int] = {}
+    def _flow_ops(self, launch: TaskLaunch, decision) -> Optional[Tuple]:
+        """The launch's flow operations under ``decision`` — a pure
+        function of the pair, cached across the search chain.
 
-        for launch in self._order:
-            decision = mapping.decision(launch.kind.name)
-            try:
-                _, point_mems = self._placements(launch, decision)
-            except ValueError:  # invalid decision — no placement, no flow
-                continue
-            # Reads first: union per (root, destination memory), so each
-            # byte is charged once per destination, like commit_cache.
+        Returns ``(reads, writes)`` where ``reads`` is a tuple of
+        ``((root, dst_mem), coalesced intervals)`` in first-encounter
+        (point, slot) order and ``writes`` a tuple of ``(root, lo, hi,
+        mem)`` in (point, slot) order — exactly the operations the
+        uncached walk replayed per launch — or ``None`` for an invalid
+        decision (no placement, no flow)."""
+        key = (launch.uid, decision.key())
+        if key in self._flow_ops_cache:
+            return self._flow_ops_cache[key]
+        ops: Optional[Tuple]
+        try:
+            _, point_mems = self._placements(launch, decision)
+        except ValueError:
+            ops = None
+        else:
             reads: Dict[Tuple[str, str], List[Tuple[int, int]]] = {}
             for slot_index, slot in enumerate(launch.kind.slots):
                 if not slot.privilege.reads:
@@ -474,11 +542,121 @@ class StaticBoundAnalyzer:
                     if hi > lo:
                         dst = point_mems[point][slot_index]
                         reads.setdefault((root, dst), []).append((lo, hi))
-            for (root, dst), intervals in reads.items():
+            write_slots = [
+                (i, launch.args[i].root, self._shard_intervals(launch, i, True))
+                for i, slot in enumerate(launch.kind.slots)
+                if slot.privilege.writes
+            ]
+            writes = []
+            for point in range(launch.size):
+                for slot_index, root, intervals in write_slots:
+                    lo, hi = intervals[point]
+                    if hi > lo:
+                        writes.append(
+                            (root, lo, hi, point_mems[point][slot_index])
+                        )
+            ops = (
+                tuple(
+                    (rd, tuple(_coalesce(intervals)))
+                    for rd, intervals in reads.items()
+                ),
+                tuple(self._coalesce_writes(writes)),
+            )
+        self._flow_ops_cache[key] = ops
+        return ops
+
+    @staticmethod
+    def _coalesce_writes(
+        writes: List[Tuple[str, int, int, str]]
+    ) -> List[Tuple[str, int, int, str]]:
+        """Union a launch's write ops per ``(root, mem)``.
+
+        The flow map tracks untimed authority and integer byte totals,
+        so when no byte of a root is written to two different memories
+        within one launch (the disjoint-shard case), applying the
+        per-``(root, mem)`` unions leaves the final flow state — and
+        every later tally — unchanged while the op count drops from one
+        per point to one per contiguous run.  Order-dependent overlaps
+        fall back to the exact per-point sequence."""
+        grouped: Dict[Tuple[str, str], List[Tuple[int, int]]] = {}
+        order: List[Tuple[str, str]] = []
+        for root, lo, hi, mem in writes:
+            key = (root, mem)
+            if key not in grouped:
+                grouped[key] = []
+                order.append(key)
+            grouped[key].append((lo, hi))
+        merged = {key: _coalesce(pieces) for key, pieces in grouped.items()}
+        by_root: Dict[str, List[Tuple[int, int]]] = {}
+        for (root, _), pieces in merged.items():
+            by_root.setdefault(root, []).extend(pieces)
+        for pieces in by_root.values():
+            union = _coalesce(pieces)
+            if sum(h - l for l, h in union) != sum(h - l for l, h in pieces):
+                return writes  # cross-memory overlap: order matters
+        return [
+            (root, lo, hi, mem)
+            for root, mem in order
+            for lo, hi in merged[(root, mem)]
+        ]
+
+    def _comm_component(
+        self, mapping: Mapping
+    ) -> Tuple[float, Optional[str], Optional[Tuple[str, str]], int]:
+        """Per-memory mandatory traffic priced at aggregate channel DMA
+        bandwidth; returns ``(bound, memory, edge, edge_bytes)``."""
+        order = self._order
+        if self._comm_base is None:
+            dirty = 0
+        else:
+            dirty = len(order)
+            for kind_name, first in self._comm_first.items():
+                if first >= dirty:
+                    continue
+                if (
+                    mapping.decision(kind_name).key()
+                    != self._comm_base[kind_name]
+                ):
+                    dirty = first
+        start = 0
+        base_snapshot = None
+        for index, snapshot in self._comm_snapshots.items():
+            if start <= index <= dirty:
+                start = index
+                base_snapshot = snapshot
+        if base_snapshot is not None:
+            state = base_snapshot.clone()
+        else:
+            state = _CommState()
+            start = 0
+        self._comm_snapshots = {
+            index: snapshot
+            for index, snapshot in self._comm_snapshots.items()
+            if index <= dirty
+        }
+        snapshots = self._comm_snapshots
+        boundaries = self._comm_boundaries
+        flows = state.flows
+        ingress = state.ingress
+        egress = state.egress
+        edge_bytes = state.edge_bytes
+
+        for launch_index in range(start, len(order)):
+            if launch_index in boundaries and launch_index not in snapshots:
+                snapshots[launch_index] = state.clone()
+            launch = order[launch_index]
+            decision = mapping.decision(launch.kind.name)
+            ops = self._flow_ops(launch, decision)
+            if ops is None:  # invalid decision — no placement, no flow
+                continue
+            read_ops, write_ops = ops
+            # Reads first: union per (root, destination memory), so each
+            # byte is charged once per destination, like commit_cache.
+            for (root, dst), intervals in read_ops:
                 flow = flows.get(root)
                 if flow is None:
                     flow = flows[root] = _FlowMap()
-                for lo, hi in _coalesce(intervals):
+                for lo, hi in intervals:
                     for src, nbytes in flow.read(lo, hi, dst):
                         ingress[dst] = ingress.get(dst, 0) + nbytes
                         egress[src] = egress.get(src, 0) + nbytes
@@ -488,19 +666,21 @@ class StaticBoundAnalyzer:
                                 edge_bytes.get(edge, 0) + nbytes
                             )
             # Writes commit after the whole group, in (point, slot) order.
-            write_slots = [
-                (i, launch.args[i].root, self._shard_intervals(launch, i, True))
-                for i, slot in enumerate(launch.kind.slots)
-                if slot.privilege.writes
-            ]
-            for point in range(launch.size):
-                for slot_index, root, intervals in write_slots:
-                    lo, hi = intervals[point]
-                    if hi > lo:
-                        flow = flows.get(root)
-                        if flow is None:
-                            flow = flows[root] = _FlowMap()
-                        flow.write(lo, hi, point_mems[point][slot_index])
+            for root, lo, hi, mem in write_ops:
+                flow = flows.get(root)
+                if flow is None:
+                    flow = flows[root] = _FlowMap()
+                flow.write(lo, hi, mem)
+
+        end = len(order)
+        if end not in snapshots:
+            # Stored by reference: the walk is over and future walks
+            # clone before mutating.
+            snapshots[end] = state
+        self._comm_base = {
+            kind_name: mapping.decision(kind_name).key()
+            for kind_name in self._comm_first
+        }
 
         bound = 0.0
         worst_mem: Optional[str] = None
@@ -538,14 +718,7 @@ class StaticBoundAnalyzer:
         if cached is not None:
             self.cache_hits += 1
             return cached
-        partial = any(
-            name not in mapping for name in self._kind_names
-        ) or any(
-            mapping.decision(name).num_slots
-            != self.graph.kind(name).num_slots
-            for name in self._kind_names
-            if name in mapping
-        )
+        partial = self._is_partial(mapping)
         cp, load = self._chain_components(mapping, partial)
         if partial:
             result = BoundBreakdown(
@@ -564,9 +737,38 @@ class StaticBoundAnalyzer:
         self._breakdown_cache[key] = result
         return result
 
+    def _is_partial(self, mapping: Mapping) -> bool:
+        return any(
+            name not in mapping for name in self._kind_names
+        ) or any(
+            mapping.decision(name).num_slots
+            != self.graph.kind(name).num_slots
+            for name in self._kind_names
+            if name in mapping
+        )
+
     def lower_bound(self, mapping: Mapping) -> float:
         """Sound lower bound on ``Simulator.run(mapping).makespan``."""
         return self.breakdown(mapping).total
+
+    def quick_bound(self, mapping: Mapping) -> float:
+        """Cheap sound lower bound: critical path and load only, no
+        traffic component.
+
+        Weaker than :meth:`lower_bound` but skips the flow-map walk
+        that dominates the full breakdown, so it is the right price for
+        *ordering* decisions — seeding and best-bound-first move
+        ranking — where only the relative ranking matters and a sound
+        but loose value cannot change correctness.
+        """
+        key = mapping.key()
+        cached = self._quick_cache.get(key)
+        if cached is None:
+            partial = self._is_partial(mapping)
+            cp, load = self._chain_components(mapping, partial)
+            cached = cp if partial else max(cp, load)
+            self._quick_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     def diagnose_mapping(
@@ -631,6 +833,61 @@ class StaticBoundAnalyzer:
                     )
                 )
         return found
+
+
+def _legalize_kind(space, mapping: Mapping, kind_name: str) -> Mapping:
+    """Reset slots the decision's processor kind cannot address to the
+    fastest addressable kind (mirrors the search's legalisation)."""
+    decision = mapping.decision(kind_name)
+    fastest = space.dims(kind_name).mem_options[decision.proc_kind][0]
+    for slot_index, mem_kind in enumerate(decision.mem_kinds):
+        if (decision.proc_kind, mem_kind) not in ADDRESSABLE:
+            mapping = mapping.with_mem(kind_name, slot_index, fastest)
+    return mapping
+
+
+def bound_guided_mapping(space, analyzer: StaticBoundAnalyzer) -> Mapping:
+    """A statically bound-guided starting mapping for the search.
+
+    Greedy coordinate descent on the *quick lower bound* instead of the
+    simulator: starting from the space's default mapping, each kind (in
+    sorted name order, for determinism) tries its distribution options
+    and processor×slot×memory options and keeps strict bound
+    improvements.  The resulting seed tends to start the real search
+    near a good incumbent, which tightens branch-and-bound pruning from
+    the first round — at the cost of analyzer calls only, no
+    simulations.
+    """
+    mapping = space.default_mapping()
+    best = analyzer.quick_bound(mapping)
+    for kind_name in sorted(space.kind_names()):
+        for distribute in space.searched_distribute_options(kind_name):
+            candidate = mapping.with_distribute(kind_name, distribute)
+            bound = analyzer.quick_bound(candidate)
+            if bound < best:
+                mapping, best = candidate, bound
+        dims = space.dims(kind_name)
+        num_slots = mapping.decision(kind_name).num_slots
+        for proc_kind in dims.proc_options:
+            for slot_index in range(num_slots):
+                for mem_kind in space.searched_mem_options(
+                    kind_name, proc_kind, slot_index
+                ):
+                    candidate = mapping.with_proc(kind_name, proc_kind)
+                    candidate = candidate.with_mem(
+                        kind_name, slot_index, mem_kind
+                    )
+                    candidate = _legalize_kind(space, candidate, kind_name)
+                    bound = analyzer.quick_bound(candidate)
+                    if bound < best:
+                        mapping, best = candidate, bound
+    from repro.mapping.validate import MappingError, validate
+
+    try:
+        validate(space.graph, analyzer.machine, mapping)
+    except MappingError:  # pragma: no cover - defensive fallback
+        return space.default_mapping()
+    return mapping
 
 
 def _coalesce(intervals: List[Tuple[int, int]]) -> List[Tuple[int, int]]:

@@ -154,6 +154,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail (instead of demoting) mappings that exceed capacity",
     )
     tune.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="disable incremental re-simulation (prefix replay, "
+        "per-launch cost memoisation, spill/noise/validation caches); "
+        "reports, traces and checkpoints are byte-identical either "
+        "way — this is the slow reference path the CI identity gate "
+        "compares against",
+    )
+    tune.add_argument(
         "--no-static-prune",
         action="store_true",
         help="disable the static analysis layer (memory feasibility "
@@ -238,6 +247,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="COLUMNS",
         help="timeline width of the Gantt chart (default: 72)",
     )
+    trace.add_argument(
+        "--diff",
+        default=None,
+        metavar="OTHER",
+        help="compare against a second trace.json span-by-span instead "
+        "of rendering; exits 1 when the traces differ (the "
+        "incremental-identity CI gate uses this)",
+    )
 
     sub.add_parser("machines", help="list bundled machine models")
     return parser
@@ -264,7 +281,10 @@ def _cmd_tune(args) -> int:
         workdir=workdir,
         oracle_config=OracleConfig(max_suggestions=args.max_suggestions),
         sim_config=SimConfig(
-            noise_sigma=0.04, seed=args.seed, spill=not args.no_spill
+            noise_sigma=0.04,
+            seed=args.seed,
+            spill=not args.no_spill,
+            incremental=not args.no_incremental,
         ),
         space=app.space(machine),
         workers=args.workers,
@@ -368,13 +388,21 @@ def _print_rule_registry() -> None:
 
 
 def _cmd_trace(args) -> int:
-    from repro.obs.trace import load_trace
+    from repro.obs.trace import diff_traces, load_trace
     from repro.viz import render_gantt
 
     try:
         recorder = load_trace(args.path)
     except (OSError, ValueError) as exc:
         raise SystemExit(f"repro trace: {exc}")
+    if args.diff is not None:
+        try:
+            other = load_trace(args.diff)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"repro trace: {exc}")
+        diff = diff_traces(recorder, other)
+        print(diff.render())
+        return 0 if diff.identical else 1
     print(render_gantt(recorder, width=args.width))
     breakdown = recorder.breakdown()
     print()

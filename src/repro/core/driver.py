@@ -187,6 +187,7 @@ class AutoMapDriver:
         workers: int = 1,
         static_prune: bool = True,
         bound_prune: bool = True,
+        bound_order: bool = True,
         checkpoint_path: Optional[Union[str, Path]] = None,
         checkpoint_every: int = 0,
         resume_checkpoint: Optional[TuningCheckpoint] = None,
@@ -286,6 +287,24 @@ class AutoMapDriver:
 
             self.bounds = StaticBoundAnalyzer(graph, machine)
 
+        # Best-bound-first ordering: CD-family algorithms visit each
+        # coordinate's move-set in ascending static-lower-bound order
+        # and start from a bound-guided seed, so the incumbent tightens
+        # early and (when pruning is also on) more of the tail is
+        # skipped.  Unlike pruning, ordering changes only the visit
+        # order — the strict-improvement accept rule is untouched — so
+        # it is safe under any metric or budget and gated only on the
+        # algorithm family.
+        self.bound_order = bound_order
+        self.order_bounds = None
+        if bound_order and isinstance(self.algorithm, CoordinateDescent):
+            if self.bounds is not None:
+                self.order_bounds = self.bounds
+            else:
+                from repro.analysis.bounds import StaticBoundAnalyzer
+
+                self.order_bounds = StaticBoundAnalyzer(graph, machine)
+
     # ------------------------------------------------------------------
     def tune(self, start: Optional[Mapping] = None) -> TuningReport:
         """Run the full search + final re-evaluation protocol.
@@ -352,8 +371,14 @@ class AutoMapDriver:
                 resume=self.resume_checkpoint is not None,
             )
         )
+        if self.order_bounds is not None and start is None:
+            from repro.analysis.bounds import bound_guided_mapping
+
+            start = bound_guided_mapping(self.space, self.order_bounds)
         try:
             self.algorithm.telemetry = self.telemetry
+            if self.order_bounds is not None:
+                self.algorithm.bound_analyzer = self.order_bounds
             result = self.algorithm.search(
                 self.space, oracle, rng, start=start
             )
@@ -387,6 +412,8 @@ class AutoMapDriver:
             raise
         finally:
             self.algorithm.telemetry = None
+            if self.order_bounds is not None:
+                self.algorithm.bound_analyzer = None
             if self.telemetry is not None:
                 self.telemetry.close()
             oracle.close()

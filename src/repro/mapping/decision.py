@@ -69,12 +69,20 @@ class MappingDecision:
         )
 
     def key(self) -> Tuple:
-        """A canonical hashable key (used for mapping deduplication)."""
-        return (
-            self.distribute,
-            self.proc_kind.value,
-            tuple(m.value for m in self.mem_kinds),
-        )
+        """A canonical hashable key (used for mapping deduplication).
+
+        Cached on first use — decisions are immutable, and the search
+        loop, the bound analyzer, and the memoised runtime layers all
+        key their caches on it for every candidate."""
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            cached = (
+                self.distribute,
+                self.proc_kind.value,
+                tuple(m.value for m in self.mem_kinds),
+            )
+            object.__setattr__(self, "_key", cached)
+        return cached
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         dist = "dist" if self.distribute else "leader"

@@ -31,6 +31,8 @@ __all__ = [
     "CAT_COPY",
     "TraceSpan",
     "TraceRecorder",
+    "TraceDiff",
+    "diff_traces",
     "load_trace",
     "validate_chrome_trace",
 ]
@@ -281,6 +283,79 @@ class TraceRecorder:
     def save(self, path: Union[str, Path]) -> None:
         """Write the Chrome trace-event JSON atomically."""
         dump_json(self.to_chrome_doc(), path)
+
+
+# ----------------------------------------------------------------------
+# Comparison
+# ----------------------------------------------------------------------
+@dataclass
+class TraceDiff:
+    """Result of comparing two traces span-by-span."""
+
+    identical: bool
+    #: Human-readable difference lines, first mismatches first.
+    lines: List[str] = field(default_factory=list)
+    #: Span-level mismatches found (may exceed ``len(lines)`` when the
+    #: report was truncated).
+    mismatches: int = 0
+
+    def render(self) -> str:
+        if self.identical:
+            return "traces are identical"
+        header = f"traces differ ({self.mismatches} mismatch(es))"
+        return "\n".join([header] + self.lines)
+
+
+def _span_fields(span: TraceSpan) -> dict:
+    return {
+        "name": span.name,
+        "category": span.category,
+        "resource": span.resource,
+        "start": span.start,
+        "duration": span.duration,
+        "args": span.args,
+    }
+
+
+def diff_traces(
+    a: TraceRecorder, b: TraceRecorder, limit: int = 20
+) -> TraceDiff:
+    """Compare two traces exactly — the incremental-identity gate.
+
+    Spans are compared in recording order (the executor is
+    deterministic, so equivalent executions produce the same order),
+    field by field, floats included: any numeric deviation counts as a
+    mismatch.  At most ``limit`` differences are rendered; the full
+    count is always reported.
+    """
+    lines: List[str] = []
+    mismatches = 0
+
+    def note(line: str) -> None:
+        nonlocal mismatches
+        mismatches += 1
+        if len(lines) < limit:
+            lines.append(line)
+
+    if a.makespan != b.makespan:
+        note(f"makespan: {a.makespan!r} != {b.makespan!r}")
+    if len(a.spans) != len(b.spans):
+        note(f"span count: {len(a.spans)} != {len(b.spans)}")
+    for index, (span_a, span_b) in enumerate(zip(a.spans, b.spans)):
+        fields_a = _span_fields(span_a)
+        fields_b = _span_fields(span_b)
+        if fields_a == fields_b:
+            continue
+        for key in fields_a:
+            if fields_a[key] != fields_b[key]:
+                note(
+                    f"span {index} ({span_a.name!r} on "
+                    f"{span_a.resource}): {key} "
+                    f"{fields_a[key]!r} != {fields_b[key]!r}"
+                )
+    return TraceDiff(
+        identical=mismatches == 0, lines=lines, mismatches=mismatches
+    )
 
 
 # ----------------------------------------------------------------------

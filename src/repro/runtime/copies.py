@@ -43,6 +43,14 @@ class CopyStats:
         self.bytes_moved += nbytes
         self.copy_seconds += duration
 
+    def clone(self) -> "CopyStats":
+        """An independent copy (incremental-simulation snapshots)."""
+        return CopyStats(
+            num_copies=self.num_copies,
+            bytes_moved=self.bytes_moved,
+            copy_seconds=self.copy_seconds,
+        )
+
 
 class CopyEngine:
     """Schedules copies on channel timelines."""
@@ -52,10 +60,13 @@ class CopyEngine:
         topology: Topology,
         channels: TimelinePool,
         recorder: Optional["TraceRecorder"] = None,
+        stats: Optional[CopyStats] = None,
     ) -> None:
         self._topology = topology
         self._channels = channels
-        self.stats = CopyStats()
+        # ``stats`` lets the incremental engine resume accumulation from
+        # a snapshot instead of starting a fresh tally.
+        self.stats = stats if stats is not None else CopyStats()
         #: Optional span recorder (observational only; ``None`` = off).
         self.recorder = recorder
 

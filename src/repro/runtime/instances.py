@@ -17,6 +17,7 @@ collections.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -67,23 +68,42 @@ class Segment:
 
 class SegmentMap:
     """Disjoint, sorted segments covering the written/read parts of one
-    root index space."""
+    root index space.
+
+    Segments are kept sorted by ``lo`` with a parallel offset list, so
+    every operation locates its range by bisection instead of scanning
+    the whole map."""
 
     def __init__(self) -> None:
         self._segments: List[Segment] = []
+        self._los: List[int] = []
 
     # ------------------------------------------------------------------
     def _split_at(self, pos: int) -> None:
         """Ensure no segment straddles ``pos``."""
-        for i, seg in enumerate(self._segments):
+        i = bisect_right(self._los, pos) - 1
+        if i >= 0:
+            seg = self._segments[i]
             if seg.lo < pos < seg.hi:
                 left = seg.clone_range(seg.lo, pos)
                 right = seg.clone_range(pos, seg.hi)
                 self._segments[i : i + 1] = [left, right]
-                return
+                self._los.insert(i + 1, pos)
 
     def _overlapping(self, lo: int, hi: int) -> List[Segment]:
-        return [s for s in self._segments if s.lo < hi and s.hi > lo]
+        i = bisect_left(self._los, lo)
+        if i > 0 and self._segments[i - 1].hi > lo:
+            i -= 1
+        out: List[Segment] = []
+        n = len(self._segments)
+        while i < n:
+            seg = self._segments[i]
+            if seg.lo >= hi:
+                break
+            if seg.hi > lo:
+                out.append(seg)
+            i += 1
+        return out
 
     # ------------------------------------------------------------------
     def write(self, lo: int, hi: int, mem: str, time: float) -> None:
@@ -94,10 +114,17 @@ class SegmentMap:
             return
         self._split_at(lo)
         self._split_at(hi)
-        kept = [s for s in self._segments if s.hi <= lo or s.lo >= hi]
-        kept.append(Segment(lo=lo, hi=hi, auth_mem=mem, auth_time=time))
-        kept.sort(key=lambda s: s.lo)
-        self._segments = kept
+        # After splitting, every segment is either disjoint from
+        # ``[lo, hi)`` or contained in it.
+        i = bisect_left(self._los, lo)
+        j = i
+        n = len(self._segments)
+        while j < n and self._segments[j].lo < hi:
+            j += 1
+        self._segments[i:j] = [
+            Segment(lo=lo, hi=hi, auth_mem=mem, auth_time=time)
+        ]
+        self._los[i:j] = [lo]
 
     def plan_read(
         self, lo: int, hi: int, dst_mem: str
@@ -168,6 +195,16 @@ class SegmentMap:
     def num_segments(self) -> int:
         return len(self._segments)
 
+    def clone(self) -> "SegmentMap":
+        """An independent deep copy preserving segment order and each
+        segment's cache-dict insertion order (incremental snapshots)."""
+        copy = SegmentMap()
+        copy._segments = [
+            seg.clone_range(seg.lo, seg.hi) for seg in self._segments
+        ]
+        copy._los = list(self._los)
+        return copy
+
 
 class CoherenceState:
     """Coherence over all root index spaces of a task graph."""
@@ -189,3 +226,12 @@ class CoherenceState:
             for mem, size in seg_map.footprint().items():
                 out[mem] = out.get(mem, 0) + size
         return out
+
+    def clone(self) -> "CoherenceState":
+        """An independent deep copy preserving root creation order
+        (incremental snapshots)."""
+        copy = CoherenceState()
+        copy._roots = {
+            name: seg_map.clone() for name, seg_map in self._roots.items()
+        }
+        return copy

@@ -110,12 +110,138 @@ class _FootprintAccumulator:
 
 
 class MemoryPlanner:
-    """Static capacity analysis of a mapping on a machine."""
+    """Static capacity analysis of a mapping on a machine.
 
-    def __init__(self, graph: TaskGraph, machine: Machine) -> None:
+    With ``memoize=True`` the per-launch shard lists — pure functions of
+    ``(launch, decision)`` — are cached, so repeated capacity walks over
+    a search chain skip the placement and interval arithmetic.  The walk
+    itself (accumulator operations, demotion order, error messages) is
+    unchanged, so memoised and unmemoised planners produce identical
+    results byte-for-byte.
+    """
+
+    def __init__(
+        self, graph: TaskGraph, machine: Machine, memoize: bool = False
+    ) -> None:
         self.graph = graph
         self.machine = machine
         self._placer = Placer(machine)
+        self._shard_cache: Optional[Dict[tuple, tuple]] = (
+            {} if memoize else None
+        )
+        if memoize:
+            #: Kind names in task-kind declaration order, launches only.
+            self._launched_kinds = [
+                kind.name
+                for kind in graph.task_kinds
+                if graph.launches_of_kind(kind.name)
+            ]
+            #: (kind, decision.key()) -> {(mem_uid, root): IntervalSet}
+            self._contrib_cache: Dict[tuple, dict] = {}
+            #: (mem_uid, root, contributors) -> union size in bytes
+            self._union_cache: Dict[tuple, int] = {}
+        else:
+            self._launched_kinds = []
+            self._contrib_cache = {}
+            self._union_cache = {}
+        #: Decision-independent per-point read shard intervals,
+        #: (launch.uid, slot) -> ((lo, hi), ...).
+        self._interval_cache: Dict[tuple, tuple] = {}
+
+    def _read_intervals(self, launch, slot_index: int) -> tuple:
+        key = (launch.uid, slot_index)
+        cached = self._interval_cache.get(key)
+        if cached is None:
+            cached = tuple(
+                launch.shard_interval(slot_index, point, for_write=False)
+                for point in range(launch.size)
+            )
+            self._interval_cache[key] = cached
+        return cached
+
+    def _shards(self, launch, decision) -> tuple:
+        """Non-empty ``(slot_index, mem_uid, root, lo, hi)`` shards of
+        one launch in the program walk's encounter order (placement
+        outer, slot inner)."""
+        if self._shard_cache is not None:
+            key = (launch.uid, decision.key())
+            cached = self._shard_cache.get(key)
+            if cached is not None:
+                return cached
+        entries = []
+        placements = self._placer.place_launch(launch, decision)
+        slot_data = [
+            (launch.args[i].root, self._read_intervals(launch, i))
+            for i in range(len(launch.kind.slots))
+        ]
+        for placement in placements:
+            for slot_index, mem in enumerate(placement.mems):
+                root, intervals = slot_data[slot_index]
+                assert root is not None
+                lo, hi = intervals[placement.point]
+                if hi > lo:
+                    entries.append((slot_index, mem.uid, root, lo, hi))
+        shards = tuple(entries)
+        if self._shard_cache is not None:
+            self._shard_cache[(launch.uid, decision.key())] = shards
+        return shards
+
+    # ------------------------------------------------------------------
+    def _kind_contrib(self, kind_name: str, decision) -> dict:
+        """Merged ``{(mem_uid, root): disjoint (lo, hi) intervals}``
+        footprint contribution of every launch of ``kind_name`` under
+        ``decision`` — a pure function of the pair, so it is cached."""
+        key = (kind_name, decision.key())
+        cached = self._contrib_cache.get(key)
+        if cached is not None:
+            return cached
+        buckets: Dict[Tuple[str, str], list] = {}
+        for launch in self.graph.launches_of_kind(kind_name):
+            for _slot, mem_uid, root, lo, hi in self._shards(launch, decision):
+                buckets.setdefault((mem_uid, root), []).append((lo, hi))
+        contrib = {
+            slot_key: tuple(IntervalSet(pieces))
+            for slot_key, pieces in buckets.items()
+        }
+        self._contrib_cache[key] = contrib
+        return contrib
+
+    def _fast_fits(self, mapping: Mapping) -> bool:
+        """Whether the mapping's exact steady-state footprint fits every
+        memory, computed from cached per-kind contributions.
+
+        The final per-(memory, root) footprint is the union of the
+        per-kind contributions, which is order-independent, so these
+        totals equal the ones the program-order walk in :meth:`check`
+        produces.  Unions are cached by their contributor set: along a
+        search chain most kinds keep their decision, so only groups
+        touched by the changed kind are re-merged.
+        """
+        groups: Dict[Tuple[str, str], list] = {}
+        contribs: Dict[tuple, dict] = {}
+        for kind_name in self._launched_kinds:
+            decision = mapping.decision(kind_name)
+            member = (kind_name, decision.key())
+            contrib = self._kind_contrib(kind_name, decision)
+            contribs[member] = contrib
+            for slot_key in contrib:
+                groups.setdefault(slot_key, []).append(member)
+        totals: Dict[str, int] = {}
+        for slot_key, members in groups.items():
+            mem_uid, _root = slot_key
+            union_key = (slot_key, tuple(members))
+            size = self._union_cache.get(union_key)
+            if size is None:
+                pieces: list = []
+                for member in members:
+                    pieces.extend(contribs[member][slot_key])
+                size = IntervalSet(pieces).total
+                self._union_cache[union_key] = size
+            totals[mem_uid] = totals.get(mem_uid, 0) + size
+        for mem_uid, total in totals.items():
+            if total > self.machine.memory(mem_uid).capacity:
+                return False
+        return True
 
     # ------------------------------------------------------------------
     def check(self, mapping: Mapping) -> MemoryDemand:
@@ -123,16 +249,8 @@ class MemoryPlanner:
         acc = _FootprintAccumulator(self.machine)
         for launch in self.graph.launches:
             decision = mapping.decision(launch.kind.name)
-            placements = self._placer.place_launch(launch, decision)
-            for placement in placements:
-                for slot_index, mem in enumerate(placement.mems):
-                    lo, hi = launch.shard_interval(
-                        slot_index, placement.point, for_write=False
-                    )
-                    root = launch.args[slot_index].root
-                    assert root is not None
-                    if hi > lo:
-                        acc.add(mem.uid, root, lo, hi)
+            for _slot, mem_uid, root, lo, hi in self._shards(launch, decision):
+                acc.add(mem_uid, root, lo, hi)
         demand = MemoryDemand(per_memory=acc.totals())
         for uid, total in demand.per_memory.items():
             capacity = self.machine.memory(uid).capacity
@@ -142,6 +260,10 @@ class MemoryPlanner:
 
     def ensure_fits(self, mapping: Mapping) -> None:
         """Raise :class:`OOMError` if the mapping overflows any memory."""
+        if self._shard_cache is not None and self._fast_fits(mapping):
+            return
+        # Overflow (or no memoisation): take the exact walk so the OOM
+        # message is byte-identical to the unmemoised planner's.
         demand = self.check(mapping)
         if not demand.ok:
             raise OOMError(demand.oom_message())
@@ -156,6 +278,12 @@ class MemoryPlanner:
         launches of a kind share one decision — to the next addressable
         memory kind.  Raises :class:`OOMError` when no kind fits.
         """
+        if self._shard_cache is not None and self._fast_fits(mapping):
+            # Footprint accumulation is monotone, so if the final
+            # per-memory unions fit, every prefix ``would_fit`` check in
+            # the exact walk below passes and the walk returns the
+            # mapping unchanged — skip it.
+            return mapping
         demoted: Dict[Tuple[str, int], MemKind] = {}
         current = mapping
         # Iterate to a fixed point: each pass re-walks program order with
@@ -165,38 +293,29 @@ class MemoryPlanner:
             retry = False
             for launch in self.graph.launches:
                 decision = current.decision(launch.kind.name)
-                placements = self._placer.place_launch(launch, decision)
-                for placement in placements:
-                    for slot_index, mem in enumerate(placement.mems):
-                        lo, hi = launch.shard_interval(
-                            slot_index, placement.point, for_write=False
+                for slot_index, mem_uid, root, lo, hi in self._shards(
+                    launch, decision
+                ):
+                    if acc.would_fit(mem_uid, root, lo, hi):
+                        acc.add(mem_uid, root, lo, hi)
+                        continue
+                    # Demote this slot to the next preference kind.
+                    next_kind = self._next_kind(
+                        decision.proc_kind, decision.mem_kinds[slot_index]
+                    )
+                    if next_kind is None:
+                        raise OOMError(
+                            f"no memory kind can hold "
+                            f"{launch.kind.name}[{slot_index}] "
+                            f"({format_bytes(hi - lo)} shard in "
+                            f"{mem_uid})"
                         )
-                        root = launch.args[slot_index].root
-                        assert root is not None
-                        if hi <= lo:
-                            continue
-                        if acc.would_fit(mem.uid, root, lo, hi):
-                            acc.add(mem.uid, root, lo, hi)
-                            continue
-                        # Demote this slot to the next preference kind.
-                        next_kind = self._next_kind(
-                            decision.proc_kind, decision.mem_kinds[slot_index]
-                        )
-                        if next_kind is None:
-                            raise OOMError(
-                                f"no memory kind can hold "
-                                f"{launch.kind.name}[{slot_index}] "
-                                f"({format_bytes(hi - lo)} shard in "
-                                f"{mem.uid})"
-                            )
-                        demoted[(launch.kind.name, slot_index)] = next_kind
-                        current = current.with_mem(
-                            launch.kind.name, slot_index, next_kind
-                        )
-                        retry = True
-                        break
-                    if retry:
-                        break
+                    demoted[(launch.kind.name, slot_index)] = next_kind
+                    current = current.with_mem(
+                        launch.kind.name, slot_index, next_kind
+                    )
+                    retry = True
+                    break
                 if retry:
                     break
             if not retry:

@@ -16,7 +16,7 @@ repeated benchmarking.
 
 from __future__ import annotations
 
-from typing import Hashable
+from typing import Dict, Hashable, Optional, Tuple
 
 from repro.util.rng import RngStream
 
@@ -34,15 +34,51 @@ class NoiseModel:
         ~95 % of samples within ±8 %.
     seed:
         Root seed for the noise stream.
+    cache:
+        Memoise multiplicative factors per ``(context, run_index)``.
+        Factors are pure functions of ``(seed, repr(context),
+        run_index)`` — a fresh fork per draw — so caching returns the
+        bitwise-identical factor the uncached path would recompute;
+        :meth:`sample` and :meth:`mean_factor` then share one draw per
+        slot instead of re-deriving the stream each time.
     """
 
-    def __init__(self, sigma: float = 0.04, seed: int = 0) -> None:
+    def __init__(
+        self, sigma: float = 0.04, seed: int = 0, cache: bool = False
+    ) -> None:
         if sigma < 0:
             raise ValueError("sigma must be >= 0")
         self.sigma = sigma
         self.seed = seed
         # E[lognormal(mu, sigma)] = exp(mu + sigma^2/2); center the mean.
         self._mu = -0.5 * sigma * sigma
+        self._factors: Optional[Dict[Tuple[str, int], float]] = (
+            {} if cache else None
+        )
+
+    def _factor(self, context: Hashable, run_index: int) -> float:
+        """The multiplicative factor of one run slot.
+
+        Keyed by ``repr(context)`` — the exact string that names the
+        RNG fork, so two contexts draw the same factor iff they would
+        share a stream anyway.  repr(), not hash(): Python randomises
+        str hashing per process (PYTHONHASHSEED), which would make
+        "seeded" measurements differ between runs of the same
+        experiment.
+        """
+        context_repr = repr(context)
+        if self._factors is not None:
+            key = (context_repr, run_index)
+            factor = self._factors.get(key)
+            if factor is not None:
+                return factor
+        stream = RngStream(self.seed).fork(
+            "noise", context_repr, str(run_index)
+        )
+        factor = stream.lognormal(self._mu, self.sigma)
+        if self._factors is not None:
+            self._factors[(context_repr, run_index)] = factor
+        return factor
 
     def sample(self, base: float, context: Hashable, run_index: int) -> float:
         """One noisy measurement of ``base`` seconds."""
@@ -50,13 +86,7 @@ class NoiseModel:
             raise ValueError("base time must be >= 0")
         if self.sigma == 0.0 or base == 0.0:
             return base
-        # repr(), not hash(): Python randomises str hashing per process
-        # (PYTHONHASHSEED), which would make "seeded" measurements differ
-        # between runs of the same experiment.
-        stream = RngStream(self.seed).fork(
-            "noise", repr(context), str(run_index)
-        )
-        return base * stream.lognormal(self._mu, self.sigma)
+        return base * self._factor(context, run_index)
 
     def samples(self, base: float, context: Hashable, count: int) -> list:
         """``count`` independent noisy measurements of ``base``."""
@@ -75,8 +105,5 @@ class NoiseModel:
             return 1.0
         total = 0.0
         for run_index in range(count):
-            stream = RngStream(self.seed).fork(
-                "noise", repr(context), str(run_index)
-            )
-            total += stream.lognormal(self._mu, self.sigma)
+            total += self._factor(context, run_index)
         return total / count

@@ -11,12 +11,13 @@ cost one execution plus cheap noise draws.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.machine.model import Machine
 from repro.mapping.mapping import Mapping
 from repro.mapping.validate import MappingError, validate
 from repro.runtime.executor import ExecutionReport, Executor
+from repro.runtime.incremental import IncrementalEngine, IncrementalStats
 from repro.runtime.memory import MemoryPlanner, OOMError
 from repro.runtime.noise import NoiseModel
 from repro.taskgraph.graph import TaskGraph
@@ -41,11 +42,20 @@ class SimConfig:
         When False, overflow raises :class:`OOMError` — the behaviour
         AutoMap's search relies on in the memory-constrained
         experiments (§5.2).
+    incremental:
+        When True (the default), untraced executions run through the
+        incremental engine (prefix replay + per-launch cost memoisation,
+        see :mod:`repro.runtime.incremental`), spill plans and noise
+        factors are memoised, and repeated validations of one mapping
+        key are deduplicated.  Results are byte-identical to the full
+        path; ``--no-incremental`` turns the whole bundle off, which is
+        what the CI identity gate measures against.
     """
 
     noise_sigma: float = 0.04
     seed: int = 0
     spill: bool = False
+    incremental: bool = True
 
 
 @dataclass
@@ -80,10 +90,30 @@ class Simulator:
         self.graph = graph
         self.machine = machine
         self.config = config or SimConfig()
-        self.noise = NoiseModel(self.config.noise_sigma, self.config.seed)
+        incremental = self.config.incremental
+        self.noise = NoiseModel(
+            self.config.noise_sigma, self.config.seed, cache=incremental
+        )
         self._executor = Executor(graph, machine)
-        self._planner = MemoryPlanner(graph, machine)
+        self._planner = MemoryPlanner(graph, machine, memoize=incremental)
+        self._engine: Optional[IncrementalEngine] = (
+            IncrementalEngine(graph, machine) if incremental else None
+        )
+        #: Incremental-effectiveness counters (all-zero when the engine
+        #: is disabled).  Kept out of the oracle's metrics registry so
+        #: checkpoints stay byte-identical across the two modes.
+        self.incremental_stats: IncrementalStats = (
+            self._engine.stats if self._engine else IncrementalStats()
+        )
         self._cache: Dict[tuple, SimResult] = {}
+        #: Memoised spill resolutions (successful plans only, so the
+        #: OOM-raising paths keep their counter semantics); ``None``
+        #: when incremental caching is off.
+        self._spill_cache: Optional[Dict[tuple, Mapping]] = (
+            {} if incremental else None
+        )
+        #: Mapping keys already validated (validation is pure per key).
+        self._validated: Optional[Set[tuple]] = set() if incremental else None
         #: Deterministic executions performed (cache misses) — used by
         #: search-efficiency statistics.
         self.executions = 0
@@ -104,20 +134,20 @@ class Simulator:
         OOMError
             If instances overflow a memory and spill is disabled.
         """
-        validate(self.graph, self.machine, mapping)
         key = mapping.key()
+        self._validate(mapping, key)
         cached = self._cache.get(key)
         if cached is None:
-            executed = mapping
-            if self.config.spill:
-                executed = self._planner.apply_spill(mapping)
-            else:
-                try:
-                    self._planner.ensure_fits(mapping)
-                except OOMError:
+            try:
+                executed = self._resolve_spill(mapping, key)
+            except OOMError:
+                if not self.config.spill:
                     self.oom_attempts += 1
-                    raise
-            report = self._executor.run(executed)
+                raise
+            if self._engine is not None:
+                report = self._engine.run(executed)
+            else:
+                report = self._executor.run(executed)
             cached = SimResult(
                 makespan=report.makespan,
                 executed_mapping=executed,
@@ -137,6 +167,40 @@ class Simulator:
         )
 
     # ------------------------------------------------------------------
+    def _validate(self, mapping: Mapping, key: tuple) -> None:
+        """Validate ``mapping``, skipping keys already known valid.
+
+        Validation is a pure function of the mapping key, so the dedup
+        cannot change outcomes; invalid mappings raise before the key is
+        recorded and therefore re-raise on every call, like the uncached
+        path.
+        """
+        if self._validated is not None and key in self._validated:
+            return
+        validate(self.graph, self.machine, mapping)
+        if self._validated is not None:
+            self._validated.add(key)
+
+    def _resolve_spill(self, mapping: Mapping, key: tuple) -> Mapping:
+        """The mapping execution would actually run, memoised per key.
+
+        Only successful resolutions are cached: OOM outcomes re-raise on
+        every call, preserving the counter semantics of the callers.
+        """
+        if self._spill_cache is not None:
+            cached = self._spill_cache.get(key)
+            if cached is not None:
+                return cached
+        if self.config.spill:
+            executed = self._planner.apply_spill(mapping)
+        else:
+            self._planner.ensure_fits(mapping)
+            executed = mapping
+        if self._spill_cache is not None:
+            self._spill_cache[key] = executed
+        return executed
+
+    # ------------------------------------------------------------------
     def spill_plan(self, mapping: Mapping) -> Mapping:
         """The mapping that :meth:`run` would actually execute.
 
@@ -148,13 +212,11 @@ class Simulator:
         bound-pruning layer prices *this* mapping, since the simulated
         makespan belongs to it.
         """
-        cached = self._cache.get(mapping.key())
+        key = mapping.key()
+        cached = self._cache.get(key)
         if cached is not None:
             return cached.executed_mapping
-        if self.config.spill:
-            return self._planner.apply_spill(mapping)
-        self._planner.ensure_fits(mapping)
-        return mapping
+        return self._resolve_spill(mapping, key)
 
     # ------------------------------------------------------------------
     # Deterministic-result cache plumbing (used by repro.parallel to
@@ -202,12 +264,9 @@ class Simulator:
         """
         from repro.obs.trace import TraceRecorder
 
-        validate(self.graph, self.machine, mapping)
-        executed = mapping
-        if self.config.spill:
-            executed = self._planner.apply_spill(mapping)
-        else:
-            self._planner.ensure_fits(mapping)
+        key = mapping.key()
+        self._validate(mapping, key)
+        executed = self._resolve_spill(mapping, key)
         recorder = TraceRecorder(label=label)
         report = self._executor.run(executed, recorder=recorder)
         result = SimResult(
@@ -225,3 +284,7 @@ class Simulator:
 
     def clear_cache(self) -> None:
         self._cache.clear()
+        if self._spill_cache is not None:
+            self._spill_cache.clear()
+        if self._validated is not None:
+            self._validated.clear()

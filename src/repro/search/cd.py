@@ -42,6 +42,17 @@ class CoordinateDescent(SearchAlgorithm):
     # ``>=`` the incumbent rejects exactly like a real measurement.
     supports_bound_pruning = True
 
+    #: Optional :class:`repro.analysis.bounds.StaticBoundAnalyzer`.
+    #: When attached (by the driver), each coordinate's move-set is
+    #: visited in ascending lower-bound order instead of enumeration
+    #: order — best-bound-first.  Promising moves are tested first, the
+    #: incumbent drops earlier, and bound pruning rejects more of the
+    #: tail.  The walk still accepts strict improvements only, so any
+    #: visit order yields a valid descent; the order is deterministic
+    #: (stable sort on the float bound, enumeration index as the tie
+    #: break).
+    bound_analyzer = None
+
     # ------------------------------------------------------------------
     def search(
         self,
@@ -203,6 +214,7 @@ class CoordinateDescent(SearchAlgorithm):
         """
         if oracle.exhausted:
             return current, performance
+        moves = self._order_moves(moves, current)
         prefetch = getattr(oracle, "prefetch", None)
         batching = (
             prefetch is not None and getattr(oracle, "batch_size", 1) > 1
@@ -221,6 +233,31 @@ class CoordinateDescent(SearchAlgorithm):
                     [build(current) for build in moves[index + 1 :]]
                 )
         return current, performance
+
+    def _order_moves(
+        self,
+        moves: List[Callable[[Mapping], Mapping]],
+        current: Mapping,
+    ) -> List[Callable[[Mapping], Mapping]]:
+        """Best-bound-first: stable-sort the move-set by the static
+        lower bound of each candidate built from the entry incumbent.
+
+        Computed once per descent (not re-sorted after accepts): the
+        bounds of candidates built from a *better* incumbent would
+        differ, but any fixed order is a correct strict-improvement
+        walk, and one sort keeps the analyzer cost linear in the
+        move-set.  Ranks by the analyzer's *quick* bound (critical path
+        and load, no traffic walk): ordering only needs relative
+        ranking, so the cheap bound buys the same reordering benefit at
+        a fraction of the analyzer time."""
+        if self.bound_analyzer is None or len(moves) <= 1:
+            return moves
+        analyzer = self.bound_analyzer
+        keyed = sorted(
+            (analyzer.quick_bound(build(current)), index, build)
+            for index, build in enumerate(moves)
+        )
+        return [build for _bound, _index, build in keyed]
 
     @staticmethod
     def _legalize_kind(

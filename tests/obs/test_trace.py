@@ -11,6 +11,7 @@ from repro.machine import shepard
 from repro.obs.trace import (
     TRACE_FILENAME,
     TraceRecorder,
+    diff_traces,
     load_trace,
     validate_chrome_trace,
 )
@@ -32,6 +33,59 @@ def default_mapping(sim):
     from repro.mapping.space import SearchSpace
 
     return SearchSpace(sim.graph, sim.machine).default_mapping()
+
+
+class TestTraceDiff:
+    def _recorder(self):
+        recorder = TraceRecorder(label="a")
+        recorder.record_task("k", "p0", 0.0, 2.0, 0, 1.5, 0.25, 0.25)
+        recorder.record_copy("chan:x", "m0", "m1", 0.5, 0.5, 4096)
+        recorder.finalize(2.0)
+        return recorder
+
+    def test_identical_traces(self, mini_machine):
+        sim = make_sim(mini_machine)
+        mapping = default_mapping(sim)
+        first, _ = sim.trace(mapping)
+        second, _ = sim.trace(mapping)
+        diff = diff_traces(first, second)
+        assert diff.identical
+        assert diff.mismatches == 0
+        assert diff.render() == "traces are identical"
+
+    def test_makespan_mismatch(self):
+        a, b = self._recorder(), self._recorder()
+        b.finalize(2.5)
+        diff = diff_traces(a, b)
+        assert not diff.identical
+        assert any("makespan" in line for line in diff.lines)
+
+    def test_span_count_and_field_mismatch(self):
+        a, b = self._recorder(), self._recorder()
+        b.record_task("k", "p0", 2.0, 1.0, 1, 0.5, 0.25, 0.25)
+        diff = diff_traces(a, b)
+        assert not diff.identical
+        assert any("span count" in line for line in diff.lines)
+
+        c = TraceRecorder(label="a")
+        c.record_task("k", "p0", 0.0, 2.0, 0, 1.5, 0.25, 0.25)
+        c.record_copy("chan:x", "m0", "m1", 0.5, 0.5 + 1e-12, 4096)
+        c.finalize(2.0)
+        diff = diff_traces(a, c)
+        assert not diff.identical  # floats compare exactly
+        assert diff.mismatches == 1
+
+    def test_limit_truncates_report_not_count(self):
+        a, b = TraceRecorder(), TraceRecorder()
+        for index in range(30):
+            a.record_task("k", "p0", index, 1.0, index, 1.0, 0.0, 0.0)
+            b.record_task("k", "p0", index, 2.0, index, 2.0, 0.0, 0.0)
+        a.finalize(30.0)
+        b.finalize(31.0)
+        diff = diff_traces(a, b, limit=5)
+        assert len(diff.lines) == 5
+        assert diff.mismatches > 5
+        assert str(diff.mismatches) in diff.render()
 
 
 class TestTraceDeterminism:

@@ -1,0 +1,50 @@
+"""Extended incremental-identity sweep (nightly; ``slow`` marker).
+
+The per-push identity tests (``tests/test_incremental.py``) cover short
+mutation chains; this sweep runs the full matrix the incremental engine
+was validated against — every app on both machine families, spill on
+and off, 40-step chains with random jumps and revisits — comparing
+reports, noise samples and raised errors float-for-float.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import make_app
+from repro.machine import lassen, shepard
+from repro.mapping import SearchSpace
+from repro.runtime import SimConfig, Simulator
+from repro.util.rng import RngStream
+
+from tests.test_incremental import (
+    APP_INPUTS,
+    _chain,
+    _run_both,
+)
+
+pytestmark = pytest.mark.slow
+
+MACHINES = {"shepard": shepard, "lassen": lassen}
+
+
+@pytest.mark.parametrize("spill", [True, False])
+@pytest.mark.parametrize("machine_name", sorted(MACHINES))
+@pytest.mark.parametrize("app_name", sorted(APP_INPUTS))
+def test_long_chain_identity(app_name, machine_name, spill):
+    machine = MACHINES[machine_name](2)
+    app = make_app(app_name, **APP_INPUTS[app_name])
+    graph = app.graph(machine)
+    space = SearchSpace(graph, machine)
+    sim_inc = Simulator(
+        graph, machine, SimConfig(seed=3, spill=spill, incremental=True)
+    )
+    sim_full = Simulator(
+        graph, machine, SimConfig(seed=3, spill=spill, incremental=False)
+    )
+    rng = RngStream(42).fork(app_name, machine_name, str(spill))
+    executed = 0
+    for mapping in _chain(space, rng, length=40):
+        if _run_both(sim_inc, sim_full, mapping):
+            executed += 1
+    assert executed > 0
