@@ -22,6 +22,12 @@ in microseconds.  This package is that pre-simulation pruning layer:
   simulated makespan (critical path, processor load, communication
   volume), powering bound-based search pruning and the AM4xx
   diagnostics;
+* :mod:`~repro.analysis.routing` — the executor's channel-path routes
+  exposed to the analyzer, powering the per-channel congestion bound
+  and the AM501/AM503 diagnostics;
+* :mod:`~repro.analysis.symmetry` — verified machine-kind automorphisms
+  (interchangeable processor/memory kinds), folded by the
+  canonicalizer and reported as AM502;
 * :mod:`~repro.analysis.engine` — the ``repro analyze`` entry point
   combining the passes into one :class:`DiagnosticReport`.
 
@@ -61,6 +67,10 @@ __all__ = [
     "analyze",
     "StaticBoundAnalyzer",
     "BoundBreakdown",
+    "RoutingModel",
+    "routing_model",
+    "MachineSymmetry",
+    "KindRelabeling",
 ]
 
 _LAZY = {
@@ -70,6 +80,10 @@ _LAZY = {
     "analyze": ("repro.analysis.engine", "analyze"),
     "StaticBoundAnalyzer": ("repro.analysis.bounds", "StaticBoundAnalyzer"),
     "BoundBreakdown": ("repro.analysis.bounds", "BoundBreakdown"),
+    "RoutingModel": ("repro.analysis.routing", "RoutingModel"),
+    "routing_model": ("repro.analysis.routing", "routing_model"),
+    "MachineSymmetry": ("repro.analysis.symmetry", "MachineSymmetry"),
+    "KindRelabeling": ("repro.analysis.symmetry", "KindRelabeling"),
 }
 
 

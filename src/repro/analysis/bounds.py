@@ -4,7 +4,7 @@ The paper treats the runtime as a black-box oracle, so every candidate
 mapping costs a full discrete-event simulation (§3.1).  But the machine
 model of §2 is explicit enough to *price* a mapping without simulating
 it: this pass computes a lower bound ``LB(mapping)`` on the simulator's
-makespan from three independently-sound components,
+makespan from four independently-sound components,
 
 * **critical path** — the longest dependence chain, each launch priced
   at its best-case per-point duration on the chosen processor kind
@@ -12,28 +12,54 @@ makespan from three independently-sound components,
   serialisation factor ``ceil(points-per-node / pool-size)``;
 * **load** — for every concrete processor, the total best-case busy
   time of the point tasks round-robin placement provably assigns to it;
-* **communication** — for every concrete memory, the bytes that *must*
-  cross its incident channels given the placement (a write-authority
-  dataflow mirror of the coherence layer), divided by the aggregate
-  DMA bandwidth of those channels.
+* **communication** — the mandatory transfers of a write-authority
+  dataflow mirror of the coherence layer, priced two ways and combined
+  with ``max``: *routed* per-channel congestion (each transfer is routed
+  over the executor's own channel path via
+  :mod:`repro.analysis.routing`, and every channel's bytes are divided
+  by its DMA bandwidth — the executor serialises traffic per channel,
+  so the busiest channel's busy time bounds the makespan) and the older
+  *incident* aggregate (each memory's total traffic divided by the sum
+  of its incident channel bandwidths — which also covers transfers the
+  routing model cannot route);
+* **routed schedule** — a conservative replay of the executor's own
+  list schedule: launches are walked in the executor's topological
+  order, every point task is reserved on its exact processor timeline
+  (the placer mirror names the concrete processor, so durations use the
+  exact link and throughput arithmetic), and every mandatory transfer
+  of the flow mirror is routed hop-by-hop over the executor's channel
+  paths against mirrored per-channel timelines.  The mirror performs a
+  subset of the executor's events (virgin-data copies are missing,
+  coalesced writes can merge copy fragments) in the same processing
+  order with operand-wise smaller inputs, and the executor's timelines
+  never backfill (``start = max(ready, free)``), so each mirrored
+  finish time — and hence the mirrored makespan — is a lower bound on
+  the simulated one.  This is the component that prices *copy stalls*:
+  a consumer whose inputs cross the interconnect cannot start before
+  the routed copies land, which neither the pure chain nor the load
+  component can see.
 
 ``LB = max(components)``, and the soundness contract (see DESIGN.md) is
 that ``LB(mapping) <= Simulator.run(mapping).makespan`` holds *in
 floating point*, not merely in real arithmetic: the critical-path and
 load components replay the executor's own float recurrences with
 term-by-term smaller operands (IEEE rounding is monotone), and the
-communication component — whose aggregation does not mirror a single
-executor float chain — is deflated by ``1 - 1e-9``, orders of magnitude
-more than the worst-case accumulated rounding of the sums involved.
+communication and routed-schedule components — whose aggregation does
+not mirror a single executor float chain everywhere (write coalescing
+can merge two copy fragments into one) — are deflated by ``1 - 1e-9``,
+orders of magnitude more than the worst-case accumulated rounding of
+the sums involved.
 The search uses the bound for branch-and-bound pruning: a candidate
 whose bound already exceeds the incumbent provably cannot win, so the
 oracle can skip its simulation without changing any search decision.
 
 Soundness is deliberately conservative where the runtime is subtle:
 
-* never-written (virgin) data is free everywhere — the executor's
-  first-reader materialisation grants *authority* whose later copies we
-  would have to track order-dependently, so we simply under-count them;
+* virgin (never-written) data is materialised for free in its first
+  reader's memory, exactly like the executor's ``plan_read`` — the
+  resulting copies are order-dependent, which is sound to mirror only
+  because the flow walk replays reads in the executor's own
+  (launch, point, slot) processing order;
 * copy latencies, store-and-forward hops, and through-traffic on a
   memory's channels are ignored (they only add real time);
 * a partial mapping (some kinds undecided) falls back to the critical
@@ -44,11 +70,13 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.diagnostics import Diagnostic, Span
+from repro.analysis.routing import routing_model
 from repro.machine.kinds import ADDRESSABLE, MemKind, ProcKind
 from repro.machine.model import Machine
+from repro.machine.topology import Topology
 from repro.mapping.decision import MappingDecision
 from repro.mapping.mapping import Mapping
 from repro.runtime.copies import DMA_EFFICIENCY
@@ -69,14 +97,31 @@ __all__ = [
 #: latencies, DMA setup); 1e-9 dwarfs any accumulated float rounding.
 FLOAT_SAFETY = 1.0 - 1e-9
 
+#: Share of all routed bytes a single channel must carry before AM501
+#: calls it the interconnect bottleneck of a placement.
+AM501_SHARE = 0.5
+
 
 @dataclass(frozen=True)
 class BoundBreakdown:
-    """The three components of one mapping's lower bound.
+    """The components of one mapping's lower bound.
 
     ``comm_memory``/``comm_edge`` name the heaviest memory boundary and
     its top contributing (consumer kind, collection root) edge — the
     evidence AM402 reports for communication-dominated placements.
+
+    ``communication`` is the max of the routed per-channel congestion
+    bound and the incident-bandwidth bound; ``communication_incident``
+    keeps the incident component alone so the routed-vs-incident gap is
+    observable, and ``comm_channel``/``comm_channel_share`` name the
+    most congested channel and its share of all routed bytes — the
+    evidence AM501 reports for bottleneck interconnects.
+
+    ``schedule`` is the routed schedule-replay bound: the makespan of a
+    conservative mirror of the executor's list schedule (exact
+    processor reservations plus routed, channel-contended copies).  It
+    dominates the chain and load components whenever copy stalls are on
+    the critical path; zero for partial mappings.
     """
 
     critical_path: float
@@ -85,36 +130,60 @@ class BoundBreakdown:
     comm_memory: Optional[str] = None
     comm_edge: Optional[Tuple[str, str]] = None  # (consumer kind, root)
     comm_edge_bytes: int = 0
+    communication_incident: float = 0.0
+    comm_channel: Optional[str] = None
+    comm_channel_share: float = 0.0
+    schedule: float = 0.0
 
     @property
     def total(self) -> float:
         """The combined lower bound: max of the sound components."""
-        return max(self.critical_path, self.load, self.communication)
+        return max(
+            self.critical_path,
+            self.load,
+            self.communication,
+            self.schedule,
+        )
 
 
 class _FlowSegment:
-    """One written byte range of a root: its authoritative memory and
-    the memories holding a still-valid read replica."""
+    """One written byte range of a root: its authoritative memory (with
+    the lower-bound time the write became visible) and the memories
+    holding a still-valid read replica (with their commit times)."""
 
-    __slots__ = ("lo", "hi", "mem", "caches")
+    __slots__ = ("lo", "hi", "mem", "time", "caches")
 
-    def __init__(self, lo: int, hi: int, mem: str, caches: Set[str]) -> None:
+    def __init__(
+        self,
+        lo: int,
+        hi: int,
+        mem: str,
+        time: float,
+        caches: Dict[str, float],
+    ) -> None:
         self.lo = lo
         self.hi = hi
         self.mem = mem
+        self.time = time
         self.caches = caches
 
 
 class _FlowMap:
-    """A write-authority mirror of the coherence layer's segment map.
+    """A mirror of the coherence layer's segment map
+    (:class:`repro.runtime.instances.SegmentMap`).
 
-    Unlike :class:`repro.runtime.instances.SegmentMap`, only explicit
-    task writes create authority; virgin data never does.  The executor
-    materialises virgin data in its first reader's memory and *that*
-    authority can seed later copies, but which memory wins depends on
-    read order — under-counting those copies keeps this mirror sound
-    (every transfer it reports, the executor performs, from the same
-    source to the same destination).
+    Authority is created by explicit task writes *and* by virgin-data
+    materialisation: like ``plan_read``, reading a never-written range
+    grants the first reader's memory free authority over it, and later
+    readers elsewhere must copy from that memory.  Which memory wins is
+    read-order dependent — mirroring it is only sound because the bound
+    walk replays reads in exactly the executor's (launch, point, slot)
+    processing order, so the mirror reproduces the executor's copy set
+    (same sources, same destinations; write coalescing can only merge
+    adjacent fragments, dropping hop latencies).  Times carried on
+    authorities and replicas are lower bounds on the executor's own, so
+    the schedule replay can reuse them as copy floors and
+    local-readiness terms.
 
     The segment list is kept sorted by ``lo`` and non-overlapping, so
     every operation locates its range by bisection instead of scanning.
@@ -132,13 +201,16 @@ class _FlowMap:
         if i >= 0:
             seg = self._segments[i]
             if seg.lo < pos < seg.hi:
-                right = _FlowSegment(pos, seg.hi, seg.mem, set(seg.caches))
+                right = _FlowSegment(
+                    pos, seg.hi, seg.mem, seg.time, dict(seg.caches)
+                )
                 seg.hi = pos
                 self._segments.insert(i + 1, right)
                 self._los.insert(i + 1, pos)
 
-    def write(self, lo: int, hi: int, mem: str) -> None:
-        """Authority for ``[lo, hi)`` moves to ``mem``; replicas die."""
+    def write(self, lo: int, hi: int, mem: str, time: float = 0.0) -> None:
+        """Authority for ``[lo, hi)`` moves to ``mem`` (visible at
+        ``time``); replicas die."""
         if hi <= lo:
             return
         self._split_at(lo)
@@ -149,17 +221,29 @@ class _FlowMap:
         n = len(self._segments)
         while j < n and self._segments[j].lo < hi:
             j += 1
-        self._segments[i:j] = [_FlowSegment(lo, hi, mem, set())]
+        self._segments[i:j] = [_FlowSegment(lo, hi, mem, time, {})]
         self._los[i:j] = [lo]
 
-    def read(self, lo: int, hi: int, dst: str) -> List[Tuple[str, int]]:
-        """Transfers ``(src_mem, nbytes)`` required to read ``[lo, hi)``
-        in ``dst``; marks the range replicated there afterwards."""
+    def read(
+        self, lo: int, hi: int, dst: str
+    ) -> Tuple[float, List[Tuple[str, int, int, float]]]:
+        """What it takes to read ``[lo, hi)`` in ``dst``.
+
+        Returns ``(local_ready, pieces)``: the latest availability among
+        parts already valid in ``dst`` and the transfers ``(src_mem, lo,
+        hi, src_time)`` still required — the planner mirror of
+        ``SegmentMap.plan_read``, including its virgin-gap rule: ranges
+        no segment covers are materialised in ``dst`` for free.  Copy
+        replicas are recorded separately via :meth:`commit` once the
+        copy has a finish time.
+        """
         if hi <= lo:
-            return []
+            return 0.0, []
         self._split_at(lo)
         self._split_at(hi)
-        out: List[Tuple[str, int]] = []
+        local = 0.0
+        pieces: List[Tuple[str, int, int, float]] = []
+        overlapping: List[_FlowSegment] = []
         i = bisect_left(self._los, lo)
         n = len(self._segments)
         while i < n:
@@ -167,16 +251,49 @@ class _FlowMap:
             if seg.lo >= hi:
                 break
             # After splitting, every overlapping segment is contained.
-            if seg.mem != dst and dst not in seg.caches:
-                out.append((seg.mem, seg.hi - seg.lo))
-                seg.caches.add(dst)
+            overlapping.append(seg)
             i += 1
-        return out
+        covered = lo
+        for seg in overlapping:
+            if seg.lo > covered:
+                # Virgin gap: materialise in dst for free (the writes
+                # insert into ranges disjoint from every overlapping
+                # segment, so the snapshot above stays valid).
+                self.write(covered, seg.lo, dst, 0.0)
+            covered = max(covered, seg.hi)
+            if seg.mem == dst:
+                if seg.time > local:
+                    local = seg.time
+            elif dst in seg.caches:
+                cached = seg.caches[dst]
+                if cached > local:
+                    local = cached
+            else:
+                pieces.append((seg.mem, seg.lo, seg.hi, seg.time))
+        if covered < hi:
+            self.write(covered, hi, dst, 0.0)
+        return local, pieces
+
+    def commit(self, lo: int, hi: int, mem: str, time: float) -> None:
+        """Record that ``[lo, hi)`` has a valid replica in ``mem`` as of
+        ``time`` (after a mirrored copy completed)."""
+        if hi <= lo:
+            return
+        self._split_at(lo)
+        self._split_at(hi)
+        i = bisect_left(self._los, lo)
+        n = len(self._segments)
+        while i < n:
+            seg = self._segments[i]
+            if seg.lo >= hi:
+                break
+            seg.caches[mem] = time
+            i += 1
 
     def clone(self) -> "_FlowMap":
         copy = _FlowMap.__new__(_FlowMap)
         copy._segments = [
-            _FlowSegment(s.lo, s.hi, s.mem, set(s.caches))
+            _FlowSegment(s.lo, s.hi, s.mem, s.time, dict(s.caches))
             for s in self._segments
         ]
         copy._los = list(self._los)
@@ -184,18 +301,37 @@ class _FlowMap:
 
 
 class _CommState:
-    """Accumulated flow-walk state: per-root flow maps plus the integer
-    traffic tallies.  Everything here is exact integer bookkeeping, so
-    any prefix/suffix recomposition of the walk reproduces the same
-    final state bit-for-bit."""
+    """Accumulated flow-walk state: per-root flow maps, the integer
+    traffic tallies, and the schedule-replay timelines (per-launch
+    finish floors, per-processor and per-channel ``free_at`` mirrors).
+    The walk state is a deterministic function of the mapping prefix it
+    consumed, so any prefix/suffix recomposition of the walk reproduces
+    the same final state bit-for-bit."""
 
-    __slots__ = ("flows", "ingress", "egress", "edge_bytes")
+    __slots__ = (
+        "flows",
+        "ingress",
+        "egress",
+        "edge_bytes",
+        "pair_bytes",
+        "finish",
+        "proc_free",
+        "chan_free",
+    )
 
     def __init__(self) -> None:
         self.flows: Dict[str, _FlowMap] = {}
         self.ingress: Dict[str, int] = {}
         self.egress: Dict[str, int] = {}
         self.edge_bytes: Dict[Tuple[str, str, str], int] = {}
+        #: (src mem uid, dst mem uid) -> bytes; feeds the routed bound.
+        self.pair_bytes: Dict[Tuple[str, str], int] = {}
+        #: launch uid -> lower bound on its group finish time.
+        self.finish: Dict[str, float] = {}
+        #: concrete processor uid -> mirrored timeline ``free_at``.
+        self.proc_free: Dict[str, float] = {}
+        #: channel key -> mirrored timeline ``free_at``.
+        self.chan_free: Dict[str, float] = {}
 
     def clone(self) -> "_CommState":
         copy = _CommState.__new__(_CommState)
@@ -203,6 +339,10 @@ class _CommState:
         copy.ingress = dict(self.ingress)
         copy.egress = dict(self.egress)
         copy.edge_bytes = dict(self.edge_bytes)
+        copy.pair_bytes = dict(self.pair_bytes)
+        copy.finish = dict(self.finish)
+        copy.proc_free = dict(self.proc_free)
+        copy.chan_free = dict(self.chan_free)
         return copy
 
 
@@ -256,6 +396,17 @@ class StaticBoundAnalyzer:
             if total > 0:
                 self._channel_bw[mem.uid] = DMA_EFFICIENCY * total
 
+        #: The executor's channel-path routes (shared per machine).
+        self._routing = routing_model(machine)
+        #: The executor's own hop-level topology, for the schedule
+        #: replay's exact copy arithmetic.
+        self._topology = Topology(machine)
+        # Routed-vs-incident tightening observed across fresh full
+        # breakdowns (ratio >= 1; the report uses the deterministic
+        # :meth:`gap_ratio` of one mapping instead of this running mean).
+        self._gap_sum = 0.0
+        self._gap_count = 0
+
         # Caches (all keyed on deterministic values).
         self._node_count_cache: Dict[Tuple[int, bool], Tuple[int, ...]] = {}
         self._duration_cache: Dict[Tuple, float] = {}
@@ -264,7 +415,7 @@ class StaticBoundAnalyzer:
         self._interval_cache: Dict[Tuple, Tuple[Tuple[int, int], ...]] = {}
         self._breakdown_cache: Dict[Tuple, BoundBreakdown] = {}
         self._quick_cache: Dict[Tuple, float] = {}
-        self._flow_ops_cache: Dict[Tuple, Optional[Tuple]] = {}
+        self._replay_ops_cache: Dict[Tuple, Optional[Tuple]] = {}
 
         # Incremental flow-walk state: along a search chain consecutive
         # bound requests differ in few kinds, so the walk replays the
@@ -512,57 +663,98 @@ class StaticBoundAnalyzer:
         load = max(busy.values(), default=0.0)
         return cp, load
 
-    def _flow_ops(self, launch: TaskLaunch, decision) -> Optional[Tuple]:
-        """The launch's flow operations under ``decision`` — a pure
-        function of the pair, cached across the search chain.
+    def _replay_ops(self, launch: TaskLaunch, decision) -> Optional[Tuple]:
+        """The launch's schedule-replay operations under ``decision`` —
+        a pure function of the pair, cached across the search chain.
 
-        Returns ``(reads, writes)`` where ``reads`` is a tuple of
-        ``((root, dst_mem), coalesced intervals)`` in first-encounter
-        (point, slot) order and ``writes`` a tuple of ``(root, lo, hi,
-        mem)`` in (point, slot) order — exactly the operations the
-        uncached walk replayed per launch — or ``None`` for an invalid
-        decision (no placement, no flow)."""
+        Returns ``(points, writes)``: ``points`` is a tuple, one entry
+        per point task in placement order, of ``(proc_uid, duration,
+        reads)`` where ``duration`` replays the executor's exact float
+        arithmetic on the concrete processor and its concrete access
+        links, and ``reads`` lists ``(root, dst_mem, lo, hi)`` for the
+        point's non-empty read shards in slot order; ``writes`` is a
+        tuple of ``(root, lo, hi, mem)`` write ops (coalesced where that
+        provably cannot change the flow state).  ``None`` marks an
+        invalid decision (no placement, no flow, no schedule).
+        """
         key = (launch.uid, decision.key())
-        if key in self._flow_ops_cache:
-            return self._flow_ops_cache[key]
+        if key in self._replay_ops_cache:
+            return self._replay_ops_cache[key]
         ops: Optional[Tuple]
         try:
-            _, point_mems = self._placements(launch, decision)
+            point_procs, point_mems = self._placements(launch, decision)
         except ValueError:
             ops = None
         else:
-            reads: Dict[Tuple[str, str], List[Tuple[int, int]]] = {}
-            for slot_index, slot in enumerate(launch.kind.slots):
-                if not slot.privilege.reads:
-                    continue
-                root = launch.args[slot_index].root
-                intervals = self._shard_intervals(launch, slot_index, False)
-                for point in range(launch.size):
-                    lo, hi = intervals[point]
-                    if hi > lo:
-                        dst = point_mems[point][slot_index]
-                        reads.setdefault((root, dst), []).append((lo, hi))
+            read_slots = [
+                (i, launch.args[i].root, self._shard_intervals(launch, i, False))
+                for i, slot in enumerate(launch.kind.slots)
+                if slot.privilege.reads
+            ]
             write_slots = [
                 (i, launch.args[i].root, self._shard_intervals(launch, i, True))
                 for i, slot in enumerate(launch.kind.slots)
                 if slot.privilege.writes
             ]
-            writes = []
-            for point in range(launch.size):
-                for slot_index, root, intervals in write_slots:
-                    lo, hi = intervals[point]
-                    if hi > lo:
-                        writes.append(
-                            (root, lo, hi, point_mems[point][slot_index])
-                        )
-            ops = (
-                tuple(
-                    (rd, tuple(_coalesce(intervals)))
-                    for rd, intervals in reads.items()
-                ),
-                tuple(self._coalesce_writes(writes)),
+            point_flops = launch.flops / launch.size
+            gpu_adjust = (
+                launch.kind.gpu_speedup
+                if decision.proc_kind == ProcKind.GPU
+                else 1.0
             )
-        self._flow_ops_cache[key] = ops
+            points = []
+            ops = None
+            for point in range(launch.size):
+                proc_uid = point_procs[point]
+                proc = self.machine.processor(proc_uid)
+                access_seconds = 0.0
+                for slot_index, slot in enumerate(launch.kind.slots):
+                    link = self.machine.access_link(
+                        proc_uid, point_mems[point][slot_index]
+                    )
+                    if link is None:  # unreachable slot: invalid decision
+                        break
+                    passes = int(slot.privilege.reads) + int(
+                        slot.privilege.writes
+                    )
+                    bytes_pp = launch.arg_bytes_per_point(slot_index)
+                    access_seconds += (
+                        link.latency + bytes_pp / link.bandwidth
+                    ) * passes
+                else:
+                    compute_seconds = 0.0
+                    if point_flops > 0:
+                        compute_seconds = point_flops / (
+                            proc.throughput * gpu_adjust
+                        )
+                    duration = (
+                        proc.launch_overhead
+                        + compute_seconds
+                        + access_seconds
+                    )
+                    reads = tuple(
+                        (root, point_mems[point][slot_index], lo, hi)
+                        for slot_index, root, intervals in read_slots
+                        for lo, hi in (intervals[point],)
+                        if hi > lo
+                    )
+                    points.append((proc_uid, duration, reads))
+                    continue
+                break  # a slot was unreachable; whole launch is invalid
+            if len(points) == launch.size:
+                writes = []
+                for point in range(launch.size):
+                    for slot_index, root, intervals in write_slots:
+                        lo, hi = intervals[point]
+                        if hi > lo:
+                            writes.append(
+                                (root, lo, hi, point_mems[point][slot_index])
+                            )
+                ops = (
+                    tuple(points),
+                    tuple(self._coalesce_writes(writes)),
+                )
+        self._replay_ops_cache[key] = ops
         return ops
 
     @staticmethod
@@ -600,11 +792,50 @@ class StaticBoundAnalyzer:
             for lo, hi in merged[(root, mem)]
         ]
 
-    def _comm_component(
-        self, mapping: Mapping
-    ) -> Tuple[float, Optional[str], Optional[Tuple[str, str]], int]:
-        """Per-memory mandatory traffic priced at aggregate channel DMA
-        bandwidth; returns ``(bound, memory, edge, edge_bytes)``."""
+    def _replay_copy(
+        self,
+        chan_free: Dict[str, float],
+        src: str,
+        dst: str,
+        nbytes: int,
+        ready: float,
+        src_time: float,
+    ) -> float:
+        """Mirror one ``CopyEngine.execute``: route the piece over the
+        executor's hop path, reserving each hop on the mirrored channel
+        timelines.  Returns the copy's lower-bound finish time."""
+        path = self._topology.copy_path(src, dst)
+        time = max(ready, src_time)
+        if path is None or not path.hops:
+            return time
+        for hop in path.hops:
+            duration = hop.latency + nbytes / (
+                hop.bandwidth * DMA_EFFICIENCY
+            )
+            key = _channel_key(hop.mem_a, hop.mem_b)
+            free = chan_free.get(key, 0.0)
+            if free > time:
+                time = free
+            time = time + duration
+            chan_free[key] = time
+        return time
+
+    def _comm_component(self, mapping: Mapping) -> Tuple[
+        float,
+        float,
+        Optional[str],
+        Optional[Tuple[str, str]],
+        int,
+        Optional[str],
+        float,
+        float,
+    ]:
+        """Mandatory-traffic and routed-schedule bounds: walks the
+        launches once in executor order, mirroring its list schedule
+        (processor reservations, routed channel-contended copies) while
+        tallying the flow mirror's traffic; returns ``(bound, incident,
+        memory, edge, edge_bytes, channel, channel_share, schedule)``.
+        """
         order = self._order
         if self._comm_base is None:
             dirty = 0
@@ -640,37 +871,72 @@ class StaticBoundAnalyzer:
         ingress = state.ingress
         egress = state.egress
         edge_bytes = state.edge_bytes
+        pair_bytes = state.pair_bytes
+        finish = state.finish
+        proc_free = state.proc_free
+        chan_free = state.chan_free
 
         for launch_index in range(start, len(order)):
             if launch_index in boundaries and launch_index not in snapshots:
                 snapshots[launch_index] = state.clone()
             launch = order[launch_index]
             decision = mapping.decision(launch.kind.name)
-            ops = self._flow_ops(launch, decision)
+            ops = self._replay_ops(launch, decision)
+            # The group barrier: a launch starts no earlier than its
+            # predecessors' mirrored finish times.
+            ready = 0.0
+            for dep in self.graph.predecessors(launch.uid):
+                upstream = finish.get(dep.src, 0.0)
+                if upstream > ready:
+                    ready = upstream
             if ops is None:  # invalid decision — no placement, no flow
+                finish[launch.uid] = ready
                 continue
-            read_ops, write_ops = ops
-            # Reads first: union per (root, destination memory), so each
-            # byte is charged once per destination, like commit_cache.
-            for (root, dst), intervals in read_ops:
-                flow = flows.get(root)
-                if flow is None:
-                    flow = flows[root] = _FlowMap()
-                for lo, hi in intervals:
-                    for src, nbytes in flow.read(lo, hi, dst):
+            points, write_ops = ops
+            launch_finish = 0.0
+            # Points in placement order, exactly like the executor: plan
+            # the point's copies against the flow mirror, route them over
+            # the mirrored channel timelines, then reserve the point on
+            # its processor's mirrored timeline.
+            for proc_uid, duration, reads in points:
+                data_ready = ready
+                for root, dst, lo, hi in reads:
+                    flow = flows.get(root)
+                    if flow is None:
+                        flow = flows[root] = _FlowMap()
+                    local, pieces = flow.read(lo, hi, dst)
+                    if local > data_ready:
+                        data_ready = local
+                    for src, p_lo, p_hi, src_time in pieces:
+                        nbytes = p_hi - p_lo
                         ingress[dst] = ingress.get(dst, 0) + nbytes
                         egress[src] = egress.get(src, 0) + nbytes
+                        pair = (src, dst)
+                        pair_bytes[pair] = pair_bytes.get(pair, 0) + nbytes
                         for mem in (dst, src):
                             edge = (mem, root, launch.kind.name)
                             edge_bytes[edge] = (
                                 edge_bytes.get(edge, 0) + nbytes
                             )
+                        done = self._replay_copy(
+                            chan_free, src, dst, nbytes, ready, src_time
+                        )
+                        flow.commit(p_lo, p_hi, dst, done)
+                        if done > data_ready:
+                            data_ready = done
+                free = proc_free.get(proc_uid, 0.0)
+                point_start = free if free > data_ready else data_ready
+                point_finish = point_start + duration
+                proc_free[proc_uid] = point_finish
+                if point_finish > launch_finish:
+                    launch_finish = point_finish
             # Writes commit after the whole group, in (point, slot) order.
             for root, lo, hi, mem in write_ops:
                 flow = flows.get(root)
                 if flow is None:
                     flow = flows[root] = _FlowMap()
-                flow.write(lo, hi, mem)
+                flow.write(lo, hi, mem, launch_finish)
+            finish[launch.uid] = launch_finish
 
         end = len(order)
         if end not in snapshots:
@@ -682,7 +948,7 @@ class StaticBoundAnalyzer:
             for kind_name in self._comm_first
         }
 
-        bound = 0.0
+        incident = 0.0
         worst_mem: Optional[str] = None
         for mem_uid in sorted(set(ingress) | set(egress)):
             denom = self._channel_bw.get(mem_uid)
@@ -690,8 +956,8 @@ class StaticBoundAnalyzer:
                 continue  # no channels: the executor cannot copy here
             traffic = ingress.get(mem_uid, 0) + egress.get(mem_uid, 0)
             value = traffic / denom * FLOAT_SAFETY
-            if value > bound:
-                bound = value
+            if value > incident:
+                incident = value
                 worst_mem = mem_uid
         edge: Optional[Tuple[str, str]] = None
         top_bytes = 0
@@ -700,7 +966,55 @@ class StaticBoundAnalyzer:
                 if mem == worst_mem and nbytes > top_bytes:
                     top_bytes = nbytes
                     edge = (kind, root)
-        return bound, worst_mem, edge, top_bytes
+
+        # Routed per-channel congestion: every transfer crosses each
+        # channel of its copy path, and the executor serialises all
+        # traffic per channel, so the busiest channel's mandatory busy
+        # time is a makespan lower bound.  Unroutable pairs are skipped
+        # (a sound under-count; AM503 reports them statically).
+        chan_bytes: Dict[str, int] = {}
+        total_routed = 0
+        for pair in sorted(pair_bytes):
+            route = self._routing.route(*pair)
+            if not route:
+                continue
+            nbytes = pair_bytes[pair]
+            total_routed += nbytes
+            for chan in route:
+                chan_bytes[chan] = chan_bytes.get(chan, 0) + nbytes
+        routed = 0.0
+        worst_channel: Optional[str] = None
+        for chan in sorted(chan_bytes):
+            bandwidth = self._routing.channel_bandwidth(chan)
+            if not bandwidth:  # pragma: no cover - defensive
+                continue
+            value = (
+                chan_bytes[chan] / (DMA_EFFICIENCY * bandwidth) * FLOAT_SAFETY
+            )
+            if value > routed:
+                routed = value
+                worst_channel = chan
+        share = (
+            chan_bytes[worst_channel] / total_routed
+            if worst_channel is not None and total_routed > 0
+            else 0.0
+        )
+        bound = routed if routed > incident else incident
+        # The mirrored schedule's makespan.  Deflated like the traffic
+        # bounds: write coalescing can merge two executor copy fragments
+        # into one mirrored copy, which is smaller in real arithmetic by
+        # at least one hop latency but not a term-by-term float replay.
+        schedule = max(state.finish.values(), default=0.0) * FLOAT_SAFETY
+        return (
+            bound,
+            incident,
+            worst_mem,
+            edge,
+            top_bytes,
+            worst_channel,
+            share,
+            schedule,
+        )
 
     # ------------------------------------------------------------------
     # Public API
@@ -725,7 +1039,9 @@ class StaticBoundAnalyzer:
                 critical_path=cp, load=0.0, communication=0.0
             )
         else:
-            comm, mem, edge, nbytes = self._comm_component(mapping)
+            comm, incident, mem, edge, nbytes, channel, share, schedule = (
+                self._comm_component(mapping)
+            )
             result = BoundBreakdown(
                 critical_path=cp,
                 load=load,
@@ -733,7 +1049,14 @@ class StaticBoundAnalyzer:
                 comm_memory=mem,
                 comm_edge=edge,
                 comm_edge_bytes=nbytes,
+                communication_incident=incident,
+                comm_channel=channel,
+                comm_channel_share=share,
+                schedule=schedule,
             )
+            if incident > 0.0:
+                self._gap_sum += comm / incident
+                self._gap_count += 1
         self._breakdown_cache[key] = result
         return result
 
@@ -750,6 +1073,29 @@ class StaticBoundAnalyzer:
     def lower_bound(self, mapping: Mapping) -> float:
         """Sound lower bound on ``Simulator.run(mapping).makespan``."""
         return self.breakdown(mapping).total
+
+    @property
+    def bound_gap_ratio(self) -> float:
+        """Mean routed/incident tightening over every fresh full
+        breakdown this analyzer computed (1.0 when none had traffic)."""
+        if self._gap_count == 0:
+            return 1.0
+        return self._gap_sum / self._gap_count
+
+    def gap_ratio(self, mapping: Mapping) -> float:
+        """Routed-vs-incident tightening for one mapping: how much the
+        channel-path congestion bound improves on the incident aggregate
+        (>= 1.0; exactly 1.0 when the mapping moves no bytes).
+
+        A pure function of ``(graph, machine, mapping)`` — unlike the
+        running mean above, it does not depend on which candidates the
+        search happened to bound, so reports built from it stay
+        bit-identical across checkpoint/resume.
+        """
+        bd = self.breakdown(mapping)
+        if bd.communication_incident <= 0.0:
+            return 1.0
+        return bd.communication / bd.communication_incident
 
     def quick_bound(self, mapping: Mapping) -> float:
         """Cheap sound lower bound: critical path and load only, no
@@ -774,7 +1120,8 @@ class StaticBoundAnalyzer:
     def diagnose_mapping(
         self, mapping: Mapping, incumbent: Optional[float] = None
     ) -> List[Diagnostic]:
-        """AM4xx findings for one (valid) mapping.
+        """AM4xx (and routed-traffic AM501) findings for one (valid)
+        mapping.
 
         ``incumbent`` is a reference makespan (e.g. the default
         mapping's simulated time): any mapping whose bound exceeds it is
@@ -812,6 +1159,22 @@ class StaticBoundAnalyzer:
                     ),
                     span=Span(
                         kind=kind, collection=root, memory=bd.comm_memory
+                    ),
+                )
+            )
+        if (
+            bd.comm_channel is not None
+            and bd.comm_channel_share >= AM501_SHARE
+        ):
+            found.append(
+                Diagnostic(
+                    rule_id="AM501",
+                    message=(
+                        f"channel {bd.comm_channel} carries "
+                        f"{bd.comm_channel_share:.0%} of all routed "
+                        f"bytes ({bd.communication:.6g}s congestion "
+                        f"bound) — the interconnect bottleneck for "
+                        f"this placement"
                     ),
                 )
             )
@@ -866,9 +1229,8 @@ def bound_guided_mapping(space, analyzer: StaticBoundAnalyzer) -> Mapping:
             bound = analyzer.quick_bound(candidate)
             if bound < best:
                 mapping, best = candidate, bound
-        dims = space.dims(kind_name)
         num_slots = mapping.decision(kind_name).num_slots
-        for proc_kind in dims.proc_options:
+        for proc_kind in space.searched_proc_options(kind_name):
             for slot_index in range(num_slots):
                 for mem_kind in space.searched_mem_options(
                     kind_name, proc_kind, slot_index
@@ -888,6 +1250,13 @@ def bound_guided_mapping(space, analyzer: StaticBoundAnalyzer) -> Mapping:
     except MappingError:  # pragma: no cover - defensive fallback
         return space.default_mapping()
     return mapping
+
+
+def _channel_key(mem_a: str, mem_b: str) -> str:
+    """The executor's channel timeline key (``CopyEngine._channel_key``
+    mirror), so mirrored reservations serialise exactly where it does."""
+    a, b = sorted((mem_a, mem_b))
+    return f"chan:{a}<->{b}"
 
 
 def _coalesce(intervals: List[Tuple[int, int]]) -> List[Tuple[int, int]]:

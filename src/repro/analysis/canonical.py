@@ -26,6 +26,13 @@ only when the cost model provably cannot observe it:
 * **Zero launches** (``AM203``): a decision for a kind with no launches
   in the graph cannot affect the execution at all (it is also invalid
   per ``AM007``; this pass just reports it).
+* **Machine symmetry** (``AM502``): when the machine's kinds are
+  interchangeable under a verified relabeling (see
+  :class:`repro.analysis.symmetry.MachineSymmetry`), relabeled mappings
+  simulate identically, so the canonical form is the lexicographically
+  least mapping (by ``mapping.key()``) in the automorphism orbit —
+  applied after the coordinate folds above, whose fixed points the
+  verified relabelings preserve (keeping ``canonical`` idempotent).
 
 ``canonical()`` is a pure, memoized function of the mapping; it is
 idempotent and runtime-preserving by construction (covered by property
@@ -41,6 +48,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.analysis.diagnostics import Diagnostic, Span
+from repro.analysis.symmetry import MachineSymmetry
 from repro.machine.kinds import MemKind, ProcKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -71,9 +79,13 @@ class Canonicalizer:
         self._canonical_mem: Dict[Tuple[str, int, ProcKind], MemKind] = (
             self._find_canonical_mems()
         )
+        #: Verified kind automorphisms of the machine (often empty).
+        self._symmetry = MachineSymmetry(graph, machine)
         self._cache: Dict[Tuple, "Mapping"] = {}
         #: canonicalization calls that changed the mapping.
         self.folded = 0
+        #: canonicalization calls the symmetry orbit fold changed.
+        self.symmetry_folds = 0
 
     # ------------------------------------------------------------------
     # Equivalence discovery (once per graph/machine pair)
@@ -159,8 +171,49 @@ class Canonicalizer:
 
     def is_identity(self) -> bool:
         """Whether canonicalization is the identity on this graph and
-        machine pair (no foldable coordinates exist)."""
-        return not self._dead_distribute and not self._canonical_mem
+        machine pair (no foldable coordinates, no machine symmetry)."""
+        return (
+            not self._dead_distribute
+            and not self._canonical_mem
+            and self._symmetry.is_trivial()
+        )
+
+    def symmetric_proc_drops(
+        self, space: "SearchSpace"
+    ) -> Dict[str, Tuple[ProcKind, ...]]:
+        """Processor kinds move enumeration may skip per task kind.
+
+        Only provable in the one case where per-coordinate dropping is
+        orbit-safe: a space searching exactly one kind with nothing
+        fixed.  There a mapping is a single decision, ``mapping.key()``
+        compares its processor value right after the (relabeling-
+        invariant) distribute bit, so the orbit minimum always uses the
+        smallest processor value in the orbit — any kind some
+        automorphism maps to a smaller value never appears in a
+        canonical representative, and (because relabeling commutes with
+        legalization) the canonical twin of every skipped move is
+        itself an enumerated move.  Multi-kind symmetric spaces still
+        benefit through the oracle's orbit fold (profile-cache hits
+        instead of repeat simulations).
+        """
+        if self._symmetry.is_trivial():
+            return {}
+        names = space.kind_names()
+        if len(names) != 1 or space.fixed_decisions:
+            return {}
+        (kind_name,) = names
+        options = space.dims(kind_name).proc_options
+        dropped = set()
+        for rel in self._symmetry.automorphisms():
+            for pk in options:
+                image = rel.proc(pk)
+                if image in options and image.value < pk.value:
+                    dropped.add(pk)
+        if not dropped or len(dropped) == len(options):
+            return {}
+        return {
+            kind_name: tuple(pk for pk in options if pk in dropped)
+        }
 
     # ------------------------------------------------------------------
     # The canonicalization function
@@ -196,6 +249,19 @@ class Canonicalizer:
                 ):
                     out = out.with_mem(kind.name, slot_index, target)
                     decision = out.decision(kind.name)
+        if not self._symmetry.is_trivial():
+            # Orbit fold: the verified relabelings preserve the fixed
+            # points of the coordinate folds above, so taking the orbit
+            # minimum afterwards keeps ``canonical`` idempotent.
+            best, best_key = out, out.key()
+            for rel in self._symmetry.automorphisms():
+                image = rel.apply(out)
+                image_key = image.key()
+                if image_key < best_key:
+                    best, best_key = image, image_key
+            if best is not out:
+                self.symmetry_folds += 1
+                out = best
         if out is not mapping:
             self.folded += 1
         self._cache[key] = out
@@ -252,3 +318,16 @@ class Canonicalizer:
                             )
                         )
         return out
+
+    def diagnose_symmetry(self) -> List[Diagnostic]:
+        """``AM502`` for every verified machine-kind automorphism."""
+        return [
+            Diagnostic(
+                "AM502",
+                f"machine kinds are interchangeable under the "
+                f"relabeling {rel.describe()}; mappings are folded "
+                f"onto the lexicographically least member of each "
+                f"orbit",
+            )
+            for rel in self._symmetry.automorphisms()
+        ]

@@ -115,6 +115,7 @@ _PASSES: Dict[str, str] = {
     "AM2": "canonicalization",
     "AM3": "graph sanitizer",
     "AM4": "cost bounds",
+    "AM5": "routing & symmetry",
 }
 
 RULES: Dict[str, Rule] = {}
@@ -259,6 +260,30 @@ _register(
     "statically idle processor kind",
     "The machine offers a processor kind with task variants that the "
     "mapping never uses.",
+)
+
+
+# -- AM5xx: channel routing & machine symmetry -------------------------
+_register(
+    "AM501",
+    Severity.WARNING,
+    "bottleneck channel dominates routed traffic",
+    "One channel carries a majority of all routed bytes; its congestion "
+    "sets the communication bound.",
+)
+_register(
+    "AM502",
+    Severity.INFO,
+    "machine kinds interchangeable under relabeling",
+    "A verified kind automorphism folds relabeled mappings onto one "
+    "canonical orbit member.",
+)
+_register(
+    "AM503",
+    Severity.WARNING,
+    "memory pair unreachable via channels",
+    "No channel path connects the pair; any mapping needing a copy "
+    "between them fails at simulation time.",
 )
 
 

@@ -71,7 +71,9 @@ def analyze(
             valid_mapping = mapping
     if bounds and (mapping is None or valid_mapping is not None):
         report.extend(
-            _diagnose_bounds(graph, machine, space, valid_mapping)
+            _diagnose_bounds(
+                graph, machine, space, valid_mapping, canonicalizer
+            )
         )
     return report
 
@@ -81,19 +83,28 @@ def _diagnose_bounds(
     machine: "Machine",
     space: "SearchSpace",
     mapping: Optional["Mapping"],
+    canonicalizer: Canonicalizer,
 ) -> DiagnosticReport:
-    """AM4xx: bound diagnostics for one (already valid) mapping.
+    """AM4xx + AM5xx: bound/routing diagnostics for one (already valid)
+    mapping.
 
     The reference makespan AM401 compares against is a noise-free,
     spill-enabled simulation of the space's default mapping — the
     "don't search at all" baseline; the bound is priced on the mapping
     the simulator would actually execute (spill demotions applied).
+    The machine-level AM5xx findings ride along: unreachable memory
+    pairs (AM503) from the routing model and interchangeable-kind folds
+    (AM502) from the canonicalizer's verified symmetry group.
     The runtime import stays local: the analysis package must be
     importable from below the runtime layer.
     """
     from repro.analysis.bounds import StaticBoundAnalyzer
+    from repro.analysis.routing import routing_model
     from repro.runtime.simulator import SimConfig, Simulator
 
+    report = DiagnosticReport()
+    report.extend(routing_model(machine).diagnose())
+    report.extend(canonicalizer.diagnose_symmetry())
     simulator = Simulator(
         graph, machine, SimConfig(noise_sigma=0.0, spill=True)
     )
@@ -101,6 +112,9 @@ def _diagnose_bounds(
     incumbent = simulator.run(default).makespan
     target = default if mapping is None else mapping
     analyzer = StaticBoundAnalyzer(graph, machine)
-    return analyzer.diagnose_mapping(
-        simulator.spill_plan(target), incumbent=incumbent
+    report.extend(
+        analyzer.diagnose_mapping(
+            simulator.spill_plan(target), incumbent=incumbent
+        )
     )
+    return report

@@ -1,0 +1,152 @@
+"""Channel-path routing model for the static cost bounds.
+
+The communication component of :mod:`repro.analysis.bounds` originally
+priced traffic at each memory's *incident* channel bandwidth — sound,
+but far too loose on multi-hop machines where a copy crosses several
+channels (e.g. framebuffer → zero-copy → remote zero-copy → remote
+framebuffer).  This module exposes the executor's own routing decisions
+to the analyzer:
+
+* :class:`RoutingModel` wraps a :class:`repro.machine.topology.Topology`
+  built from the same machine the simulator uses, so the channel
+  sequence it reports for a ``(src, dst)`` memory pair is *exactly* the
+  sequence :class:`repro.runtime.copies.CopyEngine` reserves when it
+  executes that copy.  Each hop is identified by the engine's serial
+  timeline key (``chan:{a}<->{b}`` with sorted endpoints), which is what
+  makes the per-channel congestion bound sound: the executor serialises
+  all traffic through one key on one timeline, so the simulated makespan
+  is at least the busy time of the busiest channel.
+* :func:`routing_model` caches one model per live machine object —
+  analyses along a search chain hit the same machine thousands of
+  times, and path computation dominates a cold analyzer otherwise.
+
+The model also powers the AM503 diagnostic: a memory pair with no
+channel path at all means the simulator will refuse any mapping that
+needs a copy between them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Span
+from repro.machine.model import Machine
+from repro.machine.topology import Topology
+
+__all__ = ["RoutingModel", "channel_key", "routing_model"]
+
+
+def channel_key(mem_a: str, mem_b: str) -> str:
+    """The copy engine's serial timeline key for a channel.
+
+    Must stay in lock-step with
+    :meth:`repro.runtime.copies.CopyEngine._channel_key` — the soundness
+    of the per-channel congestion bound rests on bytes being attributed
+    to the same serially-reused timeline the executor reserves.
+    """
+    a, b = sorted((mem_a, mem_b))
+    return f"chan:{a}<->{b}"
+
+
+class RoutingModel:
+    """Cached channel-path routes for every memory pair of one machine.
+
+    Routes are resolved through a fresh :class:`Topology` built from the
+    machine — the identical construction the simulator performs — so the
+    analyzer and the executor always agree on which channels a copy
+    traverses.
+    """
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.topology = Topology(machine)
+        #: channel timeline key -> raw channel bandwidth (bytes/s).
+        self._bandwidth: Dict[str, float] = {}
+        for chan in machine.channels:
+            self._bandwidth[channel_key(chan.mem_a, chan.mem_b)] = (
+                chan.bandwidth
+            )
+        #: (src mem uid, dst mem uid) -> channel keys along the route,
+        #: or ``None`` when the pair is disconnected.
+        self._routes: Dict[Tuple[str, str], Optional[Tuple[str, ...]]] = {}
+
+    def route(self, src_uid: str, dst_uid: str) -> Optional[Tuple[str, ...]]:
+        """Channel timeline keys a copy from ``src`` to ``dst`` crosses.
+
+        Returns an empty tuple when source equals destination and
+        ``None`` when no channel path exists (the executor would raise).
+        """
+        key = (src_uid, dst_uid)
+        cached = self._routes.get(key, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        path = self.topology.copy_path(src_uid, dst_uid)
+        if path is None:
+            resolved: Optional[Tuple[str, ...]] = None
+        else:
+            resolved = tuple(
+                channel_key(hop.mem_a, hop.mem_b) for hop in path.hops
+            )
+        self._routes[key] = resolved
+        return resolved
+
+    def channel_bandwidth(self, key: str) -> Optional[float]:
+        """Raw bandwidth of the channel behind a timeline key."""
+        return self._bandwidth.get(key)
+
+    def unreachable_pairs(self) -> List[Tuple[str, str]]:
+        """Unordered memory pairs with no channel path between them."""
+        out: List[Tuple[str, str]] = []
+        mems = [m.uid for m in self.machine.memories]
+        for i, src in enumerate(mems):
+            for dst in mems[i + 1:]:
+                if self.route(src, dst) is None:
+                    out.append((src, dst))
+        return out
+
+    def diagnose(self) -> List[Diagnostic]:
+        """``AM503`` for every memory pair the simulator cannot route."""
+        return [
+            Diagnostic(
+                rule_id="AM503",
+                message=(
+                    f"no channel path between {src} and {dst}: any "
+                    f"mapping that needs a copy between them fails at "
+                    f"simulation time"
+                ),
+                span=Span(memory=src),
+            )
+            for src, dst in self.unreachable_pairs()
+        ]
+
+
+#: Sentinel distinguishing "not cached" from a cached ``None`` route.
+_MISSING = object()
+
+#: Per-machine model cache, keyed by object identity (``Machine`` is an
+#: eq-comparable dataclass and therefore unhashable).  Entries whose
+#: machine object was garbage-collected would never match again, so a
+#: small LRU keeps the cache from growing across many machines.
+_MODELS: "OrderedDict[int, RoutingModel]" = OrderedDict()
+_MODEL_CACHE_SIZE = 8
+
+
+def routing_model(machine: Machine) -> RoutingModel:
+    """The (cached) :class:`RoutingModel` for ``machine``.
+
+    Identity-keyed: two equal-but-distinct machine objects get distinct
+    models, and a recycled ``id`` cannot alias because the stored model
+    keeps its machine alive and is compared by identity before reuse.
+    """
+    key = id(machine)
+    model = _MODELS.get(key)
+    if model is not None and model.machine is machine:
+        _MODELS.move_to_end(key)
+        return model
+    model = RoutingModel(machine)
+    _MODELS[key] = model
+    _MODELS.move_to_end(key)
+    while len(_MODELS) > _MODEL_CACHE_SIZE:
+        _MODELS.popitem(last=False)
+    return model

@@ -368,17 +368,23 @@ def _cmd_analyze(args) -> int:
 
 
 def _print_rule_registry() -> None:
-    """The diagnostic rule registry, one section per analysis pass."""
+    """The diagnostic rule registry, one section per rule-id century.
+
+    Grouped by the ``AMn`` prefix (not the pass name) so centuries print
+    in id order and each header names exactly the prefix of the rules
+    below it; centuries with no registered rules are never emitted.
+    """
     from repro.analysis.diagnostics import RULES
     from repro.viz.table import Table
 
-    by_pass: dict = {}
+    by_prefix: dict = {}
     for rule in sorted(RULES.values(), key=lambda r: r.id):
-        by_pass.setdefault(rule.passname, []).append(rule)
-    for index, (passname, rules) in enumerate(by_pass.items()):
+        by_prefix.setdefault(rule.id[:3], []).append(rule)
+    for index, prefix in enumerate(sorted(by_prefix)):
+        rules = by_prefix[prefix]
         if index:
             print()
-        print(f"-- {passname} ({rules[0].id[:3]}xx)")
+        print(f"-- {rules[0].passname} ({prefix}xx)")
         table = Table(["rule", "severity", "title", "doc"])
         for rule in rules:
             table.add_row(

@@ -215,6 +215,24 @@ class SimulationOracle:
         return self._bound_settled.value
 
     @property
+    def symmetry_folds(self) -> int:
+        """Canonicalizations the machine-symmetry orbit fold changed
+        (a subset of :attr:`canonical_folds`; 0 without a
+        canonicalizer).  Deterministic across resume: the fold runs
+        before the replay ledger is consulted."""
+        if self.canonicalizer is None:
+            return 0
+        return getattr(self.canonicalizer, "symmetry_folds", 0)
+
+    @property
+    def bound_gap_ratio(self) -> float:
+        """Mean routed-vs-incident tightening over the bounds this
+        oracle computed (1.0 without a bound analyzer)."""
+        if self.bounds is None:
+            return 1.0
+        return getattr(self.bounds, "bound_gap_ratio", 1.0)
+
+    @property
     def settled_keys(self) -> frozenset:
         """Canonical keys of profile records created by settling."""
         return frozenset(self._settled_keys)
@@ -483,26 +501,45 @@ class SimulationOracle:
         exactly as an unpruned run would.
 
         A pruned candidate is skipped only when its bound already
-        exceeds the current ``top_n``-th best recorded mean: its true
-        mean is then provably worse, so it could not be a finalist in
-        the unpruned run either.  Settled candidates get the exact
-        offset-0 samples :meth:`_evaluate` would have drawn; search
-        accounting (evaluated/failed counters, clocks, trace, best) is
+        exceeds the ``top_n``-th best recorded mean: its true mean is
+        then provably worse, so it could not be a finalist in the
+        unpruned run either.  Candidates settle best-bound-first and
+        the cut-off is recomputed after every new record — each settled
+        mean can only tighten (never relax) the ``top_n``-th best, so a
+        skip against an intermediate threshold implies a skip against
+        the final one, and the surviving top-``n`` is exactly the
+        unpruned run's.  Settled candidates get the exact offset-0
+        samples :meth:`_evaluate` would have drawn; search accounting
+        (evaluated/failed counters, clocks, trace, best) is
         deliberately untouched — settling happens after the search.
         """
         settled = 0
         if not self._bound_ledger:
             return settled
-        ranked = self.profiles.best(top_n)
-        threshold = (
-            ranked[-1].mean if len(ranked) >= top_n else math.inf
+
+        def threshold() -> float:
+            ranked = self.profiles.best(top_n)
+            return ranked[-1].mean if len(ranked) >= top_n else math.inf
+
+        pending = list(self._bound_ledger.items())
+        # Best-bound-first; the stable sort keeps equal bounds in
+        # pruning order, so the settle order is deterministic.  An
+        # unboundable candidate can never be excluded — settle it first.
+        pending.sort(
+            key=lambda item: (
+                -math.inf
+                if self._bound_perf(item[1]) is None
+                else self._bound_perf(item[1])
+            )
         )
-        for key, mapping in list(self._bound_ledger.items()):
+        for key, mapping in pending:
             if self.profiles.lookup(mapping) is not None:
                 continue
             lb_perf = self._bound_perf(mapping)
-            if lb_perf is not None and lb_perf > threshold:
-                continue
+            if lb_perf is not None and lb_perf > threshold():
+                # Bounds are sorted ascending and the threshold only
+                # tightens: every remaining candidate is excluded too.
+                break
             if self.feasibility is not None:
                 oom = self.feasibility.oom_reason(mapping)
                 if oom is not None:

@@ -103,6 +103,9 @@ class SearchSpace:
         self._dead_mems: Dict[Tuple[str, ProcKind, int], Tuple[MemKind, ...]] = {}
         self._canonical_mems: Dict[Tuple[str, ProcKind, int], MemKind] = {}
         self._dead_distribute: frozenset = frozenset()
+        #: kind -> processor kinds a machine-symmetry proof drops from
+        #: enumeration (their orbits' canonical members use the kept kinds).
+        self._sym_procs: Dict[str, Tuple[ProcKind, ...]] = {}
 
         self._dims: Dict[str, KindDimensions] = {}
         for kind in graph.task_kinds:
@@ -178,11 +181,30 @@ class SearchSpace:
                 return kept
         return options
 
+    def searched_proc_options(self, kind_name: str) -> Tuple[ProcKind, ...]:
+        """Processor kinds the search should enumerate for a kind.
+
+        On a pruned view this drops kinds a machine-symmetry proof
+        showed redundant (``AM502``): every mapping using a dropped kind
+        canonicalizes onto one using a kept kind, so enumerating it can
+        only re-propose cached twins; never empty.
+        """
+        options = self._dims[kind_name].proc_options
+        dropped = self._sym_procs.get(kind_name)
+        if dropped:
+            kept = tuple(p for p in options if p not in dropped)
+            if kept:
+                return kept
+        return options
+
     @property
     def is_pruned(self) -> bool:
         """Whether this view carries static-analysis pruning tables."""
         return bool(
-            self._dead_mems or self._canonical_mems or self._dead_distribute
+            self._dead_mems
+            or self._canonical_mems
+            or self._dead_distribute
+            or self._sym_procs
         )
 
     def prune_infeasible(
@@ -232,6 +254,9 @@ class SearchSpace:
                                 target
                             )
             pruned._canonical_mems = canonical_mems
+            pruned._sym_procs = dict(
+                canonicalizer.symmetric_proc_drops(self)
+            )
         return pruned
 
     def kind_names(self) -> Tuple[str, ...]:

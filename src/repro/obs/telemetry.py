@@ -46,6 +46,7 @@ _ORACLE_COUNTERS = (
     "canonical_folds",
     "static_oom_pruned",
     "bound_pruned",
+    "symmetry_folds",
 )
 
 
@@ -82,6 +83,9 @@ class RoundRecord:
     #: Candidates rejected this round by the static cost-bound pruner
     #: (defaulted last so pre-bound-pruning artifacts stay loadable).
     bound_pruned: int = 0
+    #: Suggestions folded onto a relabeled twin by machine symmetry
+    #: (defaulted so pre-symmetry artifacts stay loadable).
+    symmetry_folds: int = 0
 
     def to_doc(self) -> dict:
         return {
@@ -100,6 +104,7 @@ class RoundRecord:
             "sim_elapsed": self.sim_elapsed,
             "wall_seconds": self.wall_seconds,
             "bound_pruned": self.bound_pruned,
+            "symmetry_folds": self.symmetry_folds,
         }
 
     @staticmethod
@@ -120,6 +125,7 @@ class RoundRecord:
             sim_elapsed=doc["sim_elapsed"],
             wall_seconds=doc["wall_seconds"],
             bound_pruned=doc.get("bound_pruned", 0),
+            symmetry_folds=doc.get("symmetry_folds", 0),
         )
 
 
@@ -204,6 +210,9 @@ class SearchTelemetry:
             wall_seconds=max(0.0, self._clock() - before.wall),
             bound_pruned=(
                 now["bound_pruned"] - before.counters["bound_pruned"]
+            ),
+            symmetry_folds=(
+                now["symmetry_folds"] - before.counters["symmetry_folds"]
             ),
         )
         self.rounds.append(record)

@@ -284,12 +284,22 @@ class BatchOracle:
             except Exception:
                 self._degrade("worker pool failed to start")
                 break
-            futures = {
-                index: pool.submit(run_mapping, todo[index], attempt)
-                for index in pending
-            }
             failed: List[int] = []
             pool_wedged = False
+            try:
+                futures = {
+                    index: pool.submit(run_mapping, todo[index], attempt)
+                    for index in pending
+                }
+            except BrokenProcessPool:
+                # A worker crash from an earlier batch can mark the pool
+                # broken between batches, in which case submit() raises
+                # before any future exists.  Treat it like a mid-batch
+                # breakage: rebuild and resubmit the whole round.
+                self.stats.broken_pools += 1
+                futures = {}
+                failed = list(pending)
+                pool_wedged = True
             for index, future in futures.items():
                 if pool_wedged:
                     future.cancel()

@@ -156,7 +156,6 @@ class CoordinateDescent(SearchAlgorithm):
     ) -> List[Callable[[Mapping], Mapping]]:
         """Move builders for Alg. 1 lines 13-18, in the serial visit
         order: processor kind x (slot, largest first) x memory kind."""
-        dims = space.dims(kind_name)
 
         def build(
             m: Mapping,
@@ -180,11 +179,12 @@ class CoordinateDescent(SearchAlgorithm):
 
         moves: List[Callable[[Mapping], Mapping]] = []
         slot_order = self.ordered_slots(space, kind_name)
-        for proc_kind in dims.proc_options:
+        # A pruned space view drops options that are provably OOM
+        # (never a strict improvement over anything), that canonicalize
+        # onto another searched option, or — for processor kinds — that
+        # a machine-symmetry proof folds onto an enumerated twin.
+        for proc_kind in space.searched_proc_options(kind_name):
             for slot_index in slot_order:
-                # A pruned space view drops options that are provably
-                # OOM (never a strict improvement over anything) or
-                # that canonicalize onto another searched option.
                 for mem_kind in space.searched_mem_options(
                     kind_name, proc_kind, slot_index
                 ):

@@ -30,40 +30,51 @@ class TestFlowMap:
     """The write-only-authority coherence mirror behind the
     communication estimator."""
 
-    def test_virgin_reads_are_free(self):
+    def test_virgin_reads_materialise_for_free(self):
         flow = _FlowMap()
-        assert flow.read(0, 100, "m0") == []
+        local, pieces = flow.read(0, 100, "m0")
+        assert (local, pieces) == (0.0, [])
+        # The first reader's memory now owns the range (plan_read's
+        # virgin-gap rule): a later reader elsewhere pays a real copy.
+        _, pieces = flow.read(0, 100, "m1")
+        assert pieces == [("m0", 0, 100, 0.0)]
 
     def test_read_after_remote_write_moves_bytes(self):
         flow = _FlowMap()
-        flow.write(0, 100, "m0")
-        assert flow.read(0, 100, "m0") == []
-        moved = flow.read(0, 100, "m1")
-        assert moved == [("m0", 100)]
-        # The replica is now cached; re-reading is free.
-        assert flow.read(0, 100, "m1") == []
+        flow.write(0, 100, "m0", 2.0)
+        assert flow.read(0, 100, "m0") == (2.0, [])
+        local, pieces = flow.read(0, 100, "m1")
+        assert pieces == [("m0", 0, 100, 2.0)]
+        # The replica becomes cached only once its copy finishes.
+        flow.commit(0, 100, "m1", 5.0)
+        assert flow.read(0, 100, "m1") == (5.0, [])
 
     def test_write_invalidates_replicas(self):
         flow = _FlowMap()
-        flow.write(0, 100, "m0")
-        flow.read(0, 100, "m1")
-        flow.write(0, 100, "m0")
-        assert flow.read(0, 100, "m1") == [("m0", 100)]
+        flow.write(0, 100, "m0", 1.0)
+        _, pieces = flow.read(0, 100, "m1")
+        flow.commit(0, 100, "m1", 2.0)
+        flow.write(0, 100, "m0", 3.0)
+        _, pieces = flow.read(0, 100, "m1")
+        assert pieces == [("m0", 0, 100, 3.0)]
 
     def test_partial_overlap_splits_segments(self):
         flow = _FlowMap()
-        flow.write(0, 100, "m0")
-        flow.write(50, 150, "m1")
-        moved = flow.read(0, 150, "m2")
-        assert sorted(moved) == [("m0", 50), ("m1", 100)]
+        flow.write(0, 100, "m0", 1.0)
+        flow.write(50, 150, "m1", 2.0)
+        _, pieces = flow.read(0, 150, "m2")
+        assert sorted(pieces) == [
+            ("m0", 0, 50, 1.0),
+            ("m1", 50, 150, 2.0),
+        ]
 
 
 class TestBreakdown:
     def test_total_is_max_of_components(self):
         bd = BoundBreakdown(
-            critical_path=3.0, load=5.0, communication=4.0
+            critical_path=3.0, load=5.0, communication=4.0, schedule=6.0
         )
-        assert bd.total == 5.0
+        assert bd.total == 6.0
 
     def test_full_mapping_has_all_components(self, stencil):
         graph, machine, space = stencil
@@ -71,8 +82,9 @@ class TestBreakdown:
         bd = analyzer.breakdown(space.default_mapping())
         assert bd.critical_path > 0.0
         assert bd.load > 0.0
+        assert bd.schedule > 0.0
         assert bd.total == max(
-            bd.critical_path, bd.load, bd.communication
+            bd.critical_path, bd.load, bd.communication, bd.schedule
         )
 
     def test_partial_mapping_is_critical_path_only(self, stencil):

@@ -1,0 +1,287 @@
+"""Machine symmetry: verified kind relabelings are simulation-invisible.
+
+The load-bearing property is at the bottom: applying a verified
+automorphism to any valid mapping leaves the noise-free simulated
+makespan bit-identical, which is what makes the canonicalizer's orbit
+fold result-preserving.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.canonical import Canonicalizer
+from repro.analysis.symmetry import KindRelabeling, MachineSymmetry
+from repro.apps import make_app
+from repro.machine import lassen, shepard
+from repro.machine.kinds import MemKind, ProcKind
+from repro.machine.model import (
+    AccessLink,
+    Channel,
+    Machine,
+    Memory,
+    Processor,
+)
+from repro.mapping.space import SearchSpace
+from repro.runtime import SimConfig, Simulator
+from repro.taskgraph import ArgSlot, GraphBuilder, Privilege
+from repro.util.units import GIB
+
+from tests.conftest import build_diamond_graph
+
+
+def symmetric_machine() -> Machine:
+    """A machine whose CPU/GPU sides are exact mirrors.
+
+    Equal pools, throughputs, overheads, link speeds, and channel
+    parameters make ``cpu<->gpu, system<->framebuffer`` a verified
+    automorphism (zero-copy is the shared fixed point).
+    """
+    throughput, overhead = 1.0e11, 1.0e-4
+    fast, slow = 1.0e11, 5.0e10
+    chan_bw, chan_lat = 2.0e10, 1.0e-5
+    procs = [
+        Processor(
+            uid=uid,
+            kind=kind,
+            node=0,
+            throughput=throughput,
+            launch_overhead=overhead,
+        )
+        for uid, kind in [
+            ("cpu0", ProcKind.CPU),
+            ("cpu1", ProcKind.CPU),
+            ("gpu0", ProcKind.GPU),
+            ("gpu1", ProcKind.GPU),
+        ]
+    ]
+    mems = [
+        Memory(uid="sys", kind=MemKind.SYSTEM, node=0, capacity=32 * GIB),
+        Memory(uid="zc", kind=MemKind.ZERO_COPY, node=0, capacity=32 * GIB),
+        Memory(
+            uid="fb", kind=MemKind.FRAMEBUFFER, node=0, capacity=32 * GIB
+        ),
+    ]
+    access = []
+    for cpu in ("cpu0", "cpu1"):
+        access += [
+            AccessLink(proc=cpu, mem="sys", bandwidth=fast, latency=0.0),
+            AccessLink(proc=cpu, mem="zc", bandwidth=slow, latency=0.0),
+        ]
+    for gpu in ("gpu0", "gpu1"):
+        access += [
+            AccessLink(proc=gpu, mem="fb", bandwidth=fast, latency=0.0),
+            AccessLink(proc=gpu, mem="zc", bandwidth=slow, latency=0.0),
+        ]
+    channels = [
+        Channel(mem_a="sys", mem_b="zc", bandwidth=chan_bw, latency=chan_lat),
+        Channel(mem_a="fb", mem_b="zc", bandwidth=chan_bw, latency=chan_lat),
+        Channel(mem_a="sys", mem_b="fb", bandwidth=chan_bw, latency=chan_lat),
+    ]
+    return Machine(
+        name="sym-1n",
+        processors=procs,
+        memories=mems,
+        access_links=access,
+        channels=channels,
+    )
+
+
+def single_kind_graph():
+    b = GraphBuilder("lone")
+    data = b.collection("data", nbytes=1 << 24)
+    work = b.task_kind(
+        "work", slots=[ArgSlot("data", Privilege.READ_WRITE)]
+    )
+    for _ in range(3):
+        b.launch(work, [data], size=4, flops=4e8)
+    return b.build()
+
+
+class TestStockMachinesAreAsymmetric:
+    @pytest.mark.parametrize("factory", [shepard, lassen])
+    def test_no_automorphisms(self, factory):
+        machine = factory(2)
+        graph = make_app("stencil").graph(machine)
+        assert MachineSymmetry(graph, machine).is_trivial()
+
+    def test_gpu_speedup_blocks_relabeling(self):
+        machine = symmetric_machine()
+        b = GraphBuilder("biased")
+        data = b.collection("data", nbytes=1 << 24)
+        kind = b.task_kind(
+            "work",
+            slots=[ArgSlot("data", Privilege.READ_WRITE)],
+            gpu_speedup=4.0,
+        )
+        b.launch(kind, [data], size=4, flops=4e8)
+        assert MachineSymmetry(b.build(), machine).is_trivial()
+
+
+class TestSymmetricMachine:
+    def test_mirror_automorphism_is_found(self):
+        sym = MachineSymmetry(build_diamond_graph(), symmetric_machine())
+        assert [rel.describe() for rel in sym.automorphisms()] == [
+            "cpu->gpu, gpu->cpu, system->framebuffer, framebuffer->system"
+        ]
+
+    def test_broken_mirror_is_rejected(self):
+        machine = symmetric_machine()
+        processors = [
+            p if p.uid != "gpu1" else type(p)(
+                uid=p.uid,
+                kind=p.kind,
+                node=p.node,
+                throughput=p.throughput * 2,
+                launch_overhead=p.launch_overhead,
+            )
+            for p in machine.processors
+        ]
+        skewed = Machine(
+            name="skewed-1n",
+            processors=processors,
+            memories=list(machine.memories),
+            access_links=list(machine.access_links),
+            channels=list(machine.channels),
+        )
+        assert MachineSymmetry(build_diamond_graph(), skewed).is_trivial()
+
+
+class TestRelabelingAlgebra:
+    def test_apply_decision_relabels_all_kinds(self):
+        rel = KindRelabeling(
+            proc_map={ProcKind.CPU: ProcKind.GPU, ProcKind.GPU: ProcKind.CPU},
+            mem_map={
+                MemKind.SYSTEM: MemKind.FRAMEBUFFER,
+                MemKind.FRAMEBUFFER: MemKind.SYSTEM,
+            },
+        )
+        graph = build_diamond_graph()
+        machine = symmetric_machine()
+        space = SearchSpace(graph, machine)
+        mapping = space.default_mapping()
+        image = rel.apply(mapping)
+        for name, _ in mapping.key():
+            before = mapping.decision(name)
+            after = image.decision(name)
+            assert after.proc_kind == rel.proc(before.proc_kind)
+            assert after.mem_kinds == tuple(
+                rel.mem(mk) for mk in before.mem_kinds
+            )
+            assert after.distribute == before.distribute
+        # The mirror is an involution.
+        assert rel.apply(image).key() == mapping.key()
+
+    def test_identity_describes_itself(self):
+        assert KindRelabeling().describe() == "identity"
+        assert KindRelabeling().is_identity()
+
+
+class TestOrbitFoldPreservesMakespan:
+    """Relabeled mappings simulate bit-identically (noise-free)."""
+
+    def test_makespan_invariant_under_relabeling(self):
+        graph = build_diamond_graph()
+        machine = symmetric_machine()
+        sym = MachineSymmetry(graph, machine)
+        assert not sym.is_trivial()
+        space = SearchSpace(graph, machine)
+        simulator = Simulator(
+            graph, machine, SimConfig(noise_sigma=0.0, spill=True)
+        )
+        rng = random.Random(42)
+        mappings = [space.default_mapping()] + [
+            space.random_mapping(rng, valid=True) for _ in range(10)
+        ]
+        for mapping in mappings:
+            base = simulator.run(mapping).makespan
+            for rel in sym.automorphisms():
+                image = rel.apply(mapping)
+                assert simulator.run(image).makespan == base
+
+    def test_canonical_folds_orbit_to_least_key(self):
+        graph = build_diamond_graph()
+        machine = symmetric_machine()
+        canon = Canonicalizer(graph, machine)
+        sym = MachineSymmetry(graph, machine)
+        space = SearchSpace(graph, machine)
+        rng = random.Random(7)
+        folded_any = False
+        for _ in range(10):
+            mapping = space.random_mapping(rng, valid=True)
+            out = canon.canonical(mapping)
+            # Idempotent, and minimal over the mapping's orbit.
+            assert canon.canonical(out).key() == out.key()
+            orbit_keys = [out.key()] + [
+                canon.canonical(rel.apply(mapping)).key()
+                for rel in sym.automorphisms()
+            ]
+            assert out.key() == min(orbit_keys)
+            if out.key() != mapping.key():
+                folded_any = True
+        assert folded_any
+        assert canon.symmetry_folds > 0
+
+    def test_asymmetric_machine_never_symmetry_folds(self):
+        machine = shepard(1)
+        graph = make_app("stencil").graph(machine)
+        canon = Canonicalizer(graph, machine)
+        space = SearchSpace(graph, machine)
+        rng = random.Random(3)
+        for _ in range(5):
+            canon.canonical(space.random_mapping(rng, valid=True))
+        assert canon.symmetry_folds == 0
+
+
+class TestSymmetricProcDrops:
+    def test_single_kind_space_drops_redundant_proc(self):
+        graph = single_kind_graph()
+        machine = symmetric_machine()
+        canon = Canonicalizer(graph, machine)
+        space = SearchSpace(graph, machine)
+        pruned = space.prune_infeasible(canonicalizer=canon)
+        assert pruned.is_pruned
+        # GPU folds onto CPU (the lexicographically smaller value);
+        # full enumeration still reports both options.
+        assert pruned.searched_proc_options("work") == (ProcKind.CPU,)
+        assert set(space.dims("work").proc_options) == {
+            ProcKind.CPU,
+            ProcKind.GPU,
+        }
+
+    def test_multi_kind_space_keeps_all_procs(self):
+        graph = build_diamond_graph()
+        machine = symmetric_machine()
+        canon = Canonicalizer(graph, machine)
+        space = SearchSpace(graph, machine)
+        pruned = space.prune_infeasible(canonicalizer=canon)
+        for name in pruned.kind_names():
+            assert pruned.searched_proc_options(name) == pruned.dims(
+                name
+            ).proc_options
+
+    def test_asymmetric_machine_drops_nothing(self):
+        machine = shepard(1)
+        graph = single_kind_graph()
+        canon = Canonicalizer(graph, machine)
+        space = SearchSpace(graph, machine)
+        pruned = space.prune_infeasible(canonicalizer=canon)
+        assert pruned.searched_proc_options("work") == pruned.dims(
+            "work"
+        ).proc_options
+
+
+class TestDiagnostics:
+    def test_am502_reported_for_symmetric_machine(self):
+        graph = build_diamond_graph()
+        canon = Canonicalizer(graph, symmetric_machine())
+        diags = canon.diagnose_symmetry()
+        assert [d.rule_id for d in diags] == ["AM502"]
+        assert "system->framebuffer" in diags[0].message
+
+    def test_no_am502_for_stock_machines(self):
+        machine = shepard(1)
+        graph = make_app("stencil").graph(machine)
+        assert Canonicalizer(graph, machine).diagnose_symmetry() == []

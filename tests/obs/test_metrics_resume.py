@@ -61,15 +61,15 @@ class TestMetricsSurviveResume:
         path = tmp_path / "checkpoint.json"
         crashing = make_driver(
             checkpoint_path=path,
-            checkpoint_every=5,
-            observers=[KillAfter(12)],
+            checkpoint_every=2,
+            observers=[KillAfter(3)],
         )
         with pytest.raises(KeyboardInterrupt):
             crashing.tune()
 
         resumed = make_driver(
             checkpoint_path=path,
-            checkpoint_every=5,
+            checkpoint_every=2,
             resume_checkpoint=load_checkpoint(path),
         ).tune()
         assert resumed.metrics is not None

@@ -94,12 +94,19 @@ def test_lower_bound_never_exceeds_makespan(app_name, machine_name):
     checked = 0
     for mapping in _mappings(space):
         result = simulator.run(mapping)
-        lb = analyzer.lower_bound(result.executed_mapping)
+        bd = analyzer.breakdown(result.executed_mapping)
+        lb = bd.total
         assert lb <= result.makespan, (
             f"{app_name}/{machine_name}: LB {lb!r} exceeds simulated "
             f"makespan {result.makespan!r} for {mapping.key()}"
         )
         assert lb > 0.0
+        # Per-component soundness: every component is itself a lower
+        # bound, and channel-path routing can only tighten (never
+        # loosen) the incident-bandwidth communication aggregate.
+        assert bd.communication <= result.makespan
+        assert bd.schedule <= result.makespan
+        assert bd.communication >= bd.communication_incident
         checked += 1
     assert checked == MAPPINGS_PER_CASE + 1
 

@@ -68,7 +68,7 @@ def assert_reports_identical(baseline, resumed):
     ]
 
 
-def kill_and_resume(app_name, algorithm, tmp_path, kill_after=12):
+def kill_and_resume(app_name, algorithm, tmp_path, kill_after=3):
     """Run uninterrupted; run again with a mid-search crash; resume;
     return (baseline report, resumed report)."""
     baseline = make_driver(app_name, algorithm).tune()
@@ -78,7 +78,7 @@ def kill_and_resume(app_name, algorithm, tmp_path, kill_after=12):
         app_name,
         algorithm,
         checkpoint_path=path,
-        checkpoint_every=5,
+        checkpoint_every=2,
         observers=[KillAfter(kill_after)],
     )
     with pytest.raises(KeyboardInterrupt):
@@ -91,7 +91,7 @@ def kill_and_resume(app_name, algorithm, tmp_path, kill_after=12):
         app_name,
         algorithm,
         checkpoint_path=path,
-        checkpoint_every=5,
+        checkpoint_every=2,
         resume_checkpoint=load_checkpoint(path),
     )
     resumed = resumed_driver.tune()
@@ -124,8 +124,8 @@ class TestKillThenResume:
             "stencil",
             "ccd",
             checkpoint_path=path,
-            checkpoint_every=4,
-            observers=[KillAfter(12)],
+            checkpoint_every=2,
+            observers=[KillAfter(2)],
         )
         with pytest.raises(KeyboardInterrupt):
             first.tune()
@@ -134,9 +134,9 @@ class TestKillThenResume:
             "stencil",
             "ccd",
             checkpoint_path=path,
-            checkpoint_every=4,
+            checkpoint_every=2,
             resume_checkpoint=load_checkpoint(path),
-            observers=[KillAfter(18)],
+            observers=[KillAfter(4)],
         )
         with pytest.raises(KeyboardInterrupt):
             second.tune()
@@ -145,7 +145,7 @@ class TestKillThenResume:
             "stencil",
             "ccd",
             checkpoint_path=path,
-            checkpoint_every=4,
+            checkpoint_every=2,
             resume_checkpoint=load_checkpoint(path),
         )
         assert_reports_identical(baseline, final.tune())
@@ -200,8 +200,8 @@ class TestBoundPruneResume:
             "stencil",
             "ccd",
             checkpoint_path=path,
-            checkpoint_every=5,
-            observers=[KillAfter(12)],
+            checkpoint_every=2,
+            observers=[KillAfter(3)],
         )
         with pytest.raises(KeyboardInterrupt):
             crashing.tune()
@@ -223,8 +223,8 @@ class TestResumeGuards:
             "stencil",
             "ccd",
             checkpoint_path=path,
-            checkpoint_every=5,
-            observers=[KillAfter(10)],
+            checkpoint_every=2,
+            observers=[KillAfter(3)],
         )
         with pytest.raises(KeyboardInterrupt):
             crashing.tune()

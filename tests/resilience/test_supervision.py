@@ -31,6 +31,9 @@ def make_driver(algorithm="ccd", max_suggestions=300, **kwargs):
         sim_config=SimConfig(noise_sigma=0.04, seed=SEED, spill=True),
         space=app.space(machine),
         seed=SEED,
+        # Bound pruning would starve the worker pool of prefetch work;
+        # these tests need real batches in flight to inject faults into.
+        bound_prune=False,
         **kwargs,
     )
 

@@ -135,6 +135,7 @@ class TestAnalyzeCommand:
             "-- canonicalization (AM2xx)",
             "-- graph sanitizer (AM3xx)",
             "-- cost bounds (AM4xx)",
+            "-- routing & symmetry (AM5xx)",
         ]
         from repro.analysis import RULES
 
