@@ -105,6 +105,11 @@ def _diagnose_bounds(
     report = DiagnosticReport()
     report.extend(routing_model(machine).diagnose())
     report.extend(canonicalizer.diagnose_symmetry())
+    if not graph.launches:
+        # Degenerate graph: nothing to simulate and no mapping to
+        # bound (``Mapping({})`` is invalid by construction), so the
+        # machine-level findings above are the whole report.
+        return report
     simulator = Simulator(
         graph, machine, SimConfig(noise_sigma=0.0, spill=True)
     )

@@ -1,4 +1,10 @@
-"""Application registry: construct benchmark apps by name."""
+"""Application registry: construct benchmark apps by name.
+
+Holds the five paper applications plus the synthetic generator
+families from :mod:`repro.generators` — both sides are plain
+:class:`~repro.apps.base.App` subclasses, so everything downstream
+(tune, analyze, fuzz) treats them uniformly.
+"""
 
 from __future__ import annotations
 
@@ -10,16 +16,19 @@ from repro.apps.htr import HTRApp
 from repro.apps.maestro import MaestroApp
 from repro.apps.pennant import PennantApp
 from repro.apps.stencil import StencilApp
+from repro.generators import GENERATOR_FAMILIES
 
 __all__ = ["APP_REGISTRY", "make_app"]
 
-#: Name -> constructor for the five benchmark applications.
+#: Name -> constructor for the five benchmark applications and the
+#: synthetic generator families.
 APP_REGISTRY: Dict[str, Callable[..., App]] = {
     "circuit": CircuitApp,
     "stencil": StencilApp,
     "pennant": PennantApp,
     "htr": HTRApp,
     "maestro": MaestroApp,
+    **GENERATOR_FAMILIES,
 }
 
 

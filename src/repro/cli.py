@@ -23,14 +23,14 @@ from typing import Optional
 
 from repro.apps import APP_REGISTRY, make_app
 from repro.core import AutoMapSession, OracleConfig
-from repro.machine import lassen, shepard
+from repro.machine import MACHINE_ZOO
 from repro.runtime import SimConfig
 from repro.util.logging import configure as configure_logging
 from repro.viz import render_mapping, render_mapping_diff
 
-__all__ = ["main", "build_parser", "parse_app_input"]
+__all__ = ["main", "build_parser", "parse_app_input", "parse_gen_params"]
 
-_MACHINES = {"shepard": shepard, "lassen": lassen}
+_MACHINES = dict(MACHINE_ZOO)
 
 
 def parse_app_input(app_name: str, label: Optional[str]) -> dict:
@@ -72,8 +72,50 @@ def parse_app_input(app_name: str, label: Optional[str]) -> dict:
             }
     raise SystemExit(
         f"cannot parse input {label!r} for application {app_name!r} "
-        "(see `python -m repro inspect --help`)"
+        "(paper apps take paper-style labels; generator families are "
+        "parameterised with --gen-param K=V instead)"
     )
+
+
+def _coerce_param(raw: str):
+    """``--gen-param`` value coercion: bool, int, float, then string."""
+    low = raw.lower()
+    if low in ("true", "false"):
+        return low == "true"
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    return raw
+
+
+def parse_gen_params(pairs) -> dict:
+    """Parse repeated ``--gen-param key=value`` flags into app kwargs."""
+    out = {}
+    for pair in pairs or []:
+        key, sep, raw = pair.partition("=")
+        key = key.strip()
+        if not sep or not key.isidentifier():
+            raise SystemExit(
+                f"--gen-param expects KEY=VALUE with an identifier key, "
+                f"got {pair!r}"
+            )
+        out[key] = _coerce_param(raw.strip())
+    return out
+
+
+def _make_app(args):
+    """Construct the requested app from --input and --gen-param flags."""
+    kwargs = parse_app_input(args.app, args.input)
+    kwargs.update(parse_gen_params(getattr(args, "gen_param", None)))
+    try:
+        return make_app(args.app, **kwargs)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"repro {args.command}: {exc}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -93,6 +135,15 @@ def build_parser() -> argparse.ArgumentParser:
             "--machine", default="shepard", choices=sorted(_MACHINES)
         )
         p.add_argument("--nodes", type=int, default=1)
+        p.add_argument(
+            "--gen-param",
+            action="append",
+            default=[],
+            metavar="K=V",
+            help="app constructor knob (repeatable), e.g. "
+            "--gen-param layers=8 --gen-param parts=1; values parse "
+            "as bool/int/float before falling back to strings",
+        )
 
     tune = sub.add_parser("tune", help="run the AutoMap search")
     add_common(tune)
@@ -204,6 +255,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument("--nodes", type=int, default=1)
     analyze.add_argument(
+        "--gen-param",
+        action="append",
+        default=[],
+        metavar="K=V",
+        help="app constructor knob (repeatable); see `tune --help`",
+    )
+    analyze.add_argument(
         "--mapping",
         action="append",
         default=[],
@@ -256,6 +314,55 @@ def build_parser() -> argparse.ArgumentParser:
         "incremental-identity CI gate uses this)",
     )
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="soundness fuzzing: seeded random (generator, machine, "
+        "search-config) cases checked against the bound/canonical/"
+        "relabel/resume invariants",
+    )
+    fuzz.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="base seed; case i is a pure function of (seed, i) "
+        "(default: 0)",
+    )
+    fuzz.add_argument(
+        "--budget",
+        type=int,
+        default=50,
+        metavar="N",
+        help="number of random cases to run (default: 50)",
+    )
+    fuzz.add_argument(
+        "--replay",
+        default=None,
+        metavar="PATH",
+        help="replay the fuzz-case JSON file or corpus directory "
+        "instead of sampling random cases (the CI regression gate "
+        "replays tests/property/corpus/)",
+    )
+    fuzz.add_argument(
+        "--invariant",
+        action="append",
+        default=None,
+        choices=["bound", "canonical", "relabel", "resume"],
+        metavar="NAME",
+        help="check only this invariant (repeatable; default: all four)",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failing cases as sampled, without minimising them",
+    )
+    fuzz.add_argument(
+        "--artifacts",
+        default=None,
+        metavar="DIR",
+        help="write each failing case (shrunk when shrinking is on) "
+        "as a replayable JSON file into DIR",
+    )
+
     sub.add_parser("machines", help="list bundled machine models")
     return parser
 
@@ -272,7 +379,7 @@ def _cmd_tune(args) -> int:
             )
         workdir = args.resume
     machine = _MACHINES[args.machine](args.nodes)
-    app = make_app(args.app, **parse_app_input(args.app, args.input))
+    app = _make_app(args)
     graph = app.graph(machine)
     session = AutoMapSession(
         graph,
@@ -310,7 +417,7 @@ def _cmd_tune(args) -> int:
 
 def _cmd_inspect(args) -> int:
     machine = _MACHINES[args.machine](args.nodes)
-    app = make_app(args.app, **parse_app_input(args.app, args.input))
+    app = _make_app(args)
     graph = app.graph(machine)
     space = app.space(machine)
     print(machine.describe())
@@ -337,7 +444,7 @@ def _cmd_analyze(args) -> int:
         raise SystemExit("repro analyze: --app is required "
                          "(or use --list-rules)")
     machine = _MACHINES[args.machine](args.nodes)
-    app = make_app(args.app, **parse_app_input(args.app, args.input))
+    app = _make_app(args)
     graph = app.graph(machine)
     space = app.space(machine)
 
@@ -423,6 +530,83 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.fuzz import (
+        INVARIANTS,
+        FuzzCase,
+        fuzz,
+        load_corpus,
+        run_case,
+        save_case,
+    )
+
+    invariants = tuple(args.invariant) if args.invariant else INVARIANTS
+    failures = []  # (label, CaseResult, reproducer FuzzCase)
+
+    if args.replay is not None:
+        replay = Path(args.replay)
+        if replay.is_dir():
+            cases = load_corpus(replay)
+        else:
+            try:
+                doc = json.loads(replay.read_text())
+            except (OSError, ValueError) as exc:
+                raise SystemExit(f"repro fuzz: {exc}")
+            cases = [(replay, FuzzCase.from_doc(doc))]
+        if not cases:
+            raise SystemExit(f"repro fuzz: no fuzz cases under {replay}")
+        for path, case in cases:
+            result = run_case(case, invariants=invariants)
+            _print_case_line(path.name, case, result)
+            if not result.ok:
+                failures.append((path.name, result, case))
+        total = len(cases)
+    else:
+        report = fuzz(
+            seed=args.seed,
+            budget=args.budget,
+            invariants=invariants,
+            shrink=not args.no_shrink,
+            on_case=lambda i, r: _print_case_line(f"case {i}", r.case, r),
+        )
+        shrunk = iter(report.shrunk)
+        for i, result in enumerate(report.results):
+            if not result.ok:
+                reproducer = (
+                    result.case if args.no_shrink else next(shrunk)
+                )
+                failures.append((f"case {i}", result, reproducer))
+        total = len(report.results)
+
+    print()
+    if not failures:
+        print(f"fuzz: {total} case(s), 0 violations "
+              f"({', '.join(invariants)})")
+        return 0
+    for label, result, reproducer in failures:
+        print(f"FAIL {label}: {result.case.label()}")
+        for v in result.violations:
+            print(f"  [{v.invariant}] {v.message}")
+        if reproducer is not result.case:
+            print(f"  shrunk to: {reproducer.label()}")
+    if args.artifacts is not None:
+        directory = Path(args.artifacts)
+        for _, result, reproducer in failures:
+            invariant = sorted(result.violated())[0]
+            path = save_case(reproducer, directory, invariant)
+            print(f"wrote {path}")
+    print(f"fuzz: {total} case(s), {len(failures)} failing")
+    return 1
+
+
+def _print_case_line(label, case, result) -> None:
+    status = "ok" if result.ok else ",".join(sorted(result.violated()))
+    print(f"{label}: {case.label()} ... {status}")
+
+
 def _cmd_machines(_args) -> int:
     for name, builder in sorted(_MACHINES.items()):
         print(builder(1).describe())
@@ -441,6 +625,8 @@ def main(argv=None) -> int:
             return _cmd_analyze(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "fuzz":
+            return _cmd_fuzz(args)
         if args.command == "machines":
             return _cmd_machines(args)
     except KeyboardInterrupt:

@@ -1,0 +1,186 @@
+"""Fuzz cases: seeded random (generator, machine, search-config) triples.
+
+A :class:`FuzzCase` is a fully serialisable description of one
+soundness trial — which generator family with which knobs, which zoo
+machine at which size, and which search configuration.  Sampling is a
+pure function of an explicit :class:`random.Random`, so a (seed, index)
+pair always reproduces the same case, shrunk cases replay from their
+JSON form, and the committed seed corpus doubles as a regression suite.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.apps import make_app
+from repro.apps.base import App
+from repro.machine.builders import MACHINE_ZOO
+from repro.machine.model import Machine
+from repro.taskgraph.graph import TaskGraph
+
+__all__ = ["FuzzCase", "sample_case", "build_case"]
+
+_FORMAT = "automap-fuzz-case-v1"
+
+#: Machines the sampler draws from: zoo name -> size options.  Sizes
+#: stay small so a single case simulates in well under a second.
+MACHINE_CHOICES: Tuple[Tuple[str, Tuple[int, ...]], ...] = (
+    ("mirrored", (1, 2)),
+    ("lopsided", (1, 2)),
+    ("helix", (1, 2, 3, 6)),
+    ("shepard", (1, 2)),
+    ("lassen", (1,)),
+)
+
+#: Generator knob pools, per family.  ``None`` keeps the app default.
+GEN_CHOICES: Dict[str, Dict[str, Tuple]] = {
+    "forkjoin": {
+        "width": (None, 1, 2, 4, 8),
+        "elems": (4096, 1 << 16),
+        "iterations": (1, 2, 3),
+    },
+    "halo": {
+        "parts": (None, 1, 2, 4),
+        "elems": (4096, 1 << 16),
+        "halo": (1, 64, 1024),
+        "iterations": (1, 2),
+    },
+    "pipeline": {
+        "parts": (None, 1, 2),
+        "layers": (1, 2, 3, 4, 6),
+        "hidden": (1024, 1 << 14),
+        "iterations": (1, 2),
+    },
+    "reduction": {
+        "parts": (None, 1, 2),
+        "levels": (1, 2, 3, 4),
+        "fanout": (2, 4, 8),
+        "elems": (4096, 1 << 16),
+        "iterations": (1, 2),
+    },
+}
+
+ALGORITHMS = ("ccd", "cd", "random", "opentuner")
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One reproducible soundness trial."""
+
+    generator: str
+    gen_params: Dict[str, object] = field(default_factory=dict)
+    machine: str = "shepard"
+    machine_arg: int = 1
+    algorithm: str = "ccd"
+    seed: int = 0
+    noise_sigma: float = 0.02
+    #: Search budget for the kill/resume invariant.
+    max_suggestions: int = 24
+    #: Evaluations before the simulated crash.
+    kill_after: int = 3
+    #: Random mappings checked by the static invariants.
+    mappings: int = 4
+    #: Free-form provenance (who found it, what it pins).
+    note: str = ""
+
+    # ------------------------------------------------------------------
+    def label(self) -> str:
+        params = ",".join(
+            f"{k}={v}" for k, v in sorted(self.gen_params.items())
+        )
+        return (
+            f"{self.generator}({params}) on "
+            f"{self.machine}({self.machine_arg}) "
+            f"{self.algorithm}/seed={self.seed}"
+        )
+
+    def to_doc(self) -> dict:
+        return {
+            "format": _FORMAT,
+            "generator": self.generator,
+            "gen_params": dict(self.gen_params),
+            "machine": self.machine,
+            "machine_arg": self.machine_arg,
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "noise_sigma": self.noise_sigma,
+            "max_suggestions": self.max_suggestions,
+            "kill_after": self.kill_after,
+            "mappings": self.mappings,
+            "note": self.note,
+        }
+
+    @staticmethod
+    def from_doc(doc: dict) -> "FuzzCase":
+        if doc.get("format") != _FORMAT:
+            raise ValueError(
+                f"not a fuzz-case document (format={doc.get('format')!r})"
+            )
+        return FuzzCase(
+            generator=doc["generator"],
+            gen_params=dict(doc.get("gen_params", {})),
+            machine=doc["machine"],
+            machine_arg=int(doc["machine_arg"]),
+            algorithm=doc.get("algorithm", "ccd"),
+            seed=int(doc.get("seed", 0)),
+            noise_sigma=float(doc.get("noise_sigma", 0.02)),
+            max_suggestions=int(doc.get("max_suggestions", 24)),
+            kill_after=int(doc.get("kill_after", 3)),
+            mappings=int(doc.get("mappings", 4)),
+            note=doc.get("note", ""),
+        )
+
+    def with_(self, **changes) -> "FuzzCase":
+        return replace(self, **changes)
+
+
+def sample_case(rng: random.Random) -> FuzzCase:
+    """Draw one case; a pure function of ``rng``'s state."""
+    generator = rng.choice(sorted(GEN_CHOICES))
+    params: Dict[str, object] = {}
+    for knob, pool in sorted(GEN_CHOICES[generator].items()):
+        value = rng.choice(pool)
+        if value is not None:
+            params[knob] = value
+    machine, sizes = MACHINE_CHOICES[rng.randrange(len(MACHINE_CHOICES))]
+    return FuzzCase(
+        generator=generator,
+        gen_params=params,
+        machine=machine,
+        machine_arg=rng.choice(sizes),
+        algorithm=rng.choice(ALGORITHMS),
+        seed=rng.randrange(1 << 16),
+        noise_sigma=rng.choice((0.0, 0.02, 0.04)),
+        max_suggestions=rng.choice((12, 24, 40)),
+        kill_after=rng.choice((2, 3, 5)),
+        mappings=rng.choice((3, 4, 6)),
+    )
+
+
+def build_case(case: FuzzCase) -> Tuple[App, TaskGraph, Machine]:
+    """Materialise the case's app, graph, and machine (raises
+    ``ValueError`` for unknown names/knobs — a sampler or corpus bug)."""
+    try:
+        factory = MACHINE_ZOO[case.machine]
+    except KeyError:
+        raise ValueError(
+            f"unknown zoo machine {case.machine!r}; "
+            f"choose from {sorted(MACHINE_ZOO)}"
+        ) from None
+    machine = factory(case.machine_arg)
+    app = make_app(case.generator, **case.gen_params)
+    return app, app.graph(machine), machine
+
+
+def case_filename(case: FuzzCase, invariant: Optional[str] = None) -> str:
+    """A stable, content-derived corpus filename."""
+    import hashlib
+    import json
+
+    digest = hashlib.sha256(
+        json.dumps(case.to_doc(), sort_keys=True).encode()
+    ).hexdigest()[:12]
+    middle = f"{invariant}-" if invariant else ""
+    return f"case-{middle}{case.generator}-{digest}.json"

@@ -1,0 +1,48 @@
+"""Parameterised synthetic task-graph generator families.
+
+Four structural families stress the axes the five paper applications
+leave narrow, emitted through the same declarative spec and
+:class:`~repro.taskgraph.builder.GraphBuilder` pipeline as the paper
+apps and registered in :data:`repro.apps.registry.APP_REGISTRY` under
+their family names:
+
+- :class:`~repro.generators.forkjoin.ForkJoinApp` (``forkjoin``) —
+  scatter / parallel work / full-fan-in join ladders (width axis);
+- :class:`~repro.generators.halo.HaloApp` (``halo``) — stencil-like
+  sweeps with ghost-strip halo exchange (communication axis);
+- :class:`~repro.generators.pipeline.PipelineApp` (``pipeline``) —
+  LLM-inference-shaped sequential layer stages (kind-count axis);
+- :class:`~repro.generators.reduction.ReductionApp` (``reduction``) —
+  fanout-ary combining trees over shrinking data (depth axis).
+
+``repro tune/analyze/fuzz`` construct them by name with ``--gen-param
+k=v`` knobs; the fuzz harness samples them randomly against the
+machine zoo to exercise the soundness invariants.
+"""
+
+from typing import Callable, Dict
+
+from repro.apps.base import App
+from repro.generators.base import GeneratorApp, check_param
+from repro.generators.forkjoin import ForkJoinApp
+from repro.generators.halo import HaloApp
+from repro.generators.pipeline import PipelineApp
+from repro.generators.reduction import ReductionApp
+
+__all__ = [
+    "GeneratorApp",
+    "check_param",
+    "ForkJoinApp",
+    "HaloApp",
+    "PipelineApp",
+    "ReductionApp",
+    "GENERATOR_FAMILIES",
+]
+
+#: Family name -> constructor, merged into ``APP_REGISTRY``.
+GENERATOR_FAMILIES: Dict[str, Callable[..., App]] = {
+    ForkJoinApp.name: ForkJoinApp,
+    HaloApp.name: HaloApp,
+    PipelineApp.name: PipelineApp,
+    ReductionApp.name: ReductionApp,
+}

@@ -1,0 +1,54 @@
+"""Shared plumbing for the synthetic task-graph generator families.
+
+A generator is an ordinary :class:`repro.apps.base.App` — it goes
+through the same declarative spec, the same :class:`GraphBuilder`
+emission, and the same registry — parameterised by structural knobs
+(width, depth, element counts) instead of a paper input deck.  The one
+extra degree of freedom is an explicit ``parts`` override: the paper
+apps always decompose relative to the machine's GPU count, while the
+fuzz harness needs to pin degenerate decompositions (``parts=1``) and
+oversubscribed ones regardless of the machine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.base import App
+from repro.machine.model import Machine
+
+__all__ = ["GeneratorApp", "check_param"]
+
+
+def check_param(name: str, value: int, lo: int, hi: int) -> int:
+    """Validate an integral generator knob against an inclusive range.
+
+    Generators are driven by fuzzers and ``--gen-param`` strings, so
+    every knob is range-checked up front: a nonsense parameter must be
+    a loud :class:`ValueError` at construction, never a degenerate
+    graph discovered three layers down.
+    """
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError(f"{name} must be an integer, got {value!r}")
+    if not lo <= value <= hi:
+        raise ValueError(
+            f"{name}={value} out of range [{lo}, {hi}]"
+        )
+    return value
+
+
+class GeneratorApp(App):
+    """Base class for generator families.
+
+    ``parts`` pins the group-launch decomposition when given (1 is
+    allowed — the degenerate single-point launch the analyzer must
+    survive); ``None`` keeps the machine-derived default.
+    """
+
+    #: Explicit decomposition override (None = machine-derived).
+    explicit_parts: Optional[int] = None
+
+    def parts(self, machine: Machine) -> int:
+        if self.explicit_parts is not None:
+            return self.explicit_parts
+        return super().parts(machine)

@@ -1,0 +1,81 @@
+"""Fork-join family: scatter, parallel work, full-fan-in join.
+
+Each iteration forks a small seed into a wide work array (scatter),
+grinds the work array in parallel, and joins every worker's block back
+into the seed (each join point reads the *whole* work array, giving the
+all-to-one dependence fan of a reduction/join).  The seed write makes
+the next iteration's fork depend on the previous join, so iterations
+chain into the classic fork-join ladder.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.apps.base import KindSpec, RootSpec, SlotSpec
+from repro.generators.base import GeneratorApp, check_param
+from repro.taskgraph.task import Privilege, ShardPattern
+
+__all__ = ["ForkJoinApp"]
+
+
+class ForkJoinApp(GeneratorApp):
+    """``width`` parallel workers over ``elems`` elements per iteration."""
+
+    name = "forkjoin"
+
+    def __init__(
+        self,
+        width: Optional[int] = None,
+        elems: int = 1 << 16,
+        iterations: int = 2,
+        work_flops: float = 50.0,
+    ) -> None:
+        if width is not None:
+            self.explicit_parts = check_param("width", width, 1, 4096)
+        self.elems = check_param("elems", elems, 64, 1 << 28)
+        self.iterations = check_param("iterations", iterations, 1, 64)
+        if not work_flops > 0:
+            raise ValueError(f"work_flops must be positive: {work_flops!r}")
+        self.work_flops = float(work_flops)
+
+    def input_label(self) -> str:
+        width = "auto" if self.explicit_parts is None else self.explicit_parts
+        return f"w{width}e{self.elems}"
+
+    # ------------------------------------------------------------------
+    def roots(self) -> Sequence[RootSpec]:
+        return [
+            RootSpec("seed", 1024),
+            RootSpec("work", self.elems),
+        ]
+
+    def kinds(self) -> Sequence[KindSpec]:
+        R, W, RW = Privilege.READ, Privilege.WRITE, Privilege.READ_WRITE
+        B, REP = ShardPattern.BLOCK, ShardPattern.REPLICATED
+        return [
+            KindSpec(
+                "fork",
+                slots=(
+                    SlotSpec("seed", "seed", R, REP),
+                    SlotSpec("out", "work", W, B),
+                ),
+                flops_per_elem=2.0,
+                work_root="work",
+            ),
+            KindSpec(
+                "work",
+                slots=(SlotSpec("data", "work", RW, B),),
+                flops_per_elem=self.work_flops,
+                work_root="work",
+            ),
+            KindSpec(
+                "join",
+                slots=(
+                    SlotSpec("all", "work", R, REP),
+                    SlotSpec("seed", "seed", RW, B),
+                ),
+                flops_per_elem=1.0,
+                work_root="work",
+            ),
+        ]

@@ -1,0 +1,73 @@
+"""Halo-exchange family: stencil-like sweeps with ghost strips.
+
+A 1D-decomposed grid where each sweep updates its block and reads
+``halo``-wide ghost strips from both neighbours — the communication
+pattern of structured stencils and wavefront solvers.  Iterating the
+sweep chains the halo dependences into the diagonal wavefront the
+family is named for; a cheap block-local ``relax`` kind rides along so
+the search space has a second, communication-free kind to place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.apps.base import ELEM_BYTES, KindSpec, RootSpec, SlotSpec
+from repro.generators.base import GeneratorApp, check_param
+from repro.taskgraph.task import Privilege, ShardPattern
+
+__all__ = ["HaloApp"]
+
+
+class HaloApp(GeneratorApp):
+    """Stencil-like halo sweeps on ``elems`` grid points."""
+
+    name = "halo"
+
+    def __init__(
+        self,
+        elems: int = 1 << 18,
+        halo: int = 128,
+        iterations: int = 2,
+        parts: Optional[int] = None,
+        sweep_flops: float = 16.0,
+    ) -> None:
+        self.elems = check_param("elems", elems, 256, 1 << 28)
+        self.halo = check_param("halo", halo, 1, 1 << 20)
+        self.iterations = check_param("iterations", iterations, 1, 64)
+        if parts is not None:
+            self.explicit_parts = check_param("parts", parts, 1, 4096)
+        if not sweep_flops > 0:
+            raise ValueError(f"sweep_flops must be positive: {sweep_flops!r}")
+        self.sweep_flops = float(sweep_flops)
+
+    def input_label(self) -> str:
+        return f"e{self.elems}h{self.halo}"
+
+    # ------------------------------------------------------------------
+    def roots(self) -> Sequence[RootSpec]:
+        return [RootSpec("grid", self.elems)]
+
+    def kinds(self) -> Sequence[KindSpec]:
+        R, RW = Privilege.READ, Privilege.READ_WRITE
+        B = ShardPattern.BLOCK
+        LO, HI = ShardPattern.STRIP_LO_OUT, ShardPattern.STRIP_HI_OUT
+        halo_bytes = self.halo * ELEM_BYTES
+        return [
+            KindSpec(
+                "sweep",
+                slots=(
+                    SlotSpec("center", "grid", RW, B),
+                    SlotSpec("lo", "grid", R, LO, halo_bytes=halo_bytes),
+                    SlotSpec("hi", "grid", R, HI, halo_bytes=halo_bytes),
+                ),
+                flops_per_elem=self.sweep_flops,
+                work_root="grid",
+            ),
+            KindSpec(
+                "relax",
+                slots=(SlotSpec("block", "grid", RW, B),),
+                flops_per_elem=2.0,
+                work_root="grid",
+            ),
+        ]

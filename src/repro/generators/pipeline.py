@@ -1,0 +1,73 @@
+"""Pipelined layer family: LLM-inference-shaped graphs.
+
+``layers`` sequential transformer-like stages, each reading its own
+weight shard and updating the activation array in place — the shape of
+pipelined LLM inference, where per-layer weight placement across a
+mixed-accelerator cluster is exactly the decision Helix-style systems
+optimise.  The task-kind count grows with ``layers``, so this family
+stretches the *multi-kind* axis of the search space (one decision per
+layer), unlike the other families which stretch width or depth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.apps.base import KindSpec, RootSpec, SlotSpec
+from repro.generators.base import GeneratorApp, check_param
+from repro.taskgraph.task import Privilege, ShardPattern
+
+__all__ = ["PipelineApp"]
+
+
+class PipelineApp(GeneratorApp):
+    """``layers`` weight-stationary stages over a flowing activation."""
+
+    name = "pipeline"
+
+    def __init__(
+        self,
+        layers: int = 4,
+        hidden: int = 1 << 14,
+        weight_mult: int = 8,
+        iterations: int = 2,
+        parts: Optional[int] = None,
+        layer_flops: float = 64.0,
+    ) -> None:
+        self.layers = check_param("layers", layers, 1, 48)
+        self.hidden = check_param("hidden", hidden, 64, 1 << 24)
+        self.weight_mult = check_param("weight_mult", weight_mult, 1, 64)
+        self.iterations = check_param("iterations", iterations, 1, 64)
+        if parts is not None:
+            self.explicit_parts = check_param("parts", parts, 1, 4096)
+        if not layer_flops > 0:
+            raise ValueError(f"layer_flops must be positive: {layer_flops!r}")
+        self.layer_flops = float(layer_flops)
+
+    def input_label(self) -> str:
+        return f"l{self.layers}h{self.hidden}"
+
+    # ------------------------------------------------------------------
+    def roots(self) -> Sequence[RootSpec]:
+        roots = [RootSpec("acts", self.hidden)]
+        roots += [
+            RootSpec(f"w{i}", self.hidden * self.weight_mult)
+            for i in range(self.layers)
+        ]
+        return roots
+
+    def kinds(self) -> Sequence[KindSpec]:
+        R, RW = Privilege.READ, Privilege.READ_WRITE
+        B = ShardPattern.BLOCK
+        return [
+            KindSpec(
+                f"layer{i}",
+                slots=(
+                    SlotSpec("acts", "acts", RW, B),
+                    SlotSpec("w", f"w{i}", R, B),
+                ),
+                flops_per_elem=self.layer_flops,
+                work_root="acts",
+            )
+            for i in range(self.layers)
+        ]

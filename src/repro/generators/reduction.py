@@ -1,0 +1,76 @@
+"""Reduction-tree family: level-by-level fan-in over shrinking data.
+
+``levels`` reduce stages over a leaf array, each level's output a
+``fanout``× smaller partial array.  The first level reads its leaf
+block; every later level reads the *whole* previous partial array
+(replicated read), so the derived dependences form the all-to-all
+fan-in of a combining tree, while the shrinking data sizes shift the
+compute/communication balance level by level — small deep trees are
+launch-overhead-bound, wide shallow ones bandwidth-bound.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.apps.base import KindSpec, RootSpec, SlotSpec
+from repro.generators.base import GeneratorApp, check_param
+from repro.taskgraph.task import Privilege, ShardPattern
+
+__all__ = ["ReductionApp"]
+
+
+class ReductionApp(GeneratorApp):
+    """A ``levels``-deep, ``fanout``-ary reduction over ``elems`` leaves."""
+
+    name = "reduction"
+
+    def __init__(
+        self,
+        levels: int = 3,
+        fanout: int = 8,
+        elems: int = 1 << 18,
+        iterations: int = 2,
+        parts: Optional[int] = None,
+    ) -> None:
+        self.levels = check_param("levels", levels, 1, 16)
+        self.fanout = check_param("fanout", fanout, 2, 64)
+        self.elems = check_param("elems", elems, 256, 1 << 28)
+        self.iterations = check_param("iterations", iterations, 1, 64)
+        if parts is not None:
+            self.explicit_parts = check_param("parts", parts, 1, 4096)
+
+    def input_label(self) -> str:
+        return f"d{self.levels}f{self.fanout}e{self.elems}"
+
+    def _level_elems(self, level: int) -> int:
+        return max(8, self.elems // self.fanout ** (level + 1))
+
+    # ------------------------------------------------------------------
+    def roots(self) -> Sequence[RootSpec]:
+        roots = [RootSpec("leaves", self.elems)]
+        roots += [
+            RootSpec(f"partial{i}", self._level_elems(i))
+            for i in range(self.levels)
+        ]
+        return roots
+
+    def kinds(self) -> Sequence[KindSpec]:
+        R, W = Privilege.READ, Privilege.WRITE
+        B, REP = ShardPattern.BLOCK, ShardPattern.REPLICATED
+        out = []
+        for i in range(self.levels):
+            src = "leaves" if i == 0 else f"partial{i - 1}"
+            pattern = B if i == 0 else REP
+            out.append(
+                KindSpec(
+                    f"reduce{i}",
+                    slots=(
+                        SlotSpec("src", src, R, pattern),
+                        SlotSpec("dst", f"partial{i}", W, B),
+                    ),
+                    flops_per_elem=4.0,
+                    work_root=src,
+                )
+            )
+        return out

@@ -26,9 +26,14 @@ from repro.machine.model import (
     Processor,
 )
 from repro.machine.builders import (
+    MACHINE_ZOO,
     NodeSpec,
     generic_cluster,
+    helix,
+    heterogeneous_cluster,
     lassen,
+    lopsided_node,
+    mirrored_node,
     shepard,
     single_node,
 )
@@ -45,7 +50,12 @@ __all__ = [
     "NodeSpec",
     "shepard",
     "lassen",
+    "helix",
+    "mirrored_node",
+    "lopsided_node",
     "generic_cluster",
+    "heterogeneous_cluster",
     "single_node",
+    "MACHINE_ZOO",
     "Topology",
 ]

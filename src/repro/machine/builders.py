@@ -24,13 +24,24 @@ the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Callable, Dict, List, Sequence
 
 from repro.machine.kinds import MemKind, ProcKind
 from repro.machine.model import AccessLink, Channel, Machine, Memory, Processor
 from repro.util.units import GIB
 
-__all__ = ["NodeSpec", "generic_cluster", "shepard", "lassen", "single_node"]
+__all__ = [
+    "NodeSpec",
+    "generic_cluster",
+    "heterogeneous_cluster",
+    "shepard",
+    "lassen",
+    "helix",
+    "mirrored_node",
+    "lopsided_node",
+    "single_node",
+    "MACHINE_ZOO",
+]
 
 #: Parallel efficiency of the per-socket OpenMP processor relative to the
 #: sum of its cores' throughputs (memory-bandwidth sharing, sync costs).
@@ -115,26 +126,32 @@ LASSEN_NODE = NodeSpec(
 )
 
 
-def generic_cluster(name: str, spec: NodeSpec, nodes: int) -> Machine:
-    """Build a homogeneous cluster of ``nodes`` copies of ``spec``.
+def heterogeneous_cluster(name: str, specs: Sequence[NodeSpec]) -> Machine:
+    """Build a cluster with one (possibly distinct) ``NodeSpec`` per node.
 
-    The constructed graph has, per node: one CPU processor per core, one
-    GPU processor per device, one System memory per socket, one Zero-Copy
-    memory, and one frame buffer per GPU; access links per the kind
-    addressability rules; channels FB↔ZC, FB↔System(same socket side),
-    System↔System (cross socket), System↔ZC; and inter-node channels
-    between Zero-Copy and between System memories of adjacent nodes
-    (all-to-all network, modelled as a channel per node pair between the
-    nodes' Zero-Copy pools and between their System memories).
+    The constructed graph has, per node: one CPU processor per socket
+    (OpenMP-style aggregate), one GPU processor per device, one System
+    memory per socket, one Zero-Copy memory, and one frame buffer per
+    GPU; access links per the kind addressability rules; channels FB↔ZC,
+    FB↔System, System↔System (cross socket), System↔ZC; and inter-node
+    channels between Zero-Copy and between System memories of every node
+    pair (all-to-all network, priced at the slower endpoint's network
+    bandwidth and the higher endpoint latency).
+
+    Mixed-accelerator machines (e.g. :func:`helix`) are expressed as
+    per-node GPU throughput/capacity differences: the kind alphabet
+    stays {CPU, GPU}, so the mapping search is unchanged while the
+    placer and simulator see the real heterogeneity.
     """
-    if nodes < 1:
+    specs = list(specs)
+    if not specs:
         raise ValueError("cluster must have at least one node")
     processors: List[Processor] = []
     memories: List[Memory] = []
     access: List[AccessLink] = []
     channels: List[Channel] = []
 
-    for n in range(nodes):
+    for n, spec in enumerate(specs):
         sys_uids = []
         for s in range(spec.cpu_sockets):
             mem_uid = f"n{n}.sys{s}"
@@ -299,32 +316,45 @@ def generic_cluster(name: str, spec: NodeSpec, nodes: int) -> Machine:
     # Inter-node network channels (all-to-all, between zero-copy pools and
     # between socket-0 system memories; copies between other memories are
     # routed through these by the topology layer).
-    for a in range(nodes):
-        for b in range(a + 1, nodes):
+    for a in range(len(specs)):
+        for b in range(a + 1, len(specs)):
+            bandwidth = min(
+                specs[a].network_bandwidth, specs[b].network_bandwidth
+            )
+            latency = max(
+                specs[a].network_latency, specs[b].network_latency
+            )
             channels.append(
                 Channel(
                     mem_a=f"n{a}.zc",
                     mem_b=f"n{b}.zc",
-                    bandwidth=spec.network_bandwidth,
-                    latency=spec.network_latency,
+                    bandwidth=bandwidth,
+                    latency=latency,
                 )
             )
             channels.append(
                 Channel(
                     mem_a=f"n{a}.sys0",
                     mem_b=f"n{b}.sys0",
-                    bandwidth=spec.network_bandwidth,
-                    latency=spec.network_latency,
+                    bandwidth=bandwidth,
+                    latency=latency,
                 )
             )
 
     return Machine(
-        name=f"{name}-{nodes}n",
+        name=f"{name}-{len(specs)}n",
         processors=processors,
         memories=memories,
         access_links=access,
         channels=channels,
     )
+
+
+def generic_cluster(name: str, spec: NodeSpec, nodes: int) -> Machine:
+    """Build a homogeneous cluster of ``nodes`` copies of ``spec``."""
+    if nodes < 1:
+        raise ValueError("cluster must have at least one node")
+    return heterogeneous_cluster(name, [spec] * nodes)
 
 
 def shepard(nodes: int = 1) -> Machine:
@@ -370,3 +400,186 @@ def single_node(
         network_latency=SHEPARD_NODE.network_latency,
     )
     return generic_cluster("mini", spec, 1)
+
+
+# ----------------------------------------------------------------------
+# Machine zoo
+# ----------------------------------------------------------------------
+
+def _helix_node(
+    gpu_throughput: float,
+    framebuffer_capacity: int,
+    framebuffer_bandwidth: float,
+    host_device_bandwidth: float,
+) -> NodeSpec:
+    """One Helix-style cloud node: 1 socket, 8 application cores, one
+    accelerator; only the GPU side differs between node types."""
+    return NodeSpec(
+        cpu_sockets=1,
+        cores_per_socket=8,
+        gpus=1,
+        sysmem_per_socket=112 * GIB,
+        zero_copy_capacity=16 * GIB,
+        framebuffer_capacity=framebuffer_capacity,
+        cpu_core_throughput=1.1e10,
+        gpu_throughput=gpu_throughput,
+        cpu_launch_overhead=1.2e-4,
+        gpu_launch_overhead=1.5e-4,
+        sysmem_bandwidth=9.0e10,
+        zero_copy_cpu_bandwidth=7.0e10,
+        zero_copy_gpu_bandwidth=host_device_bandwidth,
+        framebuffer_bandwidth=framebuffer_bandwidth,
+        host_device_bandwidth=host_device_bandwidth,
+        cross_socket_bandwidth=3.0e10,
+        intra_node_latency=1.0e-5,
+        network_bandwidth=1.2e10,  # cloud 100 GbE effective
+        network_latency=3.0e-5,
+    )
+
+
+#: Helix cluster node types (Helix, ASPLOS'25: a 24-node cloud cluster of
+#: 4 machines with one A100 each, 8 with one L4, 12 with one T4).  GPU
+#: throughputs are sustained relative weights (A100 >> L4 > T4); frame
+#: buffers are the devices' real capacities; A100 nodes ride PCIe 4.0,
+#: the inference cards PCIe 3.0.
+HELIX_A100_NODE = _helix_node(
+    gpu_throughput=2.2e13,
+    framebuffer_capacity=40 * GIB,
+    framebuffer_bandwidth=1.3e12,  # HBM2e, 1.9 TB/s peak derated
+    host_device_bandwidth=2.4e10,  # PCIe 4.0 x16 effective
+)
+HELIX_L4_NODE = _helix_node(
+    gpu_throughput=8.0e12,
+    framebuffer_capacity=24 * GIB,
+    framebuffer_bandwidth=2.4e11,  # GDDR6, 300 GB/s peak derated
+    host_device_bandwidth=1.2e10,  # PCIe 3.0 x16 effective
+)
+HELIX_T4_NODE = _helix_node(
+    gpu_throughput=4.5e12,
+    framebuffer_capacity=16 * GIB,
+    framebuffer_bandwidth=2.2e11,  # GDDR6, 320 GB/s peak derated
+    host_device_bandwidth=1.2e10,
+)
+
+#: The repeating Helix node pattern: every window of six nodes holds one
+#: A100, two L4 and three T4 machines, preserving the cluster's 4:8:12
+#: composition at any prefix length that divides evenly.
+_HELIX_PATTERN = (
+    HELIX_A100_NODE,
+    HELIX_L4_NODE,
+    HELIX_L4_NODE,
+    HELIX_T4_NODE,
+    HELIX_T4_NODE,
+    HELIX_T4_NODE,
+)
+
+
+def helix(nodes: int = 24) -> Machine:
+    """A Helix-style mixed-accelerator cloud cluster (ASPLOS'25).
+
+    The full machine is 24 nodes — 4×A100, 8×L4, 12×T4 — built as four
+    repetitions of the six-node pattern ``A100,L4,L4,T4,T4,T4``.
+    Smaller ``nodes`` counts take a prefix of the repeated pattern, so
+    every size stays a representative mix (and ``nodes=1`` is a single
+    A100 machine).
+    """
+    if nodes < 1:
+        raise ValueError("cluster must have at least one node")
+    specs = [
+        _HELIX_PATTERN[n % len(_HELIX_PATTERN)] for n in range(nodes)
+    ]
+    return heterogeneous_cluster("helix", specs)
+
+
+def mirrored_node(pairs: int = 2) -> Machine:
+    """A single-node machine whose CPU/GPU sides are exact mirrors.
+
+    ``pairs`` CPUs and ``pairs`` GPUs share throughput, overhead, link
+    speeds, and channel parameters, and the three memory pools have
+    equal capacity — making ``cpu<->gpu, system<->framebuffer`` a
+    verified machine automorphism (zero-copy is the shared fixed
+    point).  This is the zoo's symmetry-folding stress machine: every
+    mapping orbit has size two, so the canonicalizer must fold.
+    """
+    return _mirror_machine("mirrored", pairs, gpu_throughput_skew=1.0)
+
+
+def lopsided_node(pairs: int = 2) -> Machine:
+    """The mirrored machine with one GPU 25% faster — deliberately
+    *almost* symmetric.
+
+    The skewed throughput breaks the index-wise pool comparison, so
+    symmetry verification must reject the mirror relabeling and the
+    canonicalizer must never orbit-fold here; a folding bug on this
+    machine changes simulated makespans and fails the fuzz invariants.
+    """
+    return _mirror_machine("lopsided", pairs, gpu_throughput_skew=1.25)
+
+
+def _mirror_machine(
+    name: str, pairs: int, gpu_throughput_skew: float
+) -> Machine:
+    if pairs < 1:
+        raise ValueError("mirrored machine needs at least one pair")
+    throughput, overhead = 1.0e11, 1.0e-4
+    fast, slow = 1.0e11, 5.0e10
+    chan_bw, chan_lat = 2.0e10, 1.0e-5
+    processors = []
+    access = []
+    for i in range(pairs):
+        cpu_uid, gpu_uid = f"cpu{i}", f"gpu{i}"
+        processors.append(
+            Processor(
+                uid=cpu_uid,
+                kind=ProcKind.CPU,
+                node=0,
+                throughput=throughput,
+                launch_overhead=overhead,
+            )
+        )
+        skew = gpu_throughput_skew if i == pairs - 1 else 1.0
+        processors.append(
+            Processor(
+                uid=gpu_uid,
+                kind=ProcKind.GPU,
+                node=0,
+                throughput=throughput * skew,
+                launch_overhead=overhead,
+            )
+        )
+        access += [
+            AccessLink(proc=cpu_uid, mem="sys", bandwidth=fast, latency=0.0),
+            AccessLink(proc=cpu_uid, mem="zc", bandwidth=slow, latency=0.0),
+            AccessLink(proc=gpu_uid, mem="fb", bandwidth=fast, latency=0.0),
+            AccessLink(proc=gpu_uid, mem="zc", bandwidth=slow, latency=0.0),
+        ]
+    memories = [
+        Memory(uid="sys", kind=MemKind.SYSTEM, node=0, capacity=32 * GIB),
+        Memory(uid="zc", kind=MemKind.ZERO_COPY, node=0, capacity=32 * GIB),
+        Memory(uid="fb", kind=MemKind.FRAMEBUFFER, node=0, capacity=32 * GIB),
+    ]
+    channels = [
+        Channel(mem_a="sys", mem_b="zc", bandwidth=chan_bw, latency=chan_lat),
+        Channel(mem_a="fb", mem_b="zc", bandwidth=chan_bw, latency=chan_lat),
+        Channel(mem_a="sys", mem_b="fb", bandwidth=chan_bw, latency=chan_lat),
+    ]
+    return Machine(
+        name=f"{name}-{pairs}p",
+        processors=processors,
+        memories=memories,
+        access_links=access,
+        channels=channels,
+    )
+
+
+#: The machine zoo: name -> factory taking one size argument (node
+#: count for the clusters, per-side pair count for the mirrored
+#: machines).  This is what the CLI's ``--machine`` choices and the
+#: fuzz harness's machine sampling enumerate.
+MACHINE_ZOO: Dict[str, Callable[[int], Machine]] = {
+    "shepard": shepard,
+    "lassen": lassen,
+    "helix": helix,
+    "mirrored": mirrored_node,
+    "lopsided": lopsided_node,
+}

@@ -254,9 +254,22 @@ class SearchSpace:
                                 target
                             )
             pruned._canonical_mems = canonical_mems
-            pruned._sym_procs = dict(
-                canonicalizer.symmetric_proc_drops(self)
-            )
+            sym_procs: Dict[str, Tuple[ProcKind, ...]] = {}
+            for kind_name, dropped in canonicalizer.symmetric_proc_drops(
+                self
+            ).items():
+                options = self._dims[kind_name].proc_options
+                kept = tuple(p for p in options if p not in dropped)
+                # A fold must always leave at least one enumerable
+                # processor option; on single-processor(-kind) machines
+                # a total drop would empty the dimension, so it is
+                # discarded here (searched_proc_options re-checks at
+                # read time as a second line of defence).
+                if kept:
+                    sym_procs[kind_name] = tuple(
+                        p for p in dropped if p in options
+                    )
+            pruned._sym_procs = sym_procs
         return pruned
 
     def kind_names(self) -> Tuple[str, ...]:

@@ -34,7 +34,9 @@ MS = 1e-3
 _BYTE_SUFFIXES = [("TiB", TIB), ("GiB", GIB), ("MiB", MIB), ("KiB", KIB)]
 
 _PARSE_RE = re.compile(
-    r"^\s*(?P<num>[0-9]*\.?[0-9]+)\s*(?P<unit>[KMGT]i?B|B)?\s*$", re.IGNORECASE
+    r"^\s*(?P<sign>[+-])?\s*(?P<num>[0-9]*\.?[0-9]+)\s*"
+    r"(?P<unit>[KMGT]i?B|B)?\s*$",
+    re.IGNORECASE,
 )
 
 _UNIT_FACTORS = {
@@ -67,10 +69,18 @@ def parse_bytes(text: str) -> int:
 
     Decimal suffixes (``GB``) are treated as their binary counterparts —
     fine for configuration convenience, not for billing.
+
+    Quantities are capacities/sizes, so they must be non-negative: a
+    ``"-16 GiB"`` raises :class:`ValueError` instead of silently
+    building a nonsense machine model downstream.
     """
     match = _PARSE_RE.match(text)
     if match is None:
         raise ValueError(f"cannot parse byte quantity: {text!r}")
+    if match.group("sign") == "-":
+        raise ValueError(
+            f"byte quantity must be non-negative: {text!r}"
+        )
     num = float(match.group("num"))
     unit = (match.group("unit") or "B").lower()
     return int(num * _UNIT_FACTORS[unit])

@@ -1,0 +1,93 @@
+"""Degenerate graphs must analyze cleanly, not crash.
+
+``repro analyze --bounds`` composes the sanitizer, canonicalizer,
+feasibility scan, routing/symmetry findings, and the static bound
+analyzer.  A graph with zero tasks, or a single task kind whose group
+launches have size 1 (``parts=1``), exercises every empty-sequence and
+division edge in that pipeline; each case must come back as a normal
+report (possibly with informational findings), never as an exception.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Severity, analyze
+from repro.analysis.bounds import StaticBoundAnalyzer
+from repro.analysis.canonical import Canonicalizer
+from repro.analysis.symmetry import MachineSymmetry
+from repro.machine import shepard, single_node
+from repro.mapping.space import SearchSpace
+from repro.runtime import SimConfig, Simulator
+from repro.taskgraph import ArgSlot, GraphBuilder, Privilege
+from repro.taskgraph.graph import TaskGraph
+
+
+def empty_graph() -> TaskGraph:
+    return TaskGraph("empty", [], [])
+
+
+def lone_part_graph(launches: int = 2) -> TaskGraph:
+    """One task kind, every group launch of size 1 (``parts=1``)."""
+    b = GraphBuilder("lone-part")
+    data = b.collection("data", nbytes=1 << 20)
+    work = b.task_kind(
+        "work", slots=[ArgSlot("data", Privilege.READ_WRITE)]
+    )
+    for _ in range(launches):
+        b.launch(work, [data], size=1, flops=1e8)
+    return b.build()
+
+
+MACHINES = {
+    "single1": lambda: single_node(cpus=1, gpus=0),
+    "single4": lambda: single_node(cpus=4, gpus=1),
+    "shepard2": lambda: shepard(2),
+}
+
+
+class TestZeroTaskGraph:
+    @pytest.mark.parametrize("machine_name", sorted(MACHINES))
+    def test_analyze_bounds_is_clean(self, machine_name):
+        machine = MACHINES[machine_name]()
+        report = analyze(empty_graph(), machine, bounds=True)
+        assert report.at_least(Severity.WARNING) == []
+        # Rendering must not trip on the (possibly empty) report either.
+        assert isinstance(report.render(), str)
+
+    def test_symmetry_orbit_is_trivial_not_crashing(self):
+        machine = single_node(cpus=2, gpus=1)
+        sym = MachineSymmetry(empty_graph(), machine)
+        assert list(sym.automorphisms()) == []
+        assert sym.is_trivial()
+
+    def test_canonicalizer_tolerates_empty_graph(self):
+        machine = single_node(cpus=2, gpus=1)
+        canon = Canonicalizer(empty_graph(), machine)
+        assert canon.dead_distribute_kinds() == frozenset()
+
+
+class TestSingleKindPartsOne:
+    @pytest.mark.parametrize("machine_name", sorted(MACHINES))
+    def test_analyze_bounds_is_clean(self, machine_name):
+        machine = MACHINES[machine_name]()
+        report = analyze(lone_part_graph(), machine, bounds=True)
+        assert report.at_least(Severity.ERROR) == []
+
+    @pytest.mark.parametrize("machine_name", sorted(MACHINES))
+    def test_bound_stays_sound(self, machine_name):
+        machine = MACHINES[machine_name]()
+        graph = lone_part_graph()
+        space = SearchSpace(graph, machine)
+        sim = Simulator(
+            graph, machine, SimConfig(noise_sigma=0.0, spill=True)
+        )
+        analyzer = StaticBoundAnalyzer(graph, machine)
+        result = sim.run(space.default_mapping())
+        bd = analyzer.breakdown(result.executed_mapping)
+        assert 0.0 < bd.total <= result.makespan
+
+    def test_single_launch_graph_analyzes(self):
+        machine = single_node(cpus=1, gpus=0)
+        report = analyze(lone_part_graph(launches=1), machine, bounds=True)
+        assert report.at_least(Severity.ERROR) == []

@@ -23,6 +23,10 @@ _SMALL_INPUTS = {
     "pennant": {"zx": 64, "zy": 16, "iterations": 2},
     "htr": {"x": 16, "y": 16, "z": 18},
     "maestro": {},
+    "forkjoin": {"elems": 4096, "iterations": 2},
+    "halo": {"elems": 4096, "iterations": 2},
+    "pipeline": {"layers": 2, "hidden": 1024},
+    "reduction": {"levels": 2, "elems": 4096},
 }
 
 _MACHINES = [

@@ -1,0 +1,123 @@
+"""Generator-family coverage (satellite of the fuzz-hardening PR).
+
+Every family must (a) build a well-formed graph on every zoo machine,
+(b) sanitize clean under the AM30x pass — the derived dependences are
+exactly the declared data flow, and (c) round-trip its mappings
+through save/load against a zoo machine's graph.  Parameter validation
+is loud: fuzz-driven construction must fail fast on nonsense knobs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import Severity, analyze
+from repro.analysis.sanitizer import sanitize_graph
+from repro.apps import APP_REGISTRY, make_app
+from repro.generators import GENERATOR_FAMILIES
+from repro.machine import MACHINE_ZOO, helix, lopsided_node, mirrored_node
+from repro.mapping.io import load_mapping, save_mapping
+from repro.mapping.space import SearchSpace
+from repro.runtime import SimConfig, Simulator
+
+FAMILY_CASES = {
+    "forkjoin": [{}, {"width": 1}, {"width": 8, "iterations": 3}],
+    "halo": [{}, {"parts": 1}, {"halo": 1, "elems": 512}],
+    "pipeline": [{}, {"layers": 1}, {"layers": 6, "parts": 2}],
+    "reduction": [{}, {"levels": 1}, {"levels": 4, "fanout": 2, "parts": 1}],
+}
+
+ZOO = {
+    "helix3": lambda: helix(3),
+    "mirrored2": lambda: mirrored_node(2),
+    "lopsided2": lambda: lopsided_node(2),
+}
+
+
+def test_families_cover_registry():
+    assert set(FAMILY_CASES) == set(GENERATOR_FAMILIES)
+    assert set(GENERATOR_FAMILIES) <= set(APP_REGISTRY)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILY_CASES))
+@pytest.mark.parametrize("machine_name", sorted(ZOO))
+def test_builds_and_sanitizes_clean(family, machine_name):
+    machine = ZOO[machine_name]()
+    for kwargs in FAMILY_CASES[family]:
+        graph = make_app(family, **kwargs).graph(machine)
+        assert len(graph) > 0
+        diags = sanitize_graph(graph)
+        am3 = [d for d in diags if d.rule_id.startswith("AM3")]
+        assert am3 == [], f"{family} {kwargs}: {am3}"
+
+
+@pytest.mark.parametrize("family", sorted(FAMILY_CASES))
+def test_mapping_save_load_round_trip(family, tmp_path):
+    machine = helix(3)
+    app = make_app(family)
+    graph = app.graph(machine)
+    space = SearchSpace(graph, machine)
+    rng = random.Random(11)
+    mappings = [space.default_mapping()] + [
+        space.random_mapping(rng, valid=True) for _ in range(3)
+    ]
+    for i, mapping in enumerate(mappings):
+        path = tmp_path / f"{family}-{i}.json"
+        save_mapping(mapping, path, application=graph.name)
+        back = load_mapping(path, graph=graph)
+        assert back.key() == mapping.key()
+
+
+@pytest.mark.parametrize("family", sorted(FAMILY_CASES))
+def test_default_mapping_simulates_on_zoo(family):
+    machine = mirrored_node(2)
+    graph = make_app(family).graph(machine)
+    space = SearchSpace(graph, machine)
+    sim = Simulator(graph, machine, SimConfig(noise_sigma=0.0, spill=True))
+    assert sim.run(space.default_mapping()).makespan > 0.0
+
+
+@pytest.mark.parametrize("family", sorted(FAMILY_CASES))
+def test_analyze_reports_no_errors(family):
+    machine = helix(2)
+    graph = make_app(family).graph(machine)
+    report = analyze(graph, machine, bounds=True)
+    assert report.at_least(Severity.ERROR) == []
+
+
+class TestParameterValidation:
+    @pytest.mark.parametrize(
+        "family,kwargs",
+        [
+            ("forkjoin", {"width": 0}),
+            ("forkjoin", {"elems": -4}),
+            ("forkjoin", {"iterations": 0}),
+            ("forkjoin", {"work_flops": 0.0}),
+            ("halo", {"halo": 0}),
+            ("halo", {"parts": -1}),
+            ("pipeline", {"layers": 0}),
+            ("pipeline", {"layers": 1000}),
+            ("pipeline", {"hidden": 1}),
+            ("reduction", {"fanout": 1}),
+            ("reduction", {"levels": 0}),
+            ("reduction", {"iterations": True}),
+        ],
+    )
+    def test_bad_knobs_raise(self, family, kwargs):
+        with pytest.raises(ValueError):
+            make_app(family, **kwargs)
+
+    def test_unknown_knob_is_type_error(self):
+        with pytest.raises(TypeError):
+            make_app("forkjoin", widht=4)
+
+
+def test_zoo_and_families_compose_everywhere():
+    """Every (family, zoo machine) pair yields a searchable space."""
+    for machine_name, factory in MACHINE_ZOO.items():
+        machine = factory(1)
+        for family in GENERATOR_FAMILIES:
+            space = SearchSpace(make_app(family).graph(machine), machine)
+            assert space.size() >= 1, (machine_name, family)

@@ -1,0 +1,228 @@
+"""The fuzz harness and its soundness invariants (the tentpole).
+
+Three layers of coverage:
+
+* the harness machinery itself — case determinism, JSON round-trip,
+  shrinking, corpus IO, and detection (a deliberately broken invariant
+  check must produce violations, not silence);
+* a small seeded fuzz run that must come back with zero violations;
+* replay of the committed seed corpus (``tests/property/corpus/``) —
+  every shrunk reproducer ever committed stays green forever.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import (
+    INVARIANTS,
+    FuzzCase,
+    build_case,
+    fuzz,
+    load_corpus,
+    run_case,
+    sample_case,
+    save_case,
+    shrink_case,
+)
+from repro.fuzz.harness import Violation
+
+CORPUS = Path(__file__).parent / "corpus"
+
+SMALL = FuzzCase(
+    generator="forkjoin",
+    gen_params={"width": 2, "elems": 4096, "iterations": 1},
+    machine="shepard",
+    machine_arg=1,
+    algorithm="ccd",
+    seed=13,
+    noise_sigma=0.0,
+    max_suggestions=10,
+    kill_after=2,
+    mappings=2,
+)
+
+
+class TestCaseModel:
+    def test_sampling_is_deterministic(self):
+        a = sample_case(random.Random("7:3"))
+        b = sample_case(random.Random("7:3"))
+        assert a == b
+
+    def test_distinct_indices_vary(self):
+        docs = {
+            json.dumps(sample_case(random.Random(f"0:{i}")).to_doc(),
+                       sort_keys=True)
+            for i in range(20)
+        }
+        assert len(docs) > 10
+
+    def test_doc_round_trip(self):
+        for i in range(10):
+            case = sample_case(random.Random(f"1:{i}"))
+            doc = json.loads(json.dumps(case.to_doc()))
+            assert FuzzCase.from_doc(doc) == case
+
+    def test_from_doc_rejects_foreign_format(self):
+        with pytest.raises(ValueError):
+            FuzzCase.from_doc({"format": "something-else"})
+
+    def test_sampled_cases_build(self):
+        for i in range(10):
+            case = sample_case(random.Random(f"2:{i}"))
+            _, graph, machine = build_case(case)
+            assert len(graph) > 0
+            assert machine.num_nodes >= 1
+
+    def test_build_rejects_unknown_machine(self):
+        with pytest.raises(ValueError):
+            build_case(SMALL.with_(machine="nonesuch"))
+
+    def test_build_rejects_bad_generator_knob(self):
+        with pytest.raises(ValueError):
+            build_case(SMALL.with_(gen_params={"width": -1}))
+
+
+class TestInvariantChecks:
+    def test_small_case_is_sound(self):
+        result = run_case(SMALL)
+        assert result.ok, result.violations
+
+    def test_static_only_selection(self):
+        result = run_case(SMALL, invariants=("bound", "canonical"))
+        assert result.ok, result.violations
+
+    def test_resume_only_selection(self, tmp_path):
+        result = run_case(SMALL, workdir=tmp_path, invariants=("resume",))
+        assert result.ok, result.violations
+
+    def test_crash_reported_not_raised(self):
+        result = run_case(SMALL.with_(generator="nonesuch"))
+        assert result.violated() == {"crash"}
+
+    def test_broken_bound_is_detected(self, monkeypatch):
+        """The harness must actually be able to fail: inflate the
+        reported critical-path bound past any makespan and the bound
+        invariant has to fire on every sampled mapping."""
+        from repro.analysis.bounds import StaticBoundAnalyzer
+
+        real = StaticBoundAnalyzer.breakdown
+
+        def inflated(self, mapping):
+            bd = real(self, mapping)
+            object.__setattr__(bd, "critical_path", 1e30)
+            return bd
+
+        monkeypatch.setattr(StaticBoundAnalyzer, "breakdown", inflated)
+        result = run_case(SMALL, invariants=("bound",))
+        assert result.violated() == {"bound"}
+        assert len(result.violations) == SMALL.mappings + 1
+
+    def test_broken_relabel_is_detected(self, monkeypatch):
+        """A relabeling that swaps kinds on an asymmetric machine must
+        be flagged — makespans genuinely differ under it."""
+        from repro.analysis.symmetry import KindRelabeling, MachineSymmetry
+        from repro.machine.model import ProcKind
+
+        bogus = KindRelabeling(
+            proc_map={ProcKind.CPU: ProcKind.GPU, ProcKind.GPU: ProcKind.CPU}
+        )
+        monkeypatch.setattr(
+            MachineSymmetry, "automorphisms", lambda self: (bogus,)
+        )
+        result = run_case(SMALL, invariants=("relabel",))
+        assert result.violated() == {"relabel"}
+
+
+class TestShrinking:
+    def test_shrinks_toward_minimal(self):
+        """With a checker that fails on any forkjoin case, shrinking
+        must strip every optional knob and cheapen the search config."""
+        case = FuzzCase(
+            generator="forkjoin",
+            gen_params={"width": 8, "elems": 65536, "iterations": 3},
+            machine="helix",
+            machine_arg=6,
+            algorithm="opentuner",
+            seed=1,
+            noise_sigma=0.04,
+            max_suggestions=40,
+            kill_after=5,
+            mappings=6,
+        )
+        check = lambda c: (  # noqa: E731
+            {"bound"} if c.generator == "forkjoin" else set()
+        )
+        small = shrink_case(case, {"bound"}, check=check)
+        assert small.gen_params == {}
+        assert small.machine_arg == 1
+        assert small.algorithm == "ccd"
+        assert small.noise_sigma == 0.0
+        assert small.mappings == 1
+        assert small.max_suggestions == 6
+
+    def test_shrink_preserves_failure(self):
+        """Shrinking never walks off the failing region: a checker that
+        only fails above a width threshold keeps width above it."""
+        case = FuzzCase(
+            generator="forkjoin", gen_params={"width": 8}, machine="shepard"
+        )
+        check = lambda c: (  # noqa: E731
+            {"bound"} if c.gen_params.get("width", 0) >= 4 else set()
+        )
+        small = shrink_case(case, {"bound"}, check=check)
+        assert small.gen_params.get("width") == 4
+
+    def test_sound_case_shrinks_to_itself(self):
+        check = lambda c: set()  # noqa: E731
+        assert shrink_case(SMALL, {"bound"}, check=check) == SMALL
+
+
+class TestFuzzLoop:
+    def test_short_run_is_clean_and_deterministic(self):
+        a = fuzz(seed=7, budget=4)
+        b = fuzz(seed=7, budget=4)
+        assert a.ok, [r.violations for r in a.failures()]
+        assert [r.case for r in a.results] == [r.case for r in b.results]
+
+    def test_failures_are_shrunk_and_saved(self, tmp_path):
+        """End to end on an injected bug: fuzz() shrinks the failure and
+        save_case/load_corpus round-trips it as a replayable file."""
+        fail = FuzzCase(generator="halo", gen_params={"halo": 64})
+        viol = [Violation("bound", "injected")]
+        check = lambda c: (  # noqa: E731
+            {"bound"} if c.generator == "halo" else set()
+        )
+        small = shrink_case(fail, {"bound"}, check=check)
+        path = save_case(small, tmp_path, invariant="bound")
+        assert path.name.startswith("case-bound-halo-")
+        [(loaded_path, loaded)] = load_corpus(tmp_path)
+        assert loaded_path == path
+        assert loaded == small
+        assert viol[0].invariant in check(loaded)
+
+
+class TestCorpusReplay:
+    """The committed seed corpus is the regression gate: every case in
+    ``tests/property/corpus/`` must replay with zero violations."""
+
+    def corpus(self):
+        cases = load_corpus(CORPUS)
+        assert len(cases) >= 5, "seed corpus went missing"
+        return cases
+
+    def test_corpus_is_non_empty_and_documented(self):
+        for path, case in self.corpus():
+            assert case.note, f"{path.name} lacks a provenance note"
+
+    @pytest.mark.parametrize(
+        "name", sorted(p.name for p in CORPUS.glob("*.json"))
+    )
+    def test_replays_clean(self, name):
+        [case] = [c for p, c in load_corpus(CORPUS) if p.name == name]
+        result = run_case(case, invariants=INVARIANTS)
+        assert result.ok, (case.label(), result.violations)

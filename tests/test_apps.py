@@ -224,6 +224,11 @@ class TestRegistry:
             "pennant",
             "htr",
             "maestro",
+            # synthetic generator families (repro.generators)
+            "forkjoin",
+            "halo",
+            "pipeline",
+            "reduction",
         }
 
     def test_make_app_kwargs(self):

@@ -219,3 +219,69 @@ class TestTuneBoundPruneFlags:
         assert code == 0
         text = metrics.read_text()
         assert "automap_oracle_bound_pruned 0.0" in text
+
+
+class TestGenParams:
+    def test_coercion(self):
+        from repro.cli import parse_gen_params
+
+        assert parse_gen_params(
+            ["layers=8", "noise=0.5", "flag=true", "tag=abc"]
+        ) == {"layers": 8, "noise": 0.5, "flag": True, "tag": "abc"}
+
+    def test_malformed_pairs_exit(self):
+        from repro.cli import parse_gen_params
+
+        for bad in ["layers", "=3", "2x=5"]:
+            with pytest.raises(SystemExit):
+                parse_gen_params([bad])
+
+    def test_inspect_generator_with_params(self, capsys):
+        code = main(
+            [
+                "inspect",
+                "--app",
+                "pipeline",
+                "--machine",
+                "mirrored",
+                "--gen-param",
+                "layers=3",
+                "--gen-param",
+                "parts=2",
+            ]
+        )
+        assert code == 0
+        assert "3 tasks" in capsys.readouterr().out
+
+    def test_bad_generator_param_is_clean_error(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "inspect",
+                    "--app",
+                    "reduction",
+                    "--gen-param",
+                    "levels=0",
+                ]
+            )
+
+    def test_label_on_generator_is_clean_error(self):
+        with pytest.raises(SystemExit):
+            main(["inspect", "--app", "forkjoin", "--input", "n50w200"])
+
+    def test_analyze_generator_on_zoo_machine(self, capsys):
+        code = main(
+            [
+                "analyze",
+                "--app",
+                "halo",
+                "--machine",
+                "helix",
+                "--nodes",
+                "3",
+                "--gen-param",
+                "parts=1",
+                "--bounds",
+            ]
+        )
+        assert code == 0

@@ -156,3 +156,69 @@ class TestSpaceFileIO:
         path.write_text('{"format": "something-else"}')
         with pytest.raises(ValueError):
             SearchSpace.summary_from_file(path)
+
+
+class _ProcDropStub:
+    """A canonicalizer double proposing arbitrary symmetric proc drops."""
+
+    def __init__(self, drops):
+        self._drops = drops
+
+    def dead_distribute_kinds(self):
+        return frozenset()
+
+    def canonical_mem(self, kind_name, slot_index, proc_kind):
+        return None
+
+    def symmetric_proc_drops(self, space):
+        return dict(self._drops)
+
+
+class TestSymmetryFoldNeverEmptiesProcs:
+    """A symmetry fold must never drop the last remaining processor
+    option — on a single-processor machine an overzealous drop table
+    would leave move enumeration with nothing to enumerate."""
+
+    def _single_proc_space(self):
+        from repro.machine.builders import single_node
+        from repro.mapping.space import SearchSpace as SS
+        from repro.taskgraph import ArgSlot, GraphBuilder, Privilege
+
+        machine = single_node(cpus=1, gpus=0)
+        b = GraphBuilder("lone")
+        data = b.collection("data", nbytes=1 << 20)
+        work = b.task_kind("work", slots=[ArgSlot("data", Privilege.READ_WRITE)])
+        b.launch(work, [data], size=2, flops=1e8)
+        return SS(b.build(), machine)
+
+    def test_total_drop_is_discarded(self):
+        space = self._single_proc_space()
+        assert space.dims("work").proc_options == (ProcKind.CPU,)
+        pruned = space.prune_infeasible(
+            feasibility=None,
+            canonicalizer=_ProcDropStub({"work": (ProcKind.CPU,)}),
+        )
+        assert pruned.searched_proc_options("work") == (ProcKind.CPU,)
+
+    def test_partial_drop_survives(self):
+        from repro.machine.builders import single_node
+        from repro.taskgraph import ArgSlot, GraphBuilder, Privilege
+
+        machine = single_node(cpus=2, gpus=1)
+        b = GraphBuilder("duo")
+        data = b.collection("data", nbytes=1 << 20)
+        work = b.task_kind("work", slots=[ArgSlot("data", Privilege.READ_WRITE)])
+        b.launch(work, [data], size=2, flops=1e8)
+        space = SearchSpace(b.build(), machine)
+        pruned = space.prune_infeasible(
+            feasibility=None,
+            canonicalizer=_ProcDropStub({"work": (ProcKind.GPU,)}),
+        )
+        assert pruned.searched_proc_options("work") == (ProcKind.CPU,)
+
+    def test_read_time_guard_still_holds(self):
+        space = self._single_proc_space()
+        # Even a table injected behind the write-time guard cannot
+        # empty the searched options.
+        space._sym_procs = {"work": (ProcKind.CPU,)}
+        assert space.searched_proc_options("work") == (ProcKind.CPU,)
