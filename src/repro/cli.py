@@ -6,12 +6,17 @@ Usage (installed as a module)::
     python -m repro inspect --app htr --input 16x16y18z
     python -m repro trace out/trace.json
     python -m repro machines
+    python -m repro serve --root /var/lib/automap
+    python -m repro submit --app stencil --input 500x500 --wait
 
 ``tune`` runs the full AutoMap pipeline and prints the tuning report
 plus the diff against the default mapping; ``inspect`` prints the
 application's graph summary and Figure 5 row without searching;
 ``trace`` renders a saved execution trace (``tune --trace``) as an
-ASCII Gantt chart; ``machines`` lists the bundled machine models.
+ASCII Gantt chart; ``machines`` lists the bundled machine models;
+``serve`` runs the mapping service (async job API over HTTP with a
+content-addressed result cache, see :mod:`repro.service`); ``submit``
+is the matching client.
 """
 
 from __future__ import annotations
@@ -318,7 +323,7 @@ def build_parser() -> argparse.ArgumentParser:
         "fuzz",
         help="soundness fuzzing: seeded random (generator, machine, "
         "search-config) cases checked against the bound/canonical/"
-        "relabel/resume invariants",
+        "relabel/resume/parallel invariants",
     )
     fuzz.add_argument(
         "--seed",
@@ -346,9 +351,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--invariant",
         action="append",
         default=None,
-        choices=["bound", "canonical", "relabel", "resume"],
+        choices=["bound", "canonical", "relabel", "resume", "parallel"],
         metavar="NAME",
-        help="check only this invariant (repeatable; default: all four)",
+        help="check only this invariant (repeatable; default: all five; "
+        "'parallel' asserts --workers 2 and --no-incremental runs are "
+        "bit-identical to the serial incremental run — the contract "
+        "behind the service cache's fingerprint)",
     )
     fuzz.add_argument(
         "--no-shrink",
@@ -361,6 +369,90 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="write each failing case (shrunk when shrinking is on) "
         "as a replayable JSON file into DIR",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the mapping service: an HTTP job API over the tuning "
+        "engine with a content-addressed result cache",
+    )
+    serve.add_argument(
+        "--root",
+        required=True,
+        metavar="DIR",
+        help="service state directory (holds jobs/ and cache/; jobs "
+        "found running after a crash resume from their checkpoints)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8432,
+        help="listen port (0 = pick an ephemeral port; the bound "
+        "address is printed on startup)",
+    )
+    serve.add_argument("--verbose", action="store_true")
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a tuning job to a running `repro serve` instance",
+    )
+    add_common(submit)
+    submit.add_argument(
+        "--url",
+        default="http://127.0.0.1:8432",
+        help="service base URL (default: http://127.0.0.1:8432)",
+    )
+    submit.add_argument(
+        "--algorithm",
+        default="ccd",
+        choices=["ccd", "cd", "opentuner", "random"],
+    )
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--max-suggestions", type=int, default=20_000)
+    submit.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="server-side process-pool size for this job (execution "
+        "knob: does not change the result or the cache key)",
+    )
+    submit.add_argument("--no-spill", action="store_true")
+    submit.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="run the job on the full (non-incremental) simulation "
+        "path; execution knob — results and cache key are identical",
+    )
+    submit.add_argument("--no-static-prune", action="store_true")
+    submit.add_argument("--no-bound-prune", action="store_true")
+    submit.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=10,
+        metavar="N",
+        help="server-side checkpoint cadence for this job (evaluations "
+        "between snapshots; crash recovery resumes from the last one)",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll the job to completion and print a final status line "
+        "(without --wait only the job id is printed)",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="give up polling after this long (with --wait; default 300)",
+    )
+    submit.add_argument(
+        "--report-out",
+        default=None,
+        metavar="FILE",
+        help="with --wait, save the job's deterministic result.json "
+        "to FILE",
     )
 
     sub.add_parser("machines", help="list bundled machine models")
@@ -607,6 +699,120 @@ def _print_case_line(label, case, result) -> None:
     print(f"{label}: {case.label()} ... {status}")
 
 
+def _cmd_serve(args) -> int:
+    configure_logging()
+    from repro.service import MappingService, make_server
+
+    service = MappingService(args.root)
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    service.start()
+    # The ready line is load-bearing: the CI smoke job (and any
+    # supervisor) waits for it before submitting.
+    print(
+        f"automap service listening on http://{host}:{port} "
+        f"(root: {args.root})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.stop()
+    return 0
+
+
+def _http_json(url: str, payload=None):
+    """POST ``payload`` (or GET when ``None``) and decode the JSON
+    reply; returns ``(status, doc)`` without raising on 4xx/5xx."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    data = None
+    headers = {}
+    if payload is not None:
+        data = json.dumps(payload).encode()
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(url, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=30) as reply:
+            return reply.status, json.loads(reply.read())
+    except urllib.error.HTTPError as exc:
+        body = exc.read()
+        try:
+            return exc.code, json.loads(body)
+        except ValueError:
+            return exc.code, {"error": body.decode(errors="replace")}
+    except urllib.error.URLError as exc:
+        raise SystemExit(f"repro submit: cannot reach {url}: {exc.reason}")
+
+
+def _cmd_submit(args) -> int:
+    import time
+    import urllib.request
+
+    base = args.url.rstrip("/")
+    doc = {
+        "app": args.app,
+        "input": args.input,
+        "gen_params": parse_gen_params(args.gen_param),
+        "machine": args.machine,
+        "nodes": args.nodes,
+        "algorithm": args.algorithm,
+        "seed": args.seed,
+        "max_suggestions": args.max_suggestions,
+        "spill": not args.no_spill,
+        "static_prune": not args.no_static_prune,
+        "bound_prune": not args.no_bound_prune,
+        "workers": args.workers,
+        "incremental": not args.no_incremental,
+        "checkpoint_every": args.checkpoint_every,
+    }
+    status, reply = _http_json(f"{base}/jobs", payload=doc)
+    if status != 201:
+        raise SystemExit(
+            f"repro submit: {status}: {reply.get('error', reply)}"
+        )
+    job_id = reply["job_id"]
+    if not args.wait:
+        # Bare id on stdout so scripts can capture it: JOB=$(repro
+        # submit ...); full status lives at GET /jobs/<id>.
+        print(job_id)
+        return 0
+
+    deadline = time.monotonic() + args.timeout
+    while reply["state"] not in ("done", "failed"):
+        if time.monotonic() >= deadline:
+            print(f"{job_id} state={reply['state']} (timed out)")
+            return 2
+        time.sleep(0.2)
+        status, reply = _http_json(f"{base}/jobs/{job_id}")
+        if status != 200:
+            raise SystemExit(
+                f"repro submit: {status}: {reply.get('error', reply)}"
+            )
+    print(
+        f"{job_id} state={reply['state']} "
+        f"cache_hit={'true' if reply['cache_hit'] else 'false'} "
+        f"simulations={reply['simulations']}"
+    )
+    if reply["state"] == "failed":
+        print(f"error: {reply['error']}", file=sys.stderr)
+        return 1
+    if args.report_out is not None:
+        with urllib.request.urlopen(
+            f"{base}/jobs/{job_id}/report", timeout=30
+        ) as response:
+            data = response.read()
+        from pathlib import Path
+
+        Path(args.report_out).write_bytes(data)
+    return 0
+
+
 def _cmd_machines(_args) -> int:
     for name, builder in sorted(_MACHINES.items()):
         print(builder(1).describe())
@@ -627,6 +833,10 @@ def main(argv=None) -> int:
             return _cmd_trace(args)
         if args.command == "fuzz":
             return _cmd_fuzz(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
         if args.command == "machines":
             return _cmd_machines(args)
     except KeyboardInterrupt:

@@ -23,7 +23,8 @@ Public surface:
 
 from repro.core.oracle import OracleConfig, SimulationOracle
 from repro.core.profiles import ProfileDatabase, ProfileRecord
-from repro.core.driver import AutoMapDriver, TuningReport
+from repro.core.engine import TuneRequest, TuningEngine, TuningReport
+from repro.core.driver import AutoMapDriver
 from repro.core.mapper import AutoMapMapper
 from repro.core.session import AutoMapSession
 from repro.core.spacefile import generate_space_file, load_space_file
@@ -34,6 +35,8 @@ __all__ = [
     "ProfileDatabase",
     "ProfileRecord",
     "AutoMapDriver",
+    "TuneRequest",
+    "TuningEngine",
     "TuningReport",
     "AutoMapMapper",
     "AutoMapSession",

@@ -62,6 +62,7 @@ class AutoMapSession:
         worker_timeout: Optional[float] = None,
         trace: bool = False,
         metrics_out: Optional[Union[str, Path]] = None,
+        telemetry: bool = True,
     ) -> None:
         self.graph = graph
         self.machine = machine
@@ -77,10 +78,13 @@ class AutoMapSession:
         # ``trace=True`` the winning mapping's deterministic execution
         # trace lands in ``<workdir>/trace.json`` (Chrome trace-event
         # format).  Both are observational — enabling them cannot change
-        # the tuning result (see repro.obs).
+        # the tuning result (see repro.obs).  ``telemetry=False`` skips
+        # the sink even with a working directory — the service does this
+        # because telemetry records wall-clock seconds, which would make
+        # the job directory differ across bit-identical runs.
         self.telemetry = (
             SearchTelemetry(self.workdir / TELEMETRY_FILENAME)
-            if self.workdir is not None
+            if telemetry and self.workdir is not None
             else None
         )
         self.trace = trace

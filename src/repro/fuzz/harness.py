@@ -1,4 +1,4 @@
-"""The fuzz harness: run a case, check the four soundness invariants,
+"""The fuzz harness: run a case, check the five soundness invariants,
 shrink failures, and read/write the seed corpus.
 
 Invariants (violating any one is a bug in the repo, never in the case):
@@ -11,6 +11,12 @@ Invariants (violating any one is a bug in the repo, never in the case):
    mapping leaves the simulated makespan bit-equal.
 4. **resume** — a tuning run killed mid-search and resumed from its
    checkpoint reports bit-identically to the uninterrupted run.
+5. **parallel** — execution knobs are result-invariant: a two-worker
+   parallel tune and a full (non-incremental) simulation tune both
+   report bit-identically to the serial incremental run.  This is the
+   contract that lets the service's result cache ignore ``workers`` /
+   ``incremental`` when fingerprinting a workload
+   (:mod:`repro.service.fingerprint`).
 
 A crash anywhere in the pipeline is reported as the pseudo-invariant
 ``crash`` — fuzzing exists to find those too.
@@ -53,7 +59,7 @@ __all__ = [
     "load_corpus",
 ]
 
-INVARIANTS = ("bound", "canonical", "relabel", "resume")
+INVARIANTS = ("bound", "canonical", "relabel", "resume", "parallel")
 
 
 @dataclass(frozen=True)
@@ -201,7 +207,9 @@ def _check_static(case: FuzzCase, graph, machine) -> List[Violation]:
     return violations
 
 
-def _driver(case: FuzzCase, **kwargs) -> AutoMapDriver:
+def _driver(
+    case: FuzzCase, incremental: bool = True, **kwargs
+) -> AutoMapDriver:
     """A fresh driver for the case (graph and space rebuilt each time,
     mirroring a real restart-after-crash)."""
     app, graph, machine = build_case(case)
@@ -211,7 +219,10 @@ def _driver(case: FuzzCase, **kwargs) -> AutoMapDriver:
         algorithm=case.algorithm,
         oracle_config=OracleConfig(max_suggestions=case.max_suggestions),
         sim_config=SimConfig(
-            noise_sigma=case.noise_sigma, seed=case.seed, spill=True
+            noise_sigma=case.noise_sigma,
+            seed=case.seed,
+            spill=True,
+            incremental=incremental,
         ),
         space=app.space(machine),
         seed=case.seed,
@@ -293,6 +304,24 @@ def _check_resume(case: FuzzCase, workdir: Path) -> List[Violation]:
     ]
 
 
+def _check_parallel(case: FuzzCase) -> List[Violation]:
+    """Invariant 5: the execution knobs the service cache ignores
+    (``workers``, ``incremental``) really are result-invariant."""
+    baseline = _driver(case).tune()
+    violations: List[Violation] = []
+    parallel = _driver(case, workers=2).tune()
+    violations.extend(
+        Violation("parallel", f"workers=2: {diff}")
+        for diff in _report_diffs(baseline, parallel)
+    )
+    full = _driver(case, incremental=False).tune()
+    violations.extend(
+        Violation("parallel", f"incremental=False: {diff}")
+        for diff in _report_diffs(baseline, full)
+    )
+    return violations
+
+
 def run_case(
     case: FuzzCase,
     workdir: Optional[Path] = None,
@@ -312,6 +341,8 @@ def run_case(
                     )
             else:
                 result.violations.extend(_check_resume(case, workdir))
+        if "parallel" in invariants:
+            result.violations.extend(_check_parallel(case))
     except Exception:
         result.violations.append(
             Violation(

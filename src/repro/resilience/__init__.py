@@ -24,6 +24,7 @@ from repro.resilience.checkpoint import (
     ReplayEntry,
     TuningCheckpoint,
     load_checkpoint,
+    try_load_checkpoint,
 )
 from repro.resilience.faults import FaultPlan
 from repro.resilience.supervisor import SupervisorStats
@@ -36,4 +37,5 @@ __all__ = [
     "SupervisorStats",
     "TuningCheckpoint",
     "load_checkpoint",
+    "try_load_checkpoint",
 ]

@@ -53,6 +53,7 @@ __all__ = [
     "ReplayEntry",
     "TuningCheckpoint",
     "load_checkpoint",
+    "try_load_checkpoint",
 ]
 
 _LOG = get_logger("resilience.checkpoint")
@@ -244,6 +245,20 @@ class TuningCheckpoint:
 def load_checkpoint(path: Union[str, Path]) -> TuningCheckpoint:
     """Read a checkpoint written by :meth:`TuningCheckpoint.save`."""
     return TuningCheckpoint.from_doc(load_json(Path(path)))
+
+
+def try_load_checkpoint(
+    path: Union[str, Path],
+) -> Optional[TuningCheckpoint]:
+    """:func:`load_checkpoint`, but ``None`` when no checkpoint exists.
+
+    The resume-if-possible idiom crash recovery needs: a job killed
+    before its first periodic snapshot has no checkpoint and simply
+    restarts from scratch — which is just as deterministic."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    return load_checkpoint(path)
 
 
 class CheckpointManager:

@@ -1,0 +1,57 @@
+"""Mapping as a service (:mod:`repro.service`).
+
+The ROADMAP north-star is a production service answering repeated
+mapping queries at scale; this package puts a job API and a
+content-addressed result cache on top of the stateless
+:class:`repro.core.engine.TuningEngine`:
+
+- :mod:`~repro.service.spec` — :class:`JobSpec`, the serialisable
+  workload description (application + machine + search config) a client
+  submits;
+- :mod:`~repro.service.fingerprint` — the canonical workload
+  fingerprint: two submissions that provably request the same tune hash
+  to the same key (reordered JSON keys, defaulted-vs-explicit knobs,
+  canonically-equivalent start mappings);
+- :mod:`~repro.service.store` — the on-disk job store
+  (submitted/running/done/failed, atomic JSON persistence);
+- :mod:`~repro.service.cache` — the content-addressed result cache:
+  a fingerprint hit serves the stored artifacts byte-identically with
+  zero new simulations;
+- :mod:`~repro.service.result` — the deterministic result document
+  (exactly the fields the resilience contract guarantees bit-identical
+  across kill/resume and serial/parallel/incremental modes);
+- :mod:`~repro.service.worker` — the background worker loop, including
+  crash recovery: jobs found ``running`` at startup resume from their
+  checkpoint bit-identically (the PR-3 contract, now job-level);
+- :mod:`~repro.service.http` — the stdlib HTTP front-end
+  (``POST /jobs``, ``GET /jobs/<id>``, ``GET /jobs/<id>/report|trace|
+  metrics``, ``GET /metrics`` Prometheus text, ``GET /healthz``).
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.fingerprint import (
+    canonical_graph_doc,
+    canonical_machine_doc,
+    workload_fingerprint,
+)
+from repro.service.http import MappingService, make_server
+from repro.service.result import result_doc, result_json_bytes
+from repro.service.spec import JobSpec
+from repro.service.store import JobRecord, JobState, JobStore
+from repro.service.worker import JobWorker
+
+__all__ = [
+    "JobSpec",
+    "JobRecord",
+    "JobState",
+    "JobStore",
+    "JobWorker",
+    "MappingService",
+    "ResultCache",
+    "canonical_graph_doc",
+    "canonical_machine_doc",
+    "make_server",
+    "result_doc",
+    "result_json_bytes",
+    "workload_fingerprint",
+]

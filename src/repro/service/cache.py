@@ -1,0 +1,117 @@
+"""The content-addressed result cache.
+
+One directory per workload fingerprint under ``<root>/cache/``, holding
+the finished run's artifacts (``result.json``, ``trace.json``,
+``metrics.txt``).  A resubmitted equivalent workload — same fingerprint,
+see :mod:`repro.service.fingerprint` — is served from here with **zero**
+new simulations and byte-for-byte the stored artifacts: a hit does not
+re-encode anything, it hands back the files the original run wrote.
+
+Population is atomic: artifacts are staged into a temp directory next to
+the final one and published with a single ``os.replace`` rename, so a
+concurrent reader sees either no entry or a complete entry.  Losing the
+race to another populater is fine — both wrote the same content-addressed
+bytes (the determinism contract), so the survivor is interchangeable.
+
+Hit/miss/store counters go through the service's
+:class:`repro.obs.metrics.MetricsRegistry` and out the Prometheus text
+endpoint.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["CACHE_ARTIFACTS", "ResultCache"]
+
+#: Artifact filenames a complete cache entry holds; ``result.json`` is
+#: mandatory (the deterministic report), the others best-effort.
+CACHE_ARTIFACTS = ("result.json", "trace.json", "metrics.txt")
+
+
+class ResultCache:
+    """Fingerprint-keyed store of finished tuning artifacts."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.root = Path(root)
+        self.cache_dir = self.root / "cache"
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    def entry_dir(self, fingerprint: str) -> Path:
+        return self.cache_dir / fingerprint
+
+    def lookup(self, fingerprint: str) -> Optional[Path]:
+        """The entry directory on a hit, ``None`` on a miss — counting
+        either way."""
+        entry = self.entry_dir(fingerprint)
+        if (entry / "result.json").exists():
+            self.metrics.counter("service.cache.hits").inc()
+            return entry
+        self.metrics.counter("service.cache.misses").inc()
+        return None
+
+    def contains(self, fingerprint: str) -> bool:
+        """A metrics-silent probe (used by status endpoints)."""
+        return (self.entry_dir(fingerprint) / "result.json").exists()
+
+    # ------------------------------------------------------------------
+    def put(self, fingerprint: str, files: Dict[str, bytes]) -> Path:
+        """Publish a complete entry atomically.
+
+        ``files`` maps artifact name to exact bytes; ``result.json`` is
+        required.  An existing entry is kept (first writer wins — the
+        bytes are content-addressed, so identical by contract).
+        """
+        if "result.json" not in files:
+            raise ValueError("a cache entry requires result.json")
+        entry = self.entry_dir(fingerprint)
+        if (entry / "result.json").exists():
+            return entry
+        staging = tempfile.mkdtemp(
+            prefix=f".{fingerprint[:16]}-", dir=self.cache_dir
+        )
+        try:
+            for name, data in files.items():
+                (Path(staging) / name).write_bytes(data)
+            try:
+                os.replace(staging, entry)
+            except OSError:
+                # Lost the publish race (entry now exists): keep theirs.
+                shutil.rmtree(staging, ignore_errors=True)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        self.metrics.counter("service.cache.stores").inc()
+        return entry
+
+    def read(self, fingerprint: str, name: str) -> Optional[bytes]:
+        """Exact stored bytes of one artifact, or ``None``."""
+        path = self.entry_dir(fingerprint) / name
+        if not path.exists():
+            return None
+        return path.read_bytes()
+
+    # ------------------------------------------------------------------
+    def fingerprints(self) -> List[str]:
+        return sorted(
+            entry.name
+            for entry in self.cache_dir.iterdir()
+            if entry.is_dir()
+            and not entry.name.startswith(".")
+            and (entry / "result.json").exists()
+        )
+
+    def __len__(self) -> int:
+        return len(self.fingerprints())

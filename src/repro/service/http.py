@@ -1,0 +1,267 @@
+"""The HTTP front-end (stdlib ``http.server``, zero new dependencies).
+
+:class:`MappingService` is the transport-free facade — job submission
+with cache short-circuit, status documents, artifact bytes, Prometheus
+text — and the request handler is a thin JSON shim over it, so tests can
+drive the service object directly and the HTTP layer stays trivial.
+
+Endpoints::
+
+    POST /jobs                  submit a JobSpec document -> 201 + status
+    GET  /jobs                  list all job status documents
+    GET  /jobs/<id>             one job's status document
+    GET  /jobs/<id>/report      deterministic result.json (done jobs)
+    GET  /jobs/<id>/trace       winning mapping's Chrome trace
+    GET  /jobs/<id>/metrics     the tuning run's Prometheus metrics
+    GET  /metrics               service-level Prometheus metrics
+    GET  /healthz               liveness probe
+
+Submitting a workload whose fingerprint is cached creates the job
+directly in ``done`` with ``cache_hit`` set and ``simulations == 0`` —
+no queueing, no engine, and ``/report`` serves the stored bytes
+unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.obs.metrics import MetricsRegistry, to_prometheus_text
+from repro.obs.trace import TRACE_FILENAME
+from repro.service.cache import ResultCache
+from repro.service.result import RESULT_FILENAME
+from repro.service.spec import JobSpec
+from repro.service.store import JobRecord, JobState, JobStore
+from repro.service.worker import JobWorker
+from repro.util.logging import get_logger
+
+__all__ = ["MappingService", "ServiceError", "make_server"]
+
+_LOG = get_logger("service.http")
+
+#: URL artifact name -> (cache filename, content type).
+_ARTIFACTS = {
+    "report": (RESULT_FILENAME, "application/json"),
+    "trace": (TRACE_FILENAME, "application/json"),
+    "metrics": ("metrics.txt", "text/plain; version=0.0.4"),
+}
+
+
+class ServiceError(Exception):
+    """An error with an HTTP status (the handler's 4xx/5xx path)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class MappingService:
+    """Job store + result cache + worker, behind one facade.
+
+    Creating the service recovers jobs a previous process died while
+    running (they re-queue and resume from their checkpoints);
+    :meth:`start` launches the worker thread.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        metrics: Optional[MetricsRegistry] = None,
+        poll_interval: float = 0.05,
+    ) -> None:
+        self.root = Path(root)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.store = JobStore(self.root)
+        self.cache = ResultCache(self.root, metrics=self.metrics)
+        recovered = self.store.recover_running()
+        for record in recovered:
+            _LOG.info(
+                "recovered in-flight job %s (attempt %d) — will resume",
+                record.job_id,
+                record.attempts,
+            )
+        self.metrics.counter("service.jobs.recovered").inc(len(recovered))
+        self.worker = JobWorker(
+            self.store,
+            self.cache,
+            metrics=self.metrics,
+            poll_interval=poll_interval,
+        )
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.worker.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self.worker.stop()
+        if self.worker.is_alive():
+            self.worker.join(timeout)
+
+    # ------------------------------------------------------------------
+    def submit(self, doc: dict) -> JobRecord:
+        """Validate, fingerprint, and enqueue one submission — or serve
+        it from the cache.  Raises :class:`ServiceError` (400) for specs
+        that do not validate or build."""
+        from repro.service.fingerprint import spec_fingerprint
+
+        try:
+            spec = JobSpec.from_doc(doc)
+            fingerprint = spec_fingerprint(spec)
+        except ValueError as exc:
+            raise ServiceError(400, str(exc)) from exc
+        self.metrics.counter("service.jobs.submitted").inc()
+        if self.cache.lookup(fingerprint) is not None:
+            record = self.store.create(
+                spec.to_doc(),
+                fingerprint,
+                state=JobState.DONE,
+                cache_hit=True,
+            )
+            _LOG.info(
+                "job %s: cache hit for %s (0 simulations)",
+                record.job_id,
+                fingerprint[:16],
+            )
+            return record
+        record = self.store.create(spec.to_doc(), fingerprint)
+        _LOG.info(
+            "job %s: queued %s (fingerprint %s)",
+            record.job_id,
+            spec.label(),
+            fingerprint[:16],
+        )
+        return record
+
+    # ------------------------------------------------------------------
+    def job_record(self, job_id: str) -> JobRecord:
+        record = self.store.get(job_id)
+        if record is None:
+            raise ServiceError(404, f"no such job: {job_id}")
+        return record
+
+    def artifact(self, job_id: str, name: str) -> Tuple[bytes, str]:
+        """The exact stored bytes of one artifact of a finished job."""
+        if name not in _ARTIFACTS:
+            raise ServiceError(404, f"no such artifact: {name}")
+        record = self.job_record(job_id)
+        if record.state is JobState.FAILED:
+            raise ServiceError(
+                409, f"job {job_id} failed: {record.error}"
+            )
+        if record.state is not JobState.DONE:
+            raise ServiceError(
+                409, f"job {job_id} is {record.state.value}, not done"
+            )
+        filename, content_type = _ARTIFACTS[name]
+        data = self.cache.read(record.fingerprint, filename)
+        if data is None:
+            raise ServiceError(
+                404, f"job {job_id} has no {name} artifact"
+            )
+        return data, content_type
+
+    # ------------------------------------------------------------------
+    def metrics_text(self) -> str:
+        """Service-level Prometheus exposition, including a live
+        job-state histogram and the cache entry count."""
+        for state, count in self.store.counts().items():
+            self.metrics.gauge(f"service.jobs.state.{state}").set(count)
+        self.metrics.gauge("service.cache.entries").set(len(self.cache))
+        return to_prometheus_text(self.metrics)
+
+
+# ----------------------------------------------------------------------
+class _Handler(BaseHTTPRequestHandler):
+    """JSON shim over :class:`MappingService`."""
+
+    server_version = "automap-service/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> MappingService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, fmt, *args):  # route through our logger
+        _LOG.debug("%s %s", self.address_string(), fmt % args)
+
+    # -- helpers -------------------------------------------------------
+    def _send(self, status: int, data: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_json(self, status: int, doc) -> None:
+        data = (json.dumps(doc, sort_keys=True, indent=2) + "\n").encode()
+        self._send(status, data, "application/json")
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    # -- routes --------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path.rstrip("/") != "/jobs":
+            self._send_error_json(404, f"no such endpoint: {self.path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            try:
+                doc = json.loads(self.rfile.read(length) or b"null")
+            except json.JSONDecodeError as exc:
+                raise ServiceError(400, f"invalid JSON body: {exc}")
+            record = self.service.submit(doc)
+        except ServiceError as exc:
+            self._send_error_json(exc.status, str(exc))
+            return
+        self._send_json(201, record.to_doc())
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            self._route_get()
+        except ServiceError as exc:
+            self._send_error_json(exc.status, str(exc))
+
+    def _route_get(self) -> None:
+        path = self.path.split("?", 1)[0]
+        parts = [p for p in path.split("/") if p]
+        if parts == ["healthz"]:
+            self._send_json(200, {"status": "ok"})
+        elif parts == ["metrics"]:
+            self._send(
+                200,
+                self.service.metrics_text().encode(),
+                "text/plain; version=0.0.4",
+            )
+        elif parts == ["jobs"]:
+            self._send_json(
+                200,
+                {
+                    "jobs": [
+                        record.to_doc()
+                        for record in self.service.store.list_records()
+                    ]
+                },
+            )
+        elif len(parts) == 2 and parts[0] == "jobs":
+            self._send_json(200, self.service.job_record(parts[1]).to_doc())
+        elif len(parts) == 3 and parts[0] == "jobs":
+            data, content_type = self.service.artifact(parts[1], parts[2])
+            self._send(200, data, content_type)
+        else:
+            raise ServiceError(404, f"no such endpoint: {path}")
+
+
+def make_server(
+    service: MappingService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """A threading HTTP server bound to ``host:port`` (0 = ephemeral)
+    and wired to ``service``.  The caller owns both lifecycles:
+    ``service.start()`` before serving, ``service.stop()`` plus
+    ``server.shutdown()`` to tear down."""
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.service = service  # type: ignore[attr-defined]
+    return server

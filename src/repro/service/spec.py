@@ -1,0 +1,221 @@
+"""Job specifications: the workload a client submits to the service.
+
+A :class:`JobSpec` is the plain-JSON description of one tuning request:
+which application (paper app or generator family, with its knobs), which
+zoo machine at which node count, and the search configuration.  It is
+deliberately the same vocabulary as ``repro tune`` — anything tunable
+from the CLI is submittable over HTTP.
+
+Two groups of knobs are distinguished on purpose:
+
+* **semantic** knobs change the tuning *result* (algorithm, seed,
+  budget, noise, spill mode, pruning passes, start mapping) and are part
+  of the cache fingerprint (:mod:`repro.service.fingerprint`);
+* **execution** knobs change only *how* the run is carried out
+  (``workers``, ``incremental``, ``checkpoint_every``) — the repository
+  contracts (PR 1, PR 3, PR 6; fuzzed per-case by the ``parallel``
+  invariant) guarantee bit-identical results across them, so they are
+  excluded from the fingerprint and a cached result legitimately serves
+  any of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.apps import APP_REGISTRY, make_app
+from repro.machine.builders import MACHINE_ZOO
+
+__all__ = ["JobSpec", "SEMANTIC_FIELDS", "EXECUTION_FIELDS"]
+
+_FORMAT = "automap-job-v1"
+
+#: Fields that enter the workload fingerprint (via the materialised
+#: graph/machine for the app/machine ones, directly for the rest).
+SEMANTIC_FIELDS: Tuple[str, ...] = (
+    "app",
+    "input",
+    "gen_params",
+    "machine",
+    "nodes",
+    "algorithm",
+    "seed",
+    "max_suggestions",
+    "noise_sigma",
+    "spill",
+    "static_prune",
+    "bound_prune",
+    "start_mapping",
+)
+
+#: Result-preserving execution knobs (never fingerprinted).
+EXECUTION_FIELDS: Tuple[str, ...] = (
+    "workers",
+    "incremental",
+    "checkpoint_every",
+)
+
+_ALGORITHMS = ("ccd", "cd", "opentuner", "random")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One submittable tuning workload."""
+
+    app: str
+    #: Paper-style input label (``None`` keeps the app defaults).
+    input: Optional[str] = None
+    #: Generator-family constructor knobs (``--gen-param`` equivalents).
+    gen_params: Dict[str, object] = field(default_factory=dict)
+    machine: str = "shepard"
+    nodes: int = 1
+    algorithm: str = "ccd"
+    seed: int = 0
+    max_suggestions: int = 20_000
+    noise_sigma: float = 0.04
+    spill: bool = True
+    static_prune: bool = True
+    bound_prune: bool = True
+    #: Optional starting mapping (a ``kinds`` document as produced by
+    #: :func:`repro.mapping.io.mapping_to_doc`); canonicalized before
+    #: both fingerprinting and tuning, so canonically-equivalent starts
+    #: are one workload.
+    start_mapping: Optional[dict] = None
+    # ------------------------------------------------------------ (exec)
+    workers: int = 1
+    incremental: bool = True
+    checkpoint_every: int = 10
+
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        if self.app not in APP_REGISTRY:
+            raise ValueError(
+                f"unknown application {self.app!r}; "
+                f"choose from {sorted(APP_REGISTRY)}"
+            )
+        if self.machine not in MACHINE_ZOO:
+            raise ValueError(
+                f"unknown machine {self.machine!r}; "
+                f"choose from {sorted(MACHINE_ZOO)}"
+            )
+        if self.algorithm not in _ALGORITHMS:
+            raise ValueError(
+                f"unknown search algorithm {self.algorithm!r}; "
+                f"choose from {sorted(_ALGORITHMS)}"
+            )
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_suggestions < 1:
+            raise ValueError("max_suggestions must be >= 1")
+        if self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be >= 0")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+
+    # ------------------------------------------------------------------
+    def to_doc(self) -> dict:
+        """The normalized JSON form (every field explicit)."""
+        return {
+            "format": _FORMAT,
+            "app": self.app,
+            "input": self.input,
+            "gen_params": dict(self.gen_params),
+            "machine": self.machine,
+            "nodes": self.nodes,
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "max_suggestions": self.max_suggestions,
+            "noise_sigma": self.noise_sigma,
+            "spill": self.spill,
+            "static_prune": self.static_prune,
+            "bound_prune": self.bound_prune,
+            "start_mapping": self.start_mapping,
+            "workers": self.workers,
+            "incremental": self.incremental,
+            "checkpoint_every": self.checkpoint_every,
+        }
+
+    @staticmethod
+    def from_doc(doc: dict) -> "JobSpec":
+        """Parse a client-submitted document.  Unknown keys are an
+        error (they would otherwise silently not do what the client
+        asked); the ``format`` marker is optional on input."""
+        if not isinstance(doc, dict):
+            raise ValueError("job spec must be a JSON object")
+        known = set(SEMANTIC_FIELDS) | set(EXECUTION_FIELDS) | {"format"}
+        unknown = sorted(set(doc) - known)
+        if unknown:
+            raise ValueError(f"unknown job-spec field(s): {unknown}")
+        fmt = doc.get("format", _FORMAT)
+        if fmt != _FORMAT:
+            raise ValueError(f"unsupported job-spec format {fmt!r}")
+        if "app" not in doc:
+            raise ValueError("job spec requires an 'app' field")
+        gen_params = doc.get("gen_params") or {}
+        if not isinstance(gen_params, dict):
+            raise ValueError("gen_params must be an object")
+        start = doc.get("start_mapping")
+        if start is not None and not isinstance(start, dict):
+            raise ValueError("start_mapping must be a 'kinds' object")
+        try:
+            return JobSpec(
+                app=str(doc["app"]),
+                input=(
+                    None if doc.get("input") is None else str(doc["input"])
+                ),
+                gen_params=dict(gen_params),
+                machine=str(doc.get("machine", "shepard")),
+                nodes=int(doc.get("nodes", 1)),
+                algorithm=str(doc.get("algorithm", "ccd")),
+                seed=int(doc.get("seed", 0)),
+                max_suggestions=int(doc.get("max_suggestions", 20_000)),
+                noise_sigma=float(doc.get("noise_sigma", 0.04)),
+                spill=bool(doc.get("spill", True)),
+                static_prune=bool(doc.get("static_prune", True)),
+                bound_prune=bool(doc.get("bound_prune", True)),
+                start_mapping=start,
+                workers=int(doc.get("workers", 1)),
+                incremental=bool(doc.get("incremental", True)),
+                checkpoint_every=int(doc.get("checkpoint_every", 10)),
+            )
+        except (TypeError, KeyError) as exc:
+            raise ValueError(f"malformed job spec: {exc}") from exc
+
+    def with_(self, **changes) -> "JobSpec":
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    def build(self):
+        """Materialise (app, graph, machine, space).
+
+        Raises ``ValueError`` for labels/knobs the registries reject —
+        the HTTP layer turns that into a 400 at submit time, before the
+        job is ever queued.
+        """
+        from repro.cli import parse_app_input
+
+        factory = MACHINE_ZOO[self.machine]
+        machine = factory(self.nodes)
+        try:
+            kwargs = parse_app_input(self.app, self.input)
+        except SystemExit as exc:  # parse_app_input raises SystemExit
+            raise ValueError(str(exc)) from None
+        kwargs.update(self.gen_params)
+        try:
+            app = make_app(self.app, **kwargs)
+        except TypeError as exc:
+            raise ValueError(str(exc)) from None
+        return app, app.graph(machine), machine, app.space(machine)
+
+    def label(self) -> str:
+        params = ",".join(
+            f"{k}={v}" for k, v in sorted(self.gen_params.items())
+        )
+        detail = self.input or params or "defaults"
+        return (
+            f"{self.app}({detail}) on {self.machine}({self.nodes}) "
+            f"{self.algorithm}/seed={self.seed}"
+        )

@@ -1,0 +1,167 @@
+"""The background worker loop.
+
+A single daemon thread drains the job store FIFO: claim the oldest
+``submitted`` job, run it through :class:`repro.core.AutoMapSession`
+(which drives the stateless engine with the full checkpoint/observability
+stack), publish the deterministic artifacts into the result cache, and
+mark the job ``done`` — or ``failed`` with the error message.
+
+Crash recovery is the whole point of the layering: the job's working
+directory lives inside the job directory, the engine checkpoints into it
+periodically, and :meth:`JobWorker.execute` resumes from that checkpoint
+whenever one exists.  A service killed mid-job and restarted therefore
+finishes the job with a **bit-identical** result document — the PR-3
+replay contract, promoted to job level — which the CI service-smoke gate
+asserts by SIGKILLing a live server.
+
+Jobs run with telemetry off (wall-clock lines would make reruns differ
+on disk) and tracing on (the ``/jobs/<id>/trace`` endpoint is
+unconditional; tracing is observational and cannot change the result).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.core.oracle import OracleConfig
+from repro.core.session import AutoMapSession
+from repro.obs.metrics import MetricsRegistry, to_prometheus_text
+from repro.obs.trace import TRACE_FILENAME
+from repro.resilience.checkpoint import CHECKPOINT_FILENAME
+from repro.runtime.simulator import SimConfig
+from repro.service.cache import ResultCache
+from repro.service.fingerprint import canonical_start_doc
+from repro.service.result import RESULT_FILENAME, result_doc, result_json_bytes
+from repro.service.spec import JobSpec
+from repro.service.store import JobRecord, JobState, JobStore
+from repro.util.logging import get_logger
+
+__all__ = ["JobWorker"]
+
+_LOG = get_logger("service.worker")
+
+
+class JobWorker(threading.Thread):
+    """Daemon thread executing queued jobs one at a time.
+
+    One worker per service: intra-job parallelism comes from the job's
+    own ``workers`` knob (the engine's process pool), and keeping the
+    queue serial keeps crash recovery trivial — at most one job can ever
+    be ``running``.
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        cache: ResultCache,
+        metrics: Optional[MetricsRegistry] = None,
+        poll_interval: float = 0.05,
+    ) -> None:
+        super().__init__(name="automap-job-worker", daemon=True)
+        self.store = store
+        self.cache = cache
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.poll_interval = poll_interval
+        # (named to dodge threading.Thread's private ``_stop`` method)
+        self._stop_requested = threading.Event()
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        self._stop_requested.set()
+
+    def run(self) -> None:  # pragma: no cover - exercised via service
+        while not self._stop_requested.is_set():
+            record = self.store.claim_next()
+            if record is None:
+                self._stop_requested.wait(self.poll_interval)
+                continue
+            self.execute(record)
+
+    # ------------------------------------------------------------------
+    def execute(self, record: JobRecord) -> JobRecord:
+        """Run one claimed job to completion (resuming if a checkpoint
+        exists) and persist the outcome."""
+        try:
+            finished = self._run_job(record)
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            _LOG.warning("job %s failed: %s", record.job_id, exc)
+            self.metrics.counter("service.jobs.failed").inc()
+            finished = record.with_(
+                state=JobState.FAILED,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        return self.store.update(finished)
+
+    def _run_job(self, record: JobRecord) -> JobRecord:
+        spec = JobSpec.from_doc(record.spec_doc)
+        _, graph, machine, space = spec.build()
+        workdir = self.store.work_dir(record.job_id)
+        resume = (workdir / CHECKPOINT_FILENAME).exists()
+        if resume:
+            _LOG.info(
+                "job %s: resuming from checkpoint (attempt %d)",
+                record.job_id,
+                record.attempts,
+            )
+            self.metrics.counter("service.jobs.resumed").inc()
+
+        session = AutoMapSession(
+            graph,
+            machine,
+            algorithm=spec.algorithm,
+            workdir=workdir,
+            oracle_config=OracleConfig(max_suggestions=spec.max_suggestions),
+            sim_config=SimConfig(
+                noise_sigma=spec.noise_sigma,
+                seed=spec.seed,
+                spill=spec.spill,
+                incremental=spec.incremental,
+            ),
+            seed=spec.seed,
+            space=space,
+            workers=spec.workers,
+            static_prune=spec.static_prune,
+            bound_prune=spec.bound_prune,
+            checkpoint_every=spec.checkpoint_every,
+            resume=resume,
+            trace=True,
+            telemetry=False,
+        )
+        start = None
+        if spec.start_mapping is not None:
+            from repro.mapping.io import mapping_from_doc
+
+            # Tune from the canonical representative, so the cached
+            # result is valid for the whole equivalence class the
+            # fingerprint collapses (see repro.service.fingerprint).
+            start = mapping_from_doc(
+                canonical_start_doc(graph, machine, spec.start_mapping)
+            )
+        report = session.tune(start=start)
+
+        files = {
+            RESULT_FILENAME: result_json_bytes(
+                result_doc(report, fingerprint=record.fingerprint)
+            )
+        }
+        trace_path = workdir / TRACE_FILENAME
+        if trace_path.exists():
+            files[TRACE_FILENAME] = trace_path.read_bytes()
+        if report.metrics is not None:
+            files["metrics.txt"] = to_prometheus_text(report.metrics).encode(
+                "utf-8"
+            )
+        self.cache.put(record.fingerprint, files)
+
+        self.metrics.counter("service.jobs.completed").inc()
+        self.metrics.counter("service.simulations").inc(report.simulations)
+        _LOG.info(
+            "job %s done: best %.6g over %d simulations",
+            record.job_id,
+            report.best_mean,
+            report.simulations,
+        )
+        return record.with_(
+            state=JobState.DONE, simulations=report.simulations
+        )

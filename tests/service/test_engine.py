@@ -1,0 +1,100 @@
+"""The stateless tuning engine: one prepared request can be run any
+number of times, always reproducing the same report."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import TuneRequest, TuningEngine
+from repro.runtime import SimConfig
+
+
+def _request(graph, machine):
+    return TuneRequest(
+        graph=graph,
+        machine=machine,
+        algorithm="ccd",
+        sim_config=SimConfig(noise_sigma=0.02, seed=9),
+    )
+
+
+def _report_key(report):
+    """The deterministic-contract fields, as one comparable value."""
+    return (
+        report.best_mapping.key(),
+        report.best_mean,
+        report.best_stddev,
+        report.search.trace,
+        report.suggested,
+        report.evaluated,
+        report.invalid_suggestions,
+        report.failed_evaluations,
+        report.search_seconds,
+        [(m.key(), a, b, c) for m, a, b, c in report.finalists],
+    )
+
+
+class TestStatelessness:
+    def test_request_is_immutable(self, diamond_graph, mini_machine):
+        request = _request(diamond_graph, mini_machine)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            request.seed = 1
+
+    def test_with_returns_new_request(self, diamond_graph, mini_machine):
+        request = _request(diamond_graph, mini_machine)
+        changed = request.with_(seed=3)
+        assert changed.seed == 3
+        assert request.seed == 0
+
+    def test_rerun_of_prepared_request_is_identical(
+        self, diamond_graph, mini_machine
+    ):
+        """run() keeps all mutable state in locals: the same prepared
+        workload replayed on the same engine yields a bit-identical
+        report — the property the service's worker relies on when a
+        recovered job re-runs."""
+        engine = TuningEngine()
+        prepared = engine.prepare(_request(diamond_graph, mini_machine))
+        first = engine.run(prepared)
+        second = engine.run(prepared)
+        assert _report_key(first) == _report_key(second)
+
+    def test_independent_prepares_are_identical(
+        self, diamond_graph, mini_machine
+    ):
+        request = _request(diamond_graph, mini_machine)
+        engine = TuningEngine()
+        first = engine.run(engine.prepare(request))
+        second = engine.run(engine.prepare(request))
+        assert _report_key(first) == _report_key(second)
+
+    def test_one_engine_serves_distinct_workloads(
+        self, diamond_graph, mini_machine, shepard1
+    ):
+        """Engines hold no per-workload state, so interleaving two
+        different workloads cannot cross-contaminate either result."""
+        engine = TuningEngine()
+        a1 = engine.run(
+            engine.prepare(_request(diamond_graph, mini_machine))
+        )
+        b1 = engine.run(engine.prepare(_request(diamond_graph, shepard1)))
+        a2 = engine.run(
+            engine.prepare(_request(diamond_graph, mini_machine))
+        )
+        assert _report_key(a1) == _report_key(a2)
+        assert a1.machine_name != b1.machine_name
+
+    def test_tune_is_prepare_plus_run(self, diamond_graph, mini_machine):
+        engine = TuningEngine()
+        request = _request(diamond_graph, mini_machine)
+        assert _report_key(engine.tune(request)) == _report_key(
+            engine.run(engine.prepare(request))
+        )
+
+    def test_measure_on_prepared(self, diamond_graph, mini_machine):
+        engine = TuningEngine()
+        prepared = engine.prepare(_request(diamond_graph, mini_machine))
+        mapping = prepared.space.default_mapping()
+        assert engine.measure(prepared, mapping, runs=5) > 0

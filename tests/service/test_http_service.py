@@ -1,0 +1,182 @@
+"""End-to-end mapping-as-a-service over real HTTP: submit, poll,
+fetch artifacts, and hit the cache on resubmission."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import MappingService, make_server
+
+SPEC = {"app": "stencil", "max_suggestions": 40, "checkpoint_every": 1}
+
+
+@pytest.fixture
+def service_url(tmp_path):
+    service = MappingService(tmp_path / "state")
+    server = make_server(service, port=0)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    service.start()
+    try:
+        yield f"http://{host}:{port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+        thread.join(5)
+
+
+def _post(url, doc):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(doc).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as reply:
+            return reply.status, json.loads(reply.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _get(url, raw=False):
+    try:
+        with urllib.request.urlopen(url, timeout=30) as reply:
+            data = reply.read()
+            return reply.status, data if raw else json.loads(data)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _await_done(url, job_id, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, doc = _get(f"{url}/jobs/{job_id}")
+        assert status == 200
+        if doc["state"] in ("done", "failed"):
+            return doc
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} did not finish in {timeout}s")
+
+
+class TestEndToEnd:
+    def test_submit_poll_fetch_and_cache_hit(self, service_url):
+        status, submitted = _post(f"{service_url}/jobs", SPEC)
+        assert status == 201
+        assert submitted["state"] == "submitted"
+        assert not submitted["cache_hit"]
+
+        done = _await_done(service_url, submitted["job_id"])
+        assert done["state"] == "done"
+        assert done["simulations"] > 0
+
+        status, report = _get(
+            f"{service_url}/jobs/{submitted['job_id']}/report", raw=True
+        )
+        assert status == 200
+        doc = json.loads(report)
+        assert doc["application"]
+        assert doc["best_mapping"]
+        assert doc["fingerprint"] == submitted["fingerprint"]
+
+        status, trace = _get(
+            f"{service_url}/jobs/{submitted['job_id']}/trace", raw=True
+        )
+        assert status == 200 and json.loads(trace)
+        status, metrics = _get(
+            f"{service_url}/jobs/{submitted['job_id']}/metrics", raw=True
+        )
+        assert status == 200 and b"automap_" in metrics
+
+        # Resubmit the same workload with reordered keys and different
+        # execution knobs: served from cache, zero simulations,
+        # byte-identical report.
+        resubmit = {
+            "checkpoint_every": 5,
+            "workers": 2,
+            "max_suggestions": 40,
+            "app": "stencil",
+            "incremental": False,
+        }
+        status, second = _post(f"{service_url}/jobs", resubmit)
+        assert status == 201
+        assert second["state"] == "done"
+        assert second["cache_hit"] is True
+        assert second["simulations"] == 0
+        assert second["fingerprint"] == submitted["fingerprint"]
+        status, report2 = _get(
+            f"{service_url}/jobs/{second['job_id']}/report", raw=True
+        )
+        assert status == 200
+        assert report2 == report
+
+    def test_jobs_listing(self, service_url):
+        _post(f"{service_url}/jobs", SPEC)
+        status, listing = _get(f"{service_url}/jobs")
+        assert status == 200
+        assert len(listing["jobs"]) == 1
+
+    def test_metrics_track_cache_traffic(self, service_url):
+        status, first = _post(f"{service_url}/jobs", SPEC)
+        assert status == 201
+        _await_done(service_url, first["job_id"])
+        _post(f"{service_url}/jobs", SPEC)
+
+        status, text = _get(f"{service_url}/metrics", raw=True)
+        assert status == 200
+        body = text.decode()
+        assert "automap_service_cache_hits 1.0" in body
+        assert "automap_service_cache_misses 1.0" in body
+        assert "automap_service_jobs_submitted 2.0" in body
+
+    def test_healthz(self, service_url):
+        status, doc = _get(f"{service_url}/healthz")
+        assert status == 200 and doc == {"status": "ok"}
+
+
+class TestErrorPaths:
+    def test_invalid_spec_is_400(self, service_url):
+        status, doc = _post(f"{service_url}/jobs", {"app": "nope"})
+        assert status == 400
+        assert "unknown application" in doc["error"]
+
+    def test_unknown_field_is_400(self, service_url):
+        status, doc = _post(
+            f"{service_url}/jobs", {"app": "stencil", "bogus": 1}
+        )
+        assert status == 400
+        assert "bogus" in doc["error"]
+
+    def test_malformed_json_is_400(self, service_url):
+        request = urllib.request.Request(
+            f"{service_url}/jobs",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=30)
+        assert info.value.code == 400
+
+    def test_unknown_job_is_404(self, service_url):
+        status, doc = _get(f"{service_url}/jobs/job-424242")
+        assert status == 404
+        assert "no such job" in doc["error"]
+
+    def test_report_before_done_is_409(self, tmp_path):
+        # Worker never started: the job stays queued.
+        service = MappingService(tmp_path / "state")
+        record = service.submit(dict(SPEC))
+        with pytest.raises(Exception) as info:
+            service.artifact(record.job_id, "report")
+        assert getattr(info.value, "status", None) == 409
+
+    def test_unknown_endpoint_is_404(self, service_url):
+        status, doc = _get(f"{service_url}/nope")
+        assert status == 404

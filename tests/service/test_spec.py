@@ -1,0 +1,102 @@
+"""JobSpec validation, normalization, and materialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.spec import EXECUTION_FIELDS, SEMANTIC_FIELDS, JobSpec
+
+
+class TestValidation:
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError, match="unknown application"):
+            JobSpec(app="nope")
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(ValueError, match="unknown machine"):
+            JobSpec(app="stencil", machine="nope")
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="unknown search algorithm"):
+            JobSpec(app="stencil", algorithm="nope")
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("nodes", 0),
+            ("workers", 0),
+            ("max_suggestions", 0),
+            ("noise_sigma", -0.1),
+            ("checkpoint_every", -1),
+        ],
+    )
+    def test_bad_numbers_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            JobSpec(app="stencil", **{field: value})
+
+    def test_unknown_doc_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown job-spec field"):
+            JobSpec.from_doc({"app": "stencil", "bogus": 1})
+
+    def test_missing_app_rejected(self):
+        with pytest.raises(ValueError, match="requires an 'app'"):
+            JobSpec.from_doc({"machine": "shepard"})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            JobSpec.from_doc([1, 2])
+
+    def test_wrong_format_marker_rejected(self):
+        with pytest.raises(ValueError, match="unsupported job-spec"):
+            JobSpec.from_doc({"app": "stencil", "format": "v999"})
+
+
+class TestRoundtrip:
+    def test_doc_roundtrip_is_identity(self):
+        spec = JobSpec(
+            app="stencil",
+            input="500x500",
+            machine="lassen",
+            nodes=2,
+            algorithm="cd",
+            seed=7,
+            max_suggestions=123,
+            workers=3,
+            incremental=False,
+        )
+        assert JobSpec.from_doc(spec.to_doc()) == spec
+
+    def test_doc_is_fully_explicit(self):
+        doc = JobSpec(app="stencil").to_doc()
+        for name in SEMANTIC_FIELDS + EXECUTION_FIELDS:
+            assert name in doc
+
+    def test_field_partition_is_total(self):
+        """Every spec field is classified semantic or execution —
+        an unclassified field could silently poison the cache."""
+        import dataclasses
+
+        names = {f.name for f in dataclasses.fields(JobSpec)}
+        assert names == set(SEMANTIC_FIELDS) | set(EXECUTION_FIELDS)
+
+
+class TestBuild:
+    def test_build_materialises_graph_machine_space(self):
+        app, graph, machine, space = JobSpec(
+            app="stencil", input="500x500"
+        ).build()
+        assert graph.launches
+        assert machine.name.startswith("shepard")
+        assert space.kind_names()
+
+    def test_build_rejects_bad_input_label(self):
+        with pytest.raises(ValueError):
+            JobSpec(app="stencil", input="garbage").build()
+
+    def test_build_rejects_bad_gen_params(self):
+        with pytest.raises(ValueError):
+            JobSpec(app="stencil", gen_params={"bogus_knob": 3}).build()
+
+    def test_label_mentions_app_and_machine(self):
+        label = JobSpec(app="stencil", machine="lassen").label()
+        assert "stencil" in label and "lassen" in label

@@ -44,6 +44,44 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["tune", "--app", "linpack"])
 
+    def test_serve_requires_root(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--root", "state"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8432
+
+    def test_submit_defaults(self):
+        args = build_parser().parse_args(["submit", "--app", "stencil"])
+        assert args.url == "http://127.0.0.1:8432"
+        assert args.algorithm == "ccd"
+        assert not args.wait
+        assert args.checkpoint_every == 10
+
+    def test_submit_execution_flags(self):
+        args = build_parser().parse_args(
+            [
+                "submit",
+                "--app",
+                "stencil",
+                "--workers",
+                "2",
+                "--no-incremental",
+                "--wait",
+            ]
+        )
+        assert args.workers == 2
+        assert args.no_incremental
+        assert args.wait
+
+    def test_fuzz_accepts_parallel_invariant(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--invariant", "parallel"]
+        )
+        assert args.invariant == ["parallel"]
+
 
 class TestCommands:
     def test_machines(self, capsys):
