@@ -28,6 +28,10 @@ in microseconds.  This package is that pre-simulation pruning layer:
 * :mod:`~repro.analysis.symmetry` — verified machine-kind automorphisms
   (interchangeable processor/memory kinds), folded by the
   canonicalizer and reported as AM502;
+* :mod:`~repro.analysis.equivalence` — the static workload-equivalence
+  prover: capacity-slack, unused-resource, and relabeling lemmas that
+  let the mapping service serve provably-equivalent submissions from
+  cache with zero simulations (AM6xx);
 * :mod:`~repro.analysis.engine` — the ``repro analyze`` entry point
   combining the passes into one :class:`DiagnosticReport`.
 
@@ -71,6 +75,14 @@ __all__ = [
     "routing_model",
     "MachineSymmetry",
     "KindRelabeling",
+    "Workload",
+    "EquivalenceProof",
+    "TouchableResources",
+    "prove_equivalent",
+    "footprint_bounds",
+    "touchable_resources",
+    "diagnose_equivalence",
+    "pullback_result_doc",
 ]
 
 _LAZY = {
@@ -84,6 +96,23 @@ _LAZY = {
     "routing_model": ("repro.analysis.routing", "routing_model"),
     "MachineSymmetry": ("repro.analysis.symmetry", "MachineSymmetry"),
     "KindRelabeling": ("repro.analysis.symmetry", "KindRelabeling"),
+    "Workload": ("repro.analysis.equivalence", "Workload"),
+    "EquivalenceProof": ("repro.analysis.equivalence", "EquivalenceProof"),
+    "TouchableResources": ("repro.analysis.equivalence", "TouchableResources"),
+    "prove_equivalent": ("repro.analysis.equivalence", "prove_equivalent"),
+    "footprint_bounds": ("repro.analysis.equivalence", "footprint_bounds"),
+    "touchable_resources": (
+        "repro.analysis.equivalence",
+        "touchable_resources",
+    ),
+    "diagnose_equivalence": (
+        "repro.analysis.equivalence",
+        "diagnose_equivalence",
+    ),
+    "pullback_result_doc": (
+        "repro.analysis.equivalence",
+        "pullback_result_doc",
+    ),
 }
 
 

@@ -116,6 +116,7 @@ _PASSES: Dict[str, str] = {
     "AM3": "graph sanitizer",
     "AM4": "cost bounds",
     "AM5": "routing & symmetry",
+    "AM6": "workload equivalence",
 }
 
 RULES: Dict[str, Rule] = {}
@@ -284,6 +285,30 @@ _register(
     "memory pair unreachable via channels",
     "No channel path connects the pair; any mapping needing a copy "
     "between them fails at simulation time.",
+)
+
+
+# -- AM6xx: workload observational equivalence -------------------------
+_register(
+    "AM601",
+    Severity.INFO,
+    "memory capacity exceeds reachable footprint bound",
+    "Capacity above the exact static footprint bound is unobservable: "
+    "no reachable mapping can tell this memory from a larger one.",
+)
+_register(
+    "AM602",
+    Severity.INFO,
+    "resource unreachable by any searched mapping",
+    "No searched or fixed decision can touch this processor kind, "
+    "memory, or channel, so its parameters are unobservable.",
+)
+_register(
+    "AM603",
+    Severity.INFO,
+    "workload equivalent modulo verified relabeling",
+    "A verified machine automorphism maps the workload onto itself; "
+    "relabeled submissions can be served from the same cached result.",
 )
 
 

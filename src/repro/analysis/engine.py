@@ -35,6 +35,7 @@ def analyze(
     mapping: Optional["Mapping"] = None,
     sanitize: bool = True,
     bounds: bool = False,
+    equivalence: bool = False,
 ) -> DiagnosticReport:
     """Run every static pass over the graph/machine pair.
 
@@ -45,7 +46,9 @@ def analyze(
     an already-sanitized graph.  With ``bounds`` the static cost-bound
     analyzer adds the AM4xx diagnostics, comparing the mapping (or the
     space's default mapping when none is given) against the default
-    mapping's simulated makespan.
+    mapping's simulated makespan.  With ``equivalence`` the AM6xx
+    workload-equivalence pass reports capacity slack above the footprint
+    bound, unreachable resources, and verified self-relabelings.
     """
     report = DiagnosticReport()
     if sanitize:
@@ -75,6 +78,10 @@ def analyze(
                 graph, machine, space, valid_mapping, canonicalizer
             )
         )
+    if equivalence:
+        from repro.analysis.equivalence import diagnose_equivalence
+
+        report.extend(diagnose_equivalence(graph, machine, space))
     return report
 
 

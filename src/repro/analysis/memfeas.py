@@ -169,6 +169,26 @@ class StaticMemoryFeasibility:
         self._contrib_cache[key] = out
         return out
 
+    def slot_contribution(
+        self,
+        kind_name: str,
+        distribute: bool,
+        proc_kind: ProcKind,
+        slot_index: int,
+        mem_kind: MemKind,
+    ) -> _Contribution:
+        """Public read access to the per-option contribution table.
+
+        The equivalence prover (:mod:`repro.analysis.equivalence`) unions
+        these per-option contributions over *every* reachable option to
+        obtain the exact static footprint upper bound; raising
+        ``ValueError`` here means the option is unreachable (no processor
+        pool / unaddressable memory) and contributes nothing.
+        """
+        return self._slot_contribution(
+            kind_name, distribute, proc_kind, slot_index, mem_kind
+        )
+
     def _contribution_overflows(self, contrib: _Contribution) -> bool:
         """Whether this option's own footprint already exceeds some
         memory's capacity (a lower bound on any containing mapping)."""

@@ -6,8 +6,9 @@ Usage (installed as a module)::
     python -m repro inspect --app htr --input 16x16y18z
     python -m repro trace out/trace.json
     python -m repro machines
-    python -m repro serve --root /var/lib/automap
+    python -m repro serve --root /var/lib/automap --workers 2
     python -m repro submit --app stencil --input 500x500 --wait
+    python -m repro cache ls --root /var/lib/automap
 
 ``tune`` runs the full AutoMap pipeline and prints the tuning report
 plus the diff against the default mapping; ``inspect`` prints the
@@ -16,7 +17,8 @@ application's graph summary and Figure 5 row without searching;
 ASCII Gantt chart; ``machines`` lists the bundled machine models;
 ``serve`` runs the mapping service (async job API over HTTP with a
 content-addressed result cache, see :mod:`repro.service`); ``submit``
-is the matching client.
+is the matching client; ``cache`` inspects or purges a service's result
+cache offline.
 """
 
 from __future__ import annotations
@@ -33,7 +35,13 @@ from repro.runtime import SimConfig
 from repro.util.logging import configure as configure_logging
 from repro.viz import render_mapping, render_mapping_diff
 
-__all__ = ["main", "build_parser", "parse_app_input", "parse_gen_params"]
+__all__ = [
+    "main",
+    "build_parser",
+    "parse_app_input",
+    "parse_gen_params",
+    "parse_machine_params",
+]
 
 _MACHINES = dict(MACHINE_ZOO)
 
@@ -110,6 +118,40 @@ def parse_gen_params(pairs) -> dict:
                 f"got {pair!r}"
             )
         out[key] = _coerce_param(raw.strip())
+    return out
+
+
+def parse_machine_params(pairs) -> dict:
+    """Parse repeated ``--machine-param SECTION:KEY=VALUE`` flags into a
+    ``machine_params`` override document (``name=VALUE`` is the one
+    keyless form).  Section/uid validation happens server-side in
+    :func:`repro.machine.overrides.apply_machine_params`."""
+    out: dict = {}
+    for pair in pairs or []:
+        head, sep, raw = pair.partition("=")
+        value = raw.strip()
+        if not sep:
+            raise SystemExit(
+                f"--machine-param expects SECTION:KEY=VALUE (or "
+                f"name=VALUE), got {pair!r}"
+            )
+        section, colon, key = head.partition(":")
+        section = section.strip()
+        key = key.strip()
+        if not colon:
+            if section != "name":
+                raise SystemExit(
+                    f"--machine-param expects SECTION:KEY=VALUE (only "
+                    f"'name' takes a bare value), got {pair!r}"
+                )
+            out["name"] = value
+            continue
+        if not section or not key:
+            raise SystemExit(
+                f"--machine-param expects SECTION:KEY=VALUE, got {pair!r}"
+            )
+        # Capacities may stay strings ("128 GiB"); numbers coerce.
+        out.setdefault(section, {})[key] = _coerce_param(value)
     return out
 
 
@@ -289,6 +331,14 @@ def build_parser() -> argparse.ArgumentParser:
         "the default mapping's simulated makespan",
     )
     analyze.add_argument(
+        "--equivalence",
+        action="store_true",
+        help="also run the workload-equivalence analyzer (AM6xx): "
+        "provably-unobservable capacity slack, resources no searched "
+        "mapping can touch, and verified machine automorphisms — the "
+        "lemmas behind the service's near-equivalent cache hits",
+    )
+    analyze.add_argument(
         "--list-rules",
         action="store_true",
         help="print the diagnostic rule registry, grouped by analysis "
@@ -323,7 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
         "fuzz",
         help="soundness fuzzing: seeded random (generator, machine, "
         "search-config) cases checked against the bound/canonical/"
-        "relabel/resume/parallel invariants",
+        "relabel/resume/parallel/equivalence invariants",
     )
     fuzz.add_argument(
         "--seed",
@@ -351,12 +401,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--invariant",
         action="append",
         default=None,
-        choices=["bound", "canonical", "relabel", "resume", "parallel"],
+        choices=[
+            "bound",
+            "canonical",
+            "relabel",
+            "resume",
+            "parallel",
+            "equivalence",
+        ],
         metavar="NAME",
-        help="check only this invariant (repeatable; default: all five; "
+        help="check only this invariant (repeatable; default: all six; "
         "'parallel' asserts --workers 2 and --no-incremental runs are "
-        "bit-identical to the serial incremental run — the contract "
-        "behind the service cache's fingerprint)",
+        "bit-identical to the serial incremental run; 'equivalence' "
+        "asserts AM6xx-proved workload pairs tune bit-identically — "
+        "the contracts behind the service cache)",
     )
     fuzz.add_argument(
         "--no-shrink",
@@ -391,6 +449,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="listen port (0 = pick an ephemeral port; the bound "
         "address is printed on startup)",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="job-worker threads draining the queue concurrently "
+        "(claims are atomic, so no job ever runs twice; default: 1)",
+    )
+    serve.add_argument(
+        "--cache-max-bytes",
+        default=None,
+        metavar="SIZE",
+        help="result-cache size budget, e.g. '256 MiB' or a byte "
+        "count; least-recently-used entries are evicted atomically "
+        "on publish (default: unbounded)",
+    )
     serve.add_argument("--verbose", action="store_true")
 
     submit = sub.add_parser(
@@ -416,6 +490,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="server-side process-pool size for this job (execution "
         "knob: does not change the result or the cache key)",
+    )
+    submit.add_argument(
+        "--machine-param",
+        action="append",
+        default=[],
+        metavar="SECTION:KEY=VALUE",
+        help="declarative machine override (repeatable), e.g. "
+        "--machine-param 'memory_capacity:n0.sys0=128 GiB' or "
+        "--machine-param name=shepard-fat; sections: name, "
+        "memory_capacity, proc_throughput, proc_launch_overhead, "
+        "access_bandwidth, access_latency, channel_bandwidth, "
+        "channel_latency (pair keys joined with '|')",
     )
     submit.add_argument("--no-spill", action="store_true")
     submit.add_argument(
@@ -453,6 +539,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="with --wait, save the job's deterministic result.json "
         "to FILE",
+    )
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or purge a mapping service's result cache "
+        "(offline: operates on the --root directory directly)",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_ls = cache_sub.add_parser(
+        "ls", help="list cache entries with sizes and artifacts"
+    )
+    cache_ls.add_argument(
+        "--root",
+        required=True,
+        metavar="DIR",
+        help="service state directory (as passed to `repro serve`)",
+    )
+    cache_purge = cache_sub.add_parser(
+        "purge", help="atomically evict every cache entry"
+    )
+    cache_purge.add_argument(
+        "--root", required=True, metavar="DIR",
+        help="service state directory (as passed to `repro serve`)",
     )
 
     sub.add_parser("machines", help="list bundled machine models")
@@ -541,7 +650,11 @@ def _cmd_analyze(args) -> int:
     space = app.space(machine)
 
     report = analyze(
-        graph, machine, space=space, bounds=args.bounds and not args.mapping
+        graph,
+        machine,
+        space=space,
+        bounds=args.bounds and not args.mapping,
+        equivalence=args.equivalence,
     )
     print(f"-- {graph.name} on {machine.name}")
     print(report.render())
@@ -702,8 +815,22 @@ def _print_case_line(label, case, result) -> None:
 def _cmd_serve(args) -> int:
     configure_logging()
     from repro.service import MappingService, make_server
+    from repro.util.units import parse_bytes
 
-    service = MappingService(args.root)
+    cache_max_bytes = None
+    if args.cache_max_bytes is not None:
+        try:
+            cache_max_bytes = parse_bytes(args.cache_max_bytes)
+        except ValueError as exc:
+            raise SystemExit(f"repro serve: --cache-max-bytes: {exc}")
+    try:
+        service = MappingService(
+            args.root,
+            workers=args.workers,
+            cache_max_bytes=cache_max_bytes,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro serve: {exc}")
     server = make_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     service.start()
@@ -761,6 +888,7 @@ def _cmd_submit(args) -> int:
         "gen_params": parse_gen_params(args.gen_param),
         "machine": args.machine,
         "nodes": args.nodes,
+        "machine_params": parse_machine_params(args.machine_param),
         "algorithm": args.algorithm,
         "seed": args.seed,
         "max_suggestions": args.max_suggestions,
@@ -794,9 +922,15 @@ def _cmd_submit(args) -> int:
             raise SystemExit(
                 f"repro submit: {status}: {reply.get('error', reply)}"
             )
+    # ``cache_hit=equiv`` distinguishes a near-equivalence proof hit
+    # from an exact fingerprint hit (``true``) — both zero simulations.
+    if reply.get("cache_mode") == "equiv":
+        cache_hit = "equiv"
+    else:
+        cache_hit = "true" if reply["cache_hit"] else "false"
     print(
         f"{job_id} state={reply['state']} "
-        f"cache_hit={'true' if reply['cache_hit'] else 'false'} "
+        f"cache_hit={cache_hit} "
         f"simulations={reply['simulations']}"
     )
     if reply["state"] == "failed":
@@ -810,6 +944,40 @@ def _cmd_submit(args) -> int:
         from pathlib import Path
 
         Path(args.report_out).write_bytes(data)
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.service import ResultCache
+    from repro.util.units import format_bytes
+    from repro.viz.table import Table
+
+    cache = ResultCache(args.root)
+    if args.cache_command == "purge":
+        removed = cache.purge()
+        print(f"purged {removed} cache entr"
+              f"{'y' if removed == 1 else 'ies'} from {args.root}")
+        return 0
+    entries = cache.entries()
+    if not entries:
+        print(f"cache at {args.root}: 0 entries")
+        return 0
+    table = Table(["fingerprint", "size", "mode", "artifacts"])
+    for entry in entries:
+        table.add_row(
+            [
+                entry["fingerprint"][:16],
+                format_bytes(entry["bytes"]),
+                "equiv" if entry["equivalent"] else "run",
+                ",".join(entry["artifacts"]),
+            ]
+        )
+    print(table.render())
+    print()
+    print(
+        f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}, "
+        f"{format_bytes(cache.total_bytes())} total"
+    )
     return 0
 
 
@@ -837,6 +1005,8 @@ def main(argv=None) -> int:
             return _cmd_serve(args)
         if args.command == "submit":
             return _cmd_submit(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
         if args.command == "machines":
             return _cmd_machines(args)
     except KeyboardInterrupt:

@@ -1,4 +1,4 @@
-"""The fuzz harness: run a case, check the five soundness invariants,
+"""The fuzz harness: run a case, check the six soundness invariants,
 shrink failures, and read/write the seed corpus.
 
 Invariants (violating any one is a bug in the repo, never in the case):
@@ -17,6 +17,13 @@ Invariants (violating any one is a bug in the repo, never in the case):
    contract that lets the service's result cache ignore ``workers`` /
    ``incremental`` when fingerprinting a workload
    (:mod:`repro.service.fingerprint`).
+6. **equivalence** — when the AM6xx prover
+   (:mod:`repro.analysis.equivalence`) declares a perturbed workload
+   equivalent to the case's (capacity slack above the footprint bound,
+   off-route channel parameters, a machine rename), fresh noise-free
+   tunes of both report bit-identically — and the prover must accept
+   the perturbations engineered to be provable.  This is the contract
+   behind the service cache's near-equivalent hits.
 
 A crash anywhere in the pipeline is reported as the pseudo-invariant
 ``crash`` — fuzzing exists to find those too.
@@ -59,7 +66,14 @@ __all__ = [
     "load_corpus",
 ]
 
-INVARIANTS = ("bound", "canonical", "relabel", "resume", "parallel")
+INVARIANTS = (
+    "bound",
+    "canonical",
+    "relabel",
+    "resume",
+    "parallel",
+    "equivalence",
+)
 
 
 @dataclass(frozen=True)
@@ -322,6 +336,130 @@ def _check_parallel(case: FuzzCase) -> List[Violation]:
     return violations
 
 
+def _tune_on(case: FuzzCase, graph, machine, space):
+    """A fresh tune of an explicit (graph, machine, space) workload —
+    the equivalence invariant perturbs the machine, so ``build_case``
+    cannot rebuild it."""
+    return AutoMapDriver(
+        graph,
+        machine,
+        algorithm=case.algorithm,
+        oracle_config=OracleConfig(max_suggestions=case.max_suggestions),
+        sim_config=SimConfig(
+            noise_sigma=case.noise_sigma,
+            seed=case.seed,
+            spill=True,
+            incremental=True,
+        ),
+        space=space,
+        seed=case.seed,
+    ).tune()
+
+
+def _check_equivalence(case: FuzzCase) -> List[Violation]:
+    """Invariant 6: prover-equivalent workloads tune bit-identically.
+
+    Three machine perturbations per case, each applied through the same
+    override path the service uses:
+
+    * every memory capacity ``+1 GiB`` — engineered to be provable
+      (only attempted when every capacity already covers its footprint
+      bound, so the slack lemma applies on both sides);
+    * an off-route channel's bandwidth tripled — *not* required to
+      prove (a bandwidth change can flip weighted routing, which the
+      prover detects by comparing route tables); when it does prove,
+      bit-identity must hold;
+    * a machine rename — engineered to be provable, with the relabel
+      witness.
+    """
+    from repro.analysis.equivalence import (
+        Workload,
+        footprint_bounds,
+        prove_equivalent,
+        touchable_resources,
+    )
+    from repro.analysis.routing import channel_key
+    from repro.machine.overrides import apply_machine_params
+    from repro.util.units import GIB
+
+    base = case.with_(noise_sigma=0.0)
+    app, graph, machine = build_case(base)
+    space = app.space(machine)
+    config = {
+        "algorithm": base.algorithm,
+        "seed": base.seed,
+        "max_suggestions": base.max_suggestions,
+        "noise_sigma": base.noise_sigma,
+        "spill": True,
+        "static_prune": True,
+        "bound_prune": True,
+    }
+    source = Workload(graph, machine, config, None, space)
+
+    perturbations: List[Tuple[str, dict, bool]] = []
+    bounds = footprint_bounds(graph, machine, space)
+    if all(m.capacity >= bounds.get(m.uid, 0) for m in machine.memories):
+        perturbations.append(
+            (
+                "capacity+1GiB",
+                {
+                    "memory_capacity": {
+                        m.uid: m.capacity + GIB for m in machine.memories
+                    }
+                },
+                True,
+            )
+        )
+    touch = touchable_resources(graph, machine, space)
+    for chan in machine.channels:
+        if channel_key(chan.mem_a, chan.mem_b) not in touch.channel_keys:
+            perturbations.append(
+                (
+                    "off-route-channel-bw*3",
+                    {
+                        "channel_bandwidth": {
+                            f"{chan.mem_a}|{chan.mem_b}": chan.bandwidth * 3
+                        }
+                    },
+                    False,
+                )
+            )
+            break
+    perturbations.append(
+        ("rename", {"name": machine.name + "-relabeled"}, True)
+    )
+
+    violations: List[Violation] = []
+    baseline = None  # tuned lazily, once per case
+    for label, params, must_prove in perturbations:
+        p_app, _, p_machine = build_case(base)
+        p_machine = apply_machine_params(p_machine, params)
+        p_graph = p_app.graph(p_machine)
+        p_space = p_app.space(p_machine)
+        target = Workload(p_graph, p_machine, config, None, p_space)
+        proof = prove_equivalent(source, target)
+        if not proof.equivalent:
+            if must_prove:
+                violations.append(
+                    Violation(
+                        "equivalence",
+                        f"{label}: prover rejected engineered slack: "
+                        f"{proof.witness}",
+                    )
+                )
+            continue
+        if baseline is None:
+            baseline = _tune_on(base, graph, machine, space)
+        perturbed = _tune_on(base, p_graph, p_machine, p_space)
+        violations.extend(
+            Violation(
+                "equivalence", f"{label}: proved equivalent but {diff}"
+            )
+            for diff in _report_diffs(baseline, perturbed)
+        )
+    return violations
+
+
 def run_case(
     case: FuzzCase,
     workdir: Optional[Path] = None,
@@ -343,6 +481,8 @@ def run_case(
                 result.violations.extend(_check_resume(case, workdir))
         if "parallel" in invariants:
             result.violations.extend(_check_parallel(case))
+        if "equivalence" in invariants:
+            result.violations.extend(_check_equivalence(case))
     except Exception:
         result.violations.append(
             Violation(

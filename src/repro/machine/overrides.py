@@ -1,0 +1,192 @@
+"""Declarative machine-parameter overrides.
+
+The mapping service identifies a workload by its *materialised* machine,
+so "the same cluster but with 128 GiB nodes" must be expressible in a
+:class:`repro.service.spec.JobSpec` — not just by picking a different
+zoo entry.  ``machine_params`` is a small declarative override document
+applied on top of a zoo machine:
+
+.. code-block:: json
+
+    {
+      "name": "shepard-fat",
+      "memory_capacity": {"n0.sys0": "128 GiB"},
+      "channel_bandwidth": {"n0.fb0|n0.zc": 2.0e10},
+      "proc_throughput": {"n0.gpu0": 1.5e12}
+    }
+
+Sections reference concrete devices by uid (pairs joined with ``|``);
+unknown sections or uids raise ``ValueError`` so typos fail the
+submission instead of silently tuning a different machine.  Capacities
+accept either raw byte integers or ``"16 GiB"``-style strings.  The
+input machine is never mutated: frozen parts are rebuilt with
+:func:`dataclasses.replace` and a fresh :class:`Machine` is returned,
+re-running its construction-time invariant checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Tuple
+
+from repro.machine.model import (
+    AccessLink,
+    Channel,
+    Machine,
+    Memory,
+    Processor,
+)
+from repro.util.units import parse_bytes
+
+__all__ = ["MACHINE_PARAM_SECTIONS", "apply_machine_params"]
+
+MACHINE_PARAM_SECTIONS: Tuple[str, ...] = (
+    "name",
+    "memory_capacity",
+    "proc_throughput",
+    "proc_launch_overhead",
+    "access_bandwidth",
+    "access_latency",
+    "channel_bandwidth",
+    "channel_latency",
+)
+
+
+def _coerce_capacity(uid: str, value: object) -> int:
+    if isinstance(value, str):
+        return parse_bytes(value)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(
+            f"memory_capacity[{uid!r}]: expected bytes or a size string, "
+            f"got {value!r}"
+        )
+    return int(value)
+
+
+def _coerce_float(section: str, key: str, value: object) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(
+            f"{section}[{key!r}]: expected a number, got {value!r}"
+        )
+    return float(value)
+
+
+def _pair(section: str, raw: str) -> Tuple[str, str]:
+    parts = raw.split("|")
+    if len(parts) != 2 or not parts[0] or not parts[1]:
+        raise ValueError(
+            f"{section} key {raw!r}: expected 'uid_a|uid_b'"
+        )
+    return parts[0], parts[1]
+
+
+def apply_machine_params(
+    machine: Machine, params: Dict[str, object]
+) -> Machine:
+    """``machine`` with the override document applied (a new object).
+
+    Raises ``ValueError`` for unknown sections, unknown device uids,
+    malformed values, and any override that violates the machine's
+    construction invariants (e.g. non-positive bandwidth).
+    """
+    if not params:
+        return machine
+    unknown = sorted(set(params) - set(MACHINE_PARAM_SECTIONS))
+    if unknown:
+        raise ValueError(
+            f"unknown machine_params section(s) {unknown}; expected "
+            f"{list(MACHINE_PARAM_SECTIONS)}"
+        )
+
+    name = machine.name
+    if "name" in params:
+        if not isinstance(params["name"], str) or not params["name"]:
+            raise ValueError("machine_params name must be a non-empty string")
+        name = params["name"]
+
+    def section(key: str) -> Dict[str, object]:
+        value = params.get(key) or {}
+        if not isinstance(value, dict):
+            raise ValueError(f"machine_params section {key!r} must be a dict")
+        return value
+
+    mem_caps: Dict[str, int] = {}
+    for uid, value in section("memory_capacity").items():
+        try:
+            machine.memory(uid)
+        except KeyError:
+            raise ValueError(
+                f"memory_capacity references unknown memory {uid!r}"
+            ) from None
+        mem_caps[uid] = _coerce_capacity(uid, value)
+
+    proc_over: Dict[str, Dict[str, float]] = {}
+    for key in ("proc_throughput", "proc_launch_overhead"):
+        for uid, value in section(key).items():
+            try:
+                machine.processor(uid)
+            except KeyError:
+                raise ValueError(
+                    f"{key} references unknown processor {uid!r}"
+                ) from None
+            field = "throughput" if key == "proc_throughput" else (
+                "launch_overhead"
+            )
+            proc_over.setdefault(uid, {})[field] = _coerce_float(
+                key, uid, value
+            )
+
+    link_over: Dict[Tuple[str, str], Dict[str, float]] = {}
+    for key in ("access_bandwidth", "access_latency"):
+        for raw, value in section(key).items():
+            proc_uid, mem_uid = _pair(key, raw)
+            if machine.access_link(proc_uid, mem_uid) is None:
+                raise ValueError(
+                    f"{key} references unknown access link {raw!r}"
+                )
+            field = "bandwidth" if key == "access_bandwidth" else "latency"
+            link_over.setdefault((proc_uid, mem_uid), {})[field] = (
+                _coerce_float(key, raw, value)
+            )
+
+    chan_over: Dict[Tuple[str, str], Dict[str, float]] = {}
+    for key in ("channel_bandwidth", "channel_latency"):
+        for raw, value in section(key).items():
+            mem_a, mem_b = _pair(key, raw)
+            if machine.channel(mem_a, mem_b) is None:
+                raise ValueError(
+                    f"{key} references unknown channel {raw!r}"
+                )
+            pair = tuple(sorted((mem_a, mem_b)))
+            field = "bandwidth" if key == "channel_bandwidth" else "latency"
+            chan_over.setdefault(pair, {})[field] = _coerce_float(
+                key, raw, value
+            )
+
+    processors: List[Processor] = [
+        replace(p, **proc_over[p.uid]) if p.uid in proc_over else p
+        for p in machine.processors
+    ]
+    memories: List[Memory] = [
+        replace(m, capacity=mem_caps[m.uid]) if m.uid in mem_caps else m
+        for m in machine.memories
+    ]
+    access_links: List[AccessLink] = [
+        replace(li, **link_over[(li.proc, li.mem)])
+        if (li.proc, li.mem) in link_over
+        else li
+        for li in machine.access_links
+    ]
+    channels: List[Channel] = [
+        replace(c, **chan_over[tuple(sorted((c.mem_a, c.mem_b)))])
+        if tuple(sorted((c.mem_a, c.mem_b))) in chan_over
+        else c
+        for c in machine.channels
+    ]
+    return Machine(
+        name=name,
+        processors=processors,
+        memories=memories,
+        access_links=access_links,
+        channels=channels,
+    )

@@ -16,7 +16,11 @@ content-addressed result cache on top of the stateless
   (submitted/running/done/failed, atomic JSON persistence);
 - :mod:`~repro.service.cache` — the content-addressed result cache:
   a fingerprint hit serves the stored artifacts byte-identically with
-  zero new simulations;
+  zero new simulations; a coarse class index plus the AM6xx prover
+  (:mod:`repro.analysis.equivalence`) also serves *near*-equivalent
+  submissions (provable capacity slack, unreachable-resource slack,
+  verified relabelings) with zero simulations, and an optional
+  ``max_bytes`` budget evicts least-recently-used entries atomically;
 - :mod:`~repro.service.result` — the deterministic result document
   (exactly the fields the resilience contract guarantees bit-identical
   across kill/resume and serial/parallel/incremental modes);
@@ -25,18 +29,21 @@ content-addressed result cache on top of the stateless
   checkpoint bit-identically (the PR-3 contract, now job-level);
 - :mod:`~repro.service.http` — the stdlib HTTP front-end
   (``POST /jobs``, ``GET /jobs/<id>``, ``GET /jobs/<id>/report|trace|
-  metrics``, ``GET /metrics`` Prometheus text, ``GET /healthz``).
+  metrics``, ``GET /cache``, ``GET /metrics`` Prometheus text,
+  ``GET /healthz``).
 """
 
 from repro.service.cache import ResultCache
 from repro.service.fingerprint import (
     canonical_graph_doc,
     canonical_machine_doc,
+    spec_config,
+    workload_class_key,
     workload_fingerprint,
 )
 from repro.service.http import MappingService, make_server
 from repro.service.result import result_doc, result_json_bytes
-from repro.service.spec import JobSpec
+from repro.service.spec import JobSpec, spec_json_bytes
 from repro.service.store import JobRecord, JobState, JobStore
 from repro.service.worker import JobWorker
 
@@ -53,5 +60,8 @@ __all__ = [
     "make_server",
     "result_doc",
     "result_json_bytes",
+    "spec_config",
+    "spec_json_bytes",
+    "workload_class_key",
     "workload_fingerprint",
 ]

@@ -46,10 +46,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "FINGERPRINT_FORMAT",
+    "CLASS_KEY_FORMAT",
     "canonical_graph_doc",
     "canonical_machine_doc",
     "canonical_start_doc",
     "workload_fingerprint",
+    "workload_class_key",
+    "spec_config",
     "spec_fingerprint",
 ]
 
@@ -57,6 +60,10 @@ __all__ = [
 #: document or the engine's deterministic contract changes shape, which
 #: invalidates every previously cached entry at once.
 FINGERPRINT_FORMAT = "automap-workload-v1"
+
+#: Version marker of the *erased* (equivalence-class) key; bump together
+#: with any change to the AM6xx prover's lemmas.
+CLASS_KEY_FORMAT = "automap-workload-class-v1"
 
 
 def canonical_graph_doc(graph: "TaskGraph") -> dict:
@@ -130,11 +137,78 @@ def workload_fingerprint(
     return hashlib.sha256(_canonical_json(doc).encode()).hexdigest()
 
 
-def spec_fingerprint(spec: "JobSpec") -> str:
-    """Materialise a :class:`~repro.service.spec.JobSpec` and fingerprint
-    it.  Raises ``ValueError`` for specs that cannot build."""
-    _, graph, machine, space = spec.build()
-    config = {
+def workload_class_key(
+    graph: "TaskGraph",
+    machine: "Machine",
+    config: dict,
+    start_doc: Optional[dict] = None,
+    space: Optional["SearchSpace"] = None,
+) -> str:
+    """The *erased* fingerprint grouping near-equivalent workloads.
+
+    Hashes the same components as :func:`workload_fingerprint` after
+    erasing everything the AM6xx prover (:mod:`repro.analysis
+    .equivalence`) can prove immaterial: names are dropped, touchable
+    memories' capacities are clamped to ``min(capacity, U(m))`` (the
+    static footprint bound), and the parameters of unreachable
+    processors, their access links, and off-route channels are blanked.
+    Two provably-equivalent workloads therefore hash identically — but
+    not conversely: the key only *narrows* the candidate walk, and the
+    full prover re-checks every candidate, so a collision costs a proof
+    attempt, never soundness.
+    """
+    from repro.analysis.equivalence import (
+        footprint_bounds,
+        graph_body_doc,
+        touchable_resources,
+    )
+    from repro.analysis.routing import channel_key
+
+    if space is None:
+        from repro.mapping.space import SearchSpace
+
+        space = SearchSpace(graph, machine)
+    bounds = footprint_bounds(graph, machine, space)
+    touch = touchable_resources(graph, machine, space)
+
+    machine_doc = to_jsonable(machine)
+    machine_doc["name"] = None
+    proc_kind = {p.uid: p.kind for p in machine.processors}
+    for proc in machine_doc["processors"]:
+        if proc_kind[proc["uid"]] not in touch.proc_kinds:
+            proc["throughput"] = None
+            proc["launch_overhead"] = None
+    for mem in machine_doc["memories"]:
+        mem["capacity"] = min(
+            mem["capacity"], bounds.get(mem["uid"], 0)
+        )
+    for link in machine_doc["access_links"]:
+        if proc_kind[link["proc"]] not in touch.proc_kinds:
+            link["bandwidth"] = None
+            link["latency"] = None
+    for chan in machine_doc["channels"]:
+        if channel_key(chan["mem_a"], chan["mem_b"]) not in (
+            touch.channel_keys
+        ):
+            chan["bandwidth"] = None
+            chan["latency"] = None
+
+    graph_doc = graph_body_doc(graph)
+    doc = {
+        "format": CLASS_KEY_FORMAT,
+        "graph": graph_doc,
+        "machine": machine_doc,
+        "config": dict(config),
+        "start": canonical_start_doc(graph, machine, start_doc),
+        "fixed_decisions": to_jsonable(space.fixed_decisions),
+    }
+    return hashlib.sha256(_canonical_json(doc).encode()).hexdigest()
+
+
+def spec_config(spec: "JobSpec") -> dict:
+    """The semantic search-configuration dict of a spec — the ``config``
+    component both fingerprints hash and the prover compares."""
+    return {
         "algorithm": spec.algorithm,
         "seed": spec.seed,
         "max_suggestions": spec.max_suggestions,
@@ -143,6 +217,12 @@ def spec_fingerprint(spec: "JobSpec") -> str:
         "static_prune": spec.static_prune,
         "bound_prune": spec.bound_prune,
     }
+
+
+def spec_fingerprint(spec: "JobSpec") -> str:
+    """Materialise a :class:`~repro.service.spec.JobSpec` and fingerprint
+    it.  Raises ``ValueError`` for specs that cannot build."""
+    _, graph, machine, space = spec.build()
     return workload_fingerprint(
-        graph, machine, config, spec.start_mapping, space=space
+        graph, machine, spec_config(spec), spec.start_mapping, space=space
     )

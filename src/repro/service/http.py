@@ -13,13 +13,21 @@ Endpoints::
     GET  /jobs/<id>/report      deterministic result.json (done jobs)
     GET  /jobs/<id>/trace       winning mapping's Chrome trace
     GET  /jobs/<id>/metrics     the tuning run's Prometheus metrics
+    GET  /cache                 cache entries, sizes, and budget
     GET  /metrics               service-level Prometheus metrics
     GET  /healthz               liveness probe
 
 Submitting a workload whose fingerprint is cached creates the job
 directly in ``done`` with ``cache_hit`` set and ``simulations == 0`` —
 no queueing, no engine, and ``/report`` serves the stored bytes
-unchanged.
+unchanged.  On an exact miss the service consults the AM6xx
+near-equivalence prover (:mod:`repro.analysis.equivalence`): when a
+cached workload is *provably* indistinguishable from the submission
+(capacity slack above the static footprint bound, parameters of
+unreachable resources, or a verified relabeling), the stored result is
+pulled back through the proof's relabeling and served — still zero
+simulations, ``cache_mode == "equiv"``, with the proof log published
+beside the result as ``proof.json``.
 """
 
 from __future__ import annotations
@@ -71,11 +79,17 @@ class MappingService:
         root: Union[str, Path],
         metrics: Optional[MetricsRegistry] = None,
         poll_interval: float = 0.05,
+        workers: int = 1,
+        cache_max_bytes: Optional[int] = None,
     ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.root = Path(root)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.store = JobStore(self.root)
-        self.cache = ResultCache(self.root, metrics=self.metrics)
+        self.cache = ResultCache(
+            self.root, metrics=self.metrics, max_bytes=cache_max_bytes
+        )
         recovered = self.store.recover_running()
         for record in recovered:
             _LOG.info(
@@ -84,32 +98,49 @@ class MappingService:
                 record.attempts,
             )
         self.metrics.counter("service.jobs.recovered").inc(len(recovered))
-        self.worker = JobWorker(
-            self.store,
-            self.cache,
-            metrics=self.metrics,
-            poll_interval=poll_interval,
-        )
+        self.workers = [
+            JobWorker(
+                self.store,
+                self.cache,
+                metrics=self.metrics,
+                poll_interval=poll_interval,
+                index=index,
+            )
+            for index in range(workers)
+        ]
+
+    @property
+    def worker(self) -> JobWorker:
+        """The first worker (single-worker back-compat handle)."""
+        return self.workers[0]
 
     # ------------------------------------------------------------------
     def start(self) -> None:
-        self.worker.start()
+        for worker in self.workers:
+            worker.start()
 
     def stop(self, timeout: float = 5.0) -> None:
-        self.worker.stop()
-        if self.worker.is_alive():
-            self.worker.join(timeout)
+        for worker in self.workers:
+            worker.stop()
+        for worker in self.workers:
+            if worker.is_alive():
+                worker.join(timeout)
 
     # ------------------------------------------------------------------
     def submit(self, doc: dict) -> JobRecord:
         """Validate, fingerprint, and enqueue one submission — or serve
-        it from the cache.  Raises :class:`ServiceError` (400) for specs
+        it from the cache (exact fingerprint hit, else a proved AM6xx
+        near-equivalent).  Raises :class:`ServiceError` (400) for specs
         that do not validate or build."""
-        from repro.service.fingerprint import spec_fingerprint
+        from repro.service.fingerprint import spec_config, workload_fingerprint
 
         try:
             spec = JobSpec.from_doc(doc)
-            fingerprint = spec_fingerprint(spec)
+            _, graph, machine, space = spec.build()
+            config = spec_config(spec)
+            fingerprint = workload_fingerprint(
+                graph, machine, config, spec.start_mapping, space=space
+            )
         except ValueError as exc:
             raise ServiceError(400, str(exc)) from exc
         self.metrics.counter("service.jobs.submitted").inc()
@@ -119,6 +150,7 @@ class MappingService:
                 fingerprint,
                 state=JobState.DONE,
                 cache_hit=True,
+                cache_mode="exact",
             )
             _LOG.info(
                 "job %s: cache hit for %s (0 simulations)",
@@ -126,12 +158,80 @@ class MappingService:
                 fingerprint[:16],
             )
             return record
+        record = self._serve_equivalent(
+            spec, graph, machine, space, config, fingerprint
+        )
+        if record is not None:
+            return record
         record = self.store.create(spec.to_doc(), fingerprint)
         _LOG.info(
             "job %s: queued %s (fingerprint %s)",
             record.job_id,
             spec.label(),
             fingerprint[:16],
+        )
+        return record
+
+    def _serve_equivalent(
+        self, spec, graph, machine, space, config, fingerprint
+    ) -> Optional[JobRecord]:
+        """Serve an exact-miss submission from a provably-equivalent
+        cached workload, if one exists — zero simulations, result bytes
+        pulled back through the proof's relabeling, proof published
+        beside the entry."""
+        from repro.analysis.equivalence import Workload, pullback_result_doc
+        from repro.service.fingerprint import workload_class_key
+        from repro.service.result import result_json_bytes
+        from repro.service.spec import spec_json_bytes
+
+        try:
+            class_key = workload_class_key(
+                graph, machine, config, spec.start_mapping, space=space
+            )
+            target = Workload(
+                graph, machine, config, spec.start_mapping, space
+            )
+        except Exception:  # noqa: BLE001 - equivalence is best-effort
+            return None
+        found = self.cache.lookup_equivalent(class_key, target, fingerprint)
+        if found is None:
+            return None
+        source_fp, proof = found
+        result_bytes = self.cache.read(source_fp, RESULT_FILENAME)
+        if result_bytes is None:  # pragma: no cover - entry raced away
+            return None
+        result = pullback_result_doc(
+            json.loads(result_bytes.decode("utf-8")), proof, fingerprint
+        )
+        proof_doc = dict(proof.to_doc())
+        proof_doc["source"] = source_fp
+        files = {
+            RESULT_FILENAME: result_json_bytes(result),
+            "spec.json": spec_json_bytes(spec),
+            "proof.json": (
+                json.dumps(proof_doc, sort_keys=True, indent=2) + "\n"
+            ).encode("utf-8"),
+        }
+        if not proof.relabel:
+            # With no relabeling the workloads are indistinguishable in
+            # every artifact — share the trace and run metrics too.
+            for name in (TRACE_FILENAME, "metrics.txt"):
+                data = self.cache.read(source_fp, name)
+                if data is not None:
+                    files[name] = data
+        self.cache.put(fingerprint, files, class_key=class_key)
+        record = self.store.create(
+            spec.to_doc(),
+            fingerprint,
+            state=JobState.DONE,
+            cache_hit=True,
+            cache_mode="equiv",
+        )
+        _LOG.info(
+            "job %s: equivalent to cached %s — proof-served "
+            "(0 simulations)",
+            record.job_id,
+            source_fp[:16],
         )
         return record
 
@@ -164,12 +264,23 @@ class MappingService:
         return data, content_type
 
     # ------------------------------------------------------------------
+    def cache_doc(self) -> dict:
+        """The ``GET /cache`` document (entries, sizes, budget)."""
+        return {
+            "entries": self.cache.entries(),
+            "total_bytes": self.cache.total_bytes(),
+            "max_bytes": self.cache.max_bytes,
+        }
+
     def metrics_text(self) -> str:
         """Service-level Prometheus exposition, including a live
         job-state histogram and the cache entry count."""
         for state, count in self.store.counts().items():
             self.metrics.gauge(f"service.jobs.state.{state}").set(count)
         self.metrics.gauge("service.cache.entries").set(len(self.cache))
+        self.metrics.gauge("service.cache.bytes").set(
+            self.cache.total_bytes()
+        )
         return to_prometheus_text(self.metrics)
 
 
@@ -236,6 +347,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self.service.metrics_text().encode(),
                 "text/plain; version=0.0.4",
             )
+        elif parts == ["cache"]:
+            self._send_json(200, self.service.cache_doc())
         elif parts == ["jobs"]:
             self._send_json(
                 200,

@@ -21,13 +21,19 @@ Two groups of knobs are distinguished on purpose:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
 from repro.apps import APP_REGISTRY, make_app
 from repro.machine.builders import MACHINE_ZOO
 
-__all__ = ["JobSpec", "SEMANTIC_FIELDS", "EXECUTION_FIELDS"]
+__all__ = [
+    "JobSpec",
+    "SEMANTIC_FIELDS",
+    "EXECUTION_FIELDS",
+    "spec_json_bytes",
+]
 
 _FORMAT = "automap-job-v1"
 
@@ -39,6 +45,7 @@ SEMANTIC_FIELDS: Tuple[str, ...] = (
     "gen_params",
     "machine",
     "nodes",
+    "machine_params",
     "algorithm",
     "seed",
     "max_suggestions",
@@ -70,6 +77,12 @@ class JobSpec:
     gen_params: Dict[str, object] = field(default_factory=dict)
     machine: str = "shepard"
     nodes: int = 1
+    #: Declarative overrides applied to the zoo machine (see
+    #: :func:`repro.machine.overrides.apply_machine_params`) — semantic:
+    #: they change the materialised machine and thus the fingerprint,
+    #: though the AM6xx equivalence prover may still serve a cached
+    #: result when the overrides are provably unobservable.
+    machine_params: Dict[str, object] = field(default_factory=dict)
     algorithm: str = "ccd"
     seed: int = 0
     max_suggestions: int = 20_000
@@ -106,6 +119,8 @@ class JobSpec:
             )
         if self.nodes < 1:
             raise ValueError("nodes must be >= 1")
+        if not isinstance(self.machine_params, dict):
+            raise ValueError("machine_params must be an object")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
         if self.max_suggestions < 1:
@@ -125,6 +140,7 @@ class JobSpec:
             "gen_params": dict(self.gen_params),
             "machine": self.machine,
             "nodes": self.nodes,
+            "machine_params": dict(self.machine_params),
             "algorithm": self.algorithm,
             "seed": self.seed,
             "max_suggestions": self.max_suggestions,
@@ -160,6 +176,9 @@ class JobSpec:
         start = doc.get("start_mapping")
         if start is not None and not isinstance(start, dict):
             raise ValueError("start_mapping must be a 'kinds' object")
+        machine_params = doc.get("machine_params") or {}
+        if not isinstance(machine_params, dict):
+            raise ValueError("machine_params must be an object")
         try:
             return JobSpec(
                 app=str(doc["app"]),
@@ -169,6 +188,7 @@ class JobSpec:
                 gen_params=dict(gen_params),
                 machine=str(doc.get("machine", "shepard")),
                 nodes=int(doc.get("nodes", 1)),
+                machine_params=dict(machine_params),
                 algorithm=str(doc.get("algorithm", "ccd")),
                 seed=int(doc.get("seed", 0)),
                 max_suggestions=int(doc.get("max_suggestions", 20_000)),
@@ -199,6 +219,10 @@ class JobSpec:
 
         factory = MACHINE_ZOO[self.machine]
         machine = factory(self.nodes)
+        if self.machine_params:
+            from repro.machine.overrides import apply_machine_params
+
+            machine = apply_machine_params(machine, self.machine_params)
         try:
             kwargs = parse_app_input(self.app, self.input)
         except SystemExit as exc:  # parse_app_input raises SystemExit
@@ -219,3 +243,11 @@ class JobSpec:
             f"{self.app}({detail}) on {self.machine}({self.nodes}) "
             f"{self.algorithm}/seed={self.seed}"
         )
+
+
+def spec_json_bytes(spec: JobSpec) -> bytes:
+    """The canonical on-disk encoding of a spec (``spec.json`` in cache
+    entries — what the near-equivalence prover rebuilds workloads from)."""
+    return (
+        json.dumps(spec.to_doc(), sort_keys=True, indent=2) + "\n"
+    ).encode("utf-8")

@@ -56,6 +56,9 @@ class JobRecord:
     #: True when the result was served from the content-addressed cache
     #: (and ``simulations`` is therefore zero).
     cache_hit: bool = False
+    #: How the cache served it: ``"none"`` (fresh run), ``"exact"``
+    #: (fingerprint hit), or ``"equiv"`` (AM6xx near-equivalence proof).
+    cache_mode: str = "none"
     #: Simulator executions this job actually paid for.
     simulations: int = 0
     error: Optional[str] = None
@@ -78,6 +81,7 @@ class JobRecord:
             "fingerprint": self.fingerprint,
             "state": self.state.value,
             "cache_hit": self.cache_hit,
+            "cache_mode": self.cache_mode,
             "simulations": self.simulations,
             "error": self.error,
             "attempts": self.attempts,
@@ -97,6 +101,10 @@ class JobRecord:
             fingerprint=doc["fingerprint"],
             state=JobState(doc["state"]),
             cache_hit=bool(doc.get("cache_hit", False)),
+            cache_mode=str(
+                doc.get("cache_mode")
+                or ("exact" if doc.get("cache_hit") else "none")
+            ),
             simulations=int(doc.get("simulations", 0)),
             error=doc.get("error"),
             attempts=int(doc.get("attempts", 0)),
@@ -143,6 +151,7 @@ class JobStore:
         fingerprint: str,
         state: JobState = JobState.SUBMITTED,
         cache_hit: bool = False,
+        cache_mode: Optional[str] = None,
     ) -> JobRecord:
         with self._lock:
             job_id = f"job-{self._next_id:06d}"
@@ -153,6 +162,8 @@ class JobStore:
                 fingerprint=fingerprint,
                 state=state,
                 cache_hit=cache_hit,
+                cache_mode=cache_mode
+                or ("exact" if cache_hit else "none"),
             )
             self.job_dir(job_id).mkdir(parents=True)
             self._write(record)

@@ -1,7 +1,8 @@
 """The background worker loop.
 
-A single daemon thread drains the job store FIFO: claim the oldest
-``submitted`` job, run it through :class:`repro.core.AutoMapSession`
+One or more daemon threads drain the job store FIFO: claim the oldest
+``submitted`` job (an atomic claim-and-mark, so concurrent workers never
+double-claim), run it through :class:`repro.core.AutoMapSession`
 (which drives the stateless engine with the full checkpoint/observability
 stack), publish the deterministic artifacts into the result cache, and
 mark the job ``done`` — or ``failed`` with the error message.
@@ -31,9 +32,13 @@ from repro.obs.trace import TRACE_FILENAME
 from repro.resilience.checkpoint import CHECKPOINT_FILENAME
 from repro.runtime.simulator import SimConfig
 from repro.service.cache import ResultCache
-from repro.service.fingerprint import canonical_start_doc
+from repro.service.fingerprint import (
+    canonical_start_doc,
+    spec_config,
+    workload_class_key,
+)
 from repro.service.result import RESULT_FILENAME, result_doc, result_json_bytes
-from repro.service.spec import JobSpec
+from repro.service.spec import JobSpec, spec_json_bytes
 from repro.service.store import JobRecord, JobState, JobStore
 from repro.util.logging import get_logger
 
@@ -45,10 +50,12 @@ _LOG = get_logger("service.worker")
 class JobWorker(threading.Thread):
     """Daemon thread executing queued jobs one at a time.
 
-    One worker per service: intra-job parallelism comes from the job's
-    own ``workers`` knob (the engine's process pool), and keeping the
-    queue serial keeps crash recovery trivial — at most one job can ever
-    be ``running``.
+    A service may run several workers (``repro serve --workers N``):
+    each claims jobs through :meth:`JobStore.claim_next`, which is a
+    single atomic claim-and-mark under the store lock, so no job is ever
+    executed twice.  Crash recovery stays trivial — a recovered
+    ``running`` job simply re-queues and resumes from its checkpoint,
+    whichever worker claims it.
     """
 
     def __init__(
@@ -57,8 +64,10 @@ class JobWorker(threading.Thread):
         cache: ResultCache,
         metrics: Optional[MetricsRegistry] = None,
         poll_interval: float = 0.05,
+        index: int = 0,
     ) -> None:
-        super().__init__(name="automap-job-worker", daemon=True)
+        super().__init__(name=f"automap-job-worker-{index}", daemon=True)
+        self.index = index
         self.store = store
         self.cache = cache
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -152,7 +161,20 @@ class JobWorker(threading.Thread):
             files["metrics.txt"] = to_prometheus_text(report.metrics).encode(
                 "utf-8"
             )
-        self.cache.put(record.fingerprint, files)
+        # The spec rides along so the near-equivalence prover can rebuild
+        # this entry's workload as a candidate; the class key indexes it.
+        files["spec.json"] = spec_json_bytes(spec)
+        try:
+            class_key = workload_class_key(
+                graph,
+                machine,
+                spec_config(spec),
+                spec.start_mapping,
+                space=space,
+            )
+        except Exception:  # noqa: BLE001 - class index is best-effort
+            class_key = None
+        self.cache.put(record.fingerprint, files, class_key=class_key)
 
         self.metrics.counter("service.jobs.completed").inc()
         self.metrics.counter("service.simulations").inc(report.simulations)

@@ -1,0 +1,199 @@
+"""Near-equivalent cache serving and multi-worker job execution.
+
+The service drives the AM6xx prover on exact-fingerprint misses: a
+submission that differs from a cached workload only in provable slack
+(capacity above the footprint bound, a machine rename) is served with
+zero simulations, ``cache_mode == "equiv"``, and a result document
+byte-identical to what a fresh run would write (modulo nothing — the
+pullback is checked against an actual fresh run)."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+from repro.machine import MACHINE_ZOO
+from repro.service import JobState, JobStore, MappingService
+from repro.util.units import GIB
+
+BASE = {
+    "app": "forkjoin",
+    "gen_params": {"width": 2, "iterations": 2, "elems": 65536},
+    "machine": "shepard",
+    "max_suggestions": 8,
+    "noise_sigma": 0.0,
+    "seed": 3,
+}
+
+
+def _await(service, job_id, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        record = service.store.get(job_id)
+        if record.state.terminal:
+            return record
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} did not finish")
+
+
+def _inflated_caps(extra=GIB):
+    machine = MACHINE_ZOO["shepard"](1)
+    return {
+        "memory_capacity": {
+            m.uid: m.capacity + extra for m in machine.memories
+        }
+    }
+
+
+class TestEquivalentServing:
+    def test_slack_submission_served_with_zero_simulations(self, tmp_path):
+        service = MappingService(tmp_path / "a", poll_interval=0.01)
+        service.start()
+        try:
+            first = service.submit(dict(BASE))
+            done = _await(service, first.job_id)
+            assert done.state is JobState.DONE
+            assert done.simulations > 0
+
+            spec = dict(BASE, machine_params=_inflated_caps())
+            equiv = service.submit(spec)
+            assert equiv.state is JobState.DONE
+            assert equiv.cache_hit
+            assert equiv.cache_mode == "equiv"
+            assert equiv.simulations == 0
+            served, _ = service.artifact(equiv.job_id, "report")
+        finally:
+            service.stop()
+
+        # Byte-identity against a genuinely fresh run of the inflated
+        # workload in a clean service root.
+        fresh_service = MappingService(tmp_path / "b", poll_interval=0.01)
+        fresh_service.start()
+        try:
+            fresh = service_record = fresh_service.submit(spec)
+            service_record = _await(fresh_service, fresh.job_id)
+            assert service_record.simulations > 0
+            fresh_bytes, _ = fresh_service.artifact(fresh.job_id, "report")
+        finally:
+            fresh_service.stop()
+        assert served == fresh_bytes
+
+    def test_rename_served_with_pullback(self, tmp_path):
+        service = MappingService(tmp_path / "s", poll_interval=0.01)
+        service.start()
+        try:
+            first = service.submit(dict(BASE))
+            _await(service, first.job_id)
+
+            spec = dict(
+                BASE, machine_params={"name": "shepard-renamed"}
+            )
+            equiv = service.submit(spec)
+            assert equiv.cache_mode == "equiv"
+            assert equiv.simulations == 0
+            served, _ = service.artifact(equiv.job_id, "report")
+            doc = json.loads(served)
+            assert doc["machine"] == "shepard-renamed"
+            assert doc["fingerprint"] == equiv.fingerprint
+            # The proof log is published beside the served result.
+            proof = json.loads(
+                service.cache.read(equiv.fingerprint, "proof.json")
+            )
+            assert proof["equivalent"] is True
+            assert proof["relabel"] == {"machine": "shepard-renamed"}
+            assert proof["source"] == first.fingerprint
+            assert (
+                service.metrics.counter("service.cache.equiv_hits").value
+                == 1
+            )
+        finally:
+            service.stop()
+
+    def test_inequivalent_submission_queues_normally(self, tmp_path):
+        service = MappingService(tmp_path / "s", poll_interval=0.01)
+        service.start()
+        try:
+            first = service.submit(dict(BASE))
+            _await(service, first.job_id)
+            # A different seed is a different workload: no proof, no
+            # cache hit, a real run.
+            other = service.submit(dict(BASE, seed=4))
+            assert other.state is JobState.SUBMITTED
+            assert not other.cache_hit
+            done = _await(service, other.job_id)
+            assert done.simulations > 0
+        finally:
+            service.stop()
+
+    def test_cache_doc_lists_equiv_entries(self, tmp_path):
+        service = MappingService(tmp_path / "s", poll_interval=0.01)
+        service.start()
+        try:
+            first = service.submit(dict(BASE))
+            _await(service, first.job_id)
+            service.submit(dict(BASE, machine_params=_inflated_caps()))
+            doc = service.cache_doc()
+        finally:
+            service.stop()
+        assert len(doc["entries"]) == 2
+        assert doc["total_bytes"] > 0
+        assert doc["max_bytes"] is None
+        by_fp = {e["fingerprint"]: e for e in doc["entries"]}
+        assert by_fp[first.fingerprint]["equivalent"] is False
+        assert sum(e["equivalent"] for e in doc["entries"]) == 1
+
+
+class TestMultiWorker:
+    def test_workers_never_double_claim(self, tmp_path):
+        """Two claimer threads racing over a full queue partition it:
+        every job claimed exactly once."""
+        store = JobStore(tmp_path)
+        for i in range(40):
+            store.create({"i": i}, f"fp-{i}")
+        claims = {0: [], 1: []}
+        barrier = threading.Barrier(2)
+
+        def claimer(slot):
+            barrier.wait()
+            while True:
+                record = store.claim_next()
+                if record is None:
+                    return
+                claims[slot].append(record.job_id)
+
+        threads = [
+            threading.Thread(target=claimer, args=(slot,))
+            for slot in claims
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        claimed = claims[0] + claims[1]
+        assert len(claimed) == 40
+        assert len(set(claimed)) == 40  # no job claimed twice
+        assert all(
+            store.get(job_id).attempts == 1 for job_id in claimed
+        )
+
+    def test_two_worker_service_completes_distinct_jobs(self, tmp_path):
+        service = MappingService(
+            tmp_path / "s", poll_interval=0.01, workers=2
+        )
+        assert len(service.workers) == 2
+        assert service.worker is service.workers[0]
+        assert service.workers[0].name != service.workers[1].name
+        service.start()
+        try:
+            records = [
+                service.submit(dict(BASE, seed=seed))
+                for seed in (10, 11, 12)
+            ]
+            finished = [_await(service, r.job_id) for r in records]
+        finally:
+            service.stop()
+        for record in finished:
+            assert record.state is JobState.DONE
+            assert record.attempts == 1
+            assert record.simulations > 0

@@ -174,6 +174,7 @@ class TestAnalyzeCommand:
             "-- graph sanitizer (AM3xx)",
             "-- cost bounds (AM4xx)",
             "-- routing & symmetry (AM5xx)",
+            "-- workload equivalence (AM6xx)",
         ]
         from repro.analysis import RULES
 
@@ -323,3 +324,107 @@ class TestGenParams:
             ]
         )
         assert code == 0
+
+
+class TestMachineParams:
+    def test_coercion(self):
+        from repro.cli import parse_machine_params
+
+        assert parse_machine_params(
+            [
+                "memory_capacity:n0.sys0=128 GiB",
+                "proc_throughput:n0.gpu0=1.5e12",
+                "name=shepard-fat",
+            ]
+        ) == {
+            "memory_capacity": {"n0.sys0": "128 GiB"},
+            "proc_throughput": {"n0.gpu0": 1.5e12},
+            "name": "shepard-fat",
+        }
+
+    def test_malformed_pairs_exit(self):
+        from repro.cli import parse_machine_params
+
+        for bad in [
+            "memory_capacity:n0.sys0",  # no value
+            "nokey=1",  # only 'name' takes a bare value
+            ":x=1",  # empty section
+            "a:=1",  # empty key
+        ]:
+            with pytest.raises(SystemExit):
+                parse_machine_params([bad])
+
+    def test_submit_parser_accepts_machine_params(self):
+        args = build_parser().parse_args(
+            [
+                "submit",
+                "--app",
+                "stencil",
+                "--machine-param",
+                "memory_capacity:n0.sys0=128 GiB",
+                "--machine-param",
+                "name=shepard-fat",
+            ]
+        )
+        assert len(args.machine_param) == 2
+
+    def test_serve_worker_and_cache_flags(self):
+        args = build_parser().parse_args(["serve", "--root", "s"])
+        assert args.workers == 1
+        assert args.cache_max_bytes is None
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--root",
+                "s",
+                "--workers",
+                "4",
+                "--cache-max-bytes",
+                "64 MiB",
+            ]
+        )
+        assert args.workers == 4
+        assert args.cache_max_bytes == "64 MiB"
+
+    def test_fuzz_accepts_equivalence_invariant(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--invariant", "equivalence"]
+        )
+        assert args.invariant == ["equivalence"]
+
+
+class TestEquivalenceCommands:
+    def test_analyze_equivalence_reports_slack(self, capsys):
+        code = main(
+            [
+                "analyze",
+                "--app",
+                "forkjoin",
+                "--machine",
+                "shepard",
+                "--equivalence",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        # The zoo machine is GiB-scale; the toy footprint is KiB-scale.
+        assert "AM601" in out
+        assert "footprint bound" in out
+
+    def test_cache_ls_and_purge(self, capsys, tmp_path):
+        from repro.service import ResultCache
+
+        cache = ResultCache(tmp_path)
+        cache.put("a" * 64, {"result.json": b"{}\n"})
+        cache.put(
+            "b" * 64, {"result.json": b"{}\n", "proof.json": b"{}\n"}
+        )
+        assert main(["cache", "ls", "--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 entries" in out
+        assert "equiv" in out and "run" in out
+
+        assert main(["cache", "purge", "--root", str(tmp_path)]) == 0
+        assert "purged 2" in capsys.readouterr().out
+        assert main(["cache", "ls", "--root", str(tmp_path)]) == 0
+        assert "0 entries" in capsys.readouterr().out
